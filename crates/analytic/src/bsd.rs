@@ -1,0 +1,135 @@
+//! §3.1 — The BSD algorithm's cost model.
+//!
+//! One linear list of `N` PCBs with a one-entry cache. Under TPC/A traffic
+//! every user is equally likely to produce the next packet (the
+//! memorylessness argument of §3), so the cache hits with probability
+//! `1/N`; a miss probes the cache and then scans an average of `(N+1)/2`
+//! list entries. Equation 1:
+//!
+//! ```text
+//! C_BSD(N) = 1 + (N² − 1) / 2N
+//! ```
+
+use crate::tpca::TXN_RATE_PER_USER;
+
+/// Equation 1: expected PCBs examined per packet.
+///
+/// `n` is the number of connections; must be ≥ 1.
+pub fn cost(n: f64) -> f64 {
+    assert!(n >= 1.0, "need at least one connection, got {n}");
+    1.0 + (n * n - 1.0) / (2.0 * n)
+}
+
+/// The cache hit rate `1/N` ("0.05 % for a 200 TPC/A TPS benchmark").
+pub fn hit_rate(n: f64) -> f64 {
+    assert!(n >= 1.0);
+    1.0 / n
+}
+
+/// The average cost of a miss alone: one cache probe plus half the list.
+pub fn miss_cost(n: f64) -> f64 {
+    assert!(n >= 1.0);
+    1.0 + (n + 1.0) / 2.0
+}
+
+/// Footnote 4: the probability that the transaction-entry packet and the
+/// transport-level ack of the response form a packet train — i.e. that
+/// *no* other user's packet arrives at the server during the response
+/// interval `r`.
+///
+/// Each of the other `n − 1` users delivers server packets at rate `2a`
+/// (query + response-ack), so:
+///
+/// ```text
+/// P(train) = e^{−2aR(N−1)}
+/// ```
+///
+/// For `N = 2000`, `R = 0.2 s` this is ≈ 1.9×10⁻³⁵. (The scanned paper
+/// text reads "1.9 × 10⁻³", but the footnote's own arithmetic — "96%
+/// probability that any given user will not offer a \[packet\]" and "the
+/// probability that none of the 1,999 other users will [do so] is indeed
+/// remote" — gives 0.96^1999 ≈ 1.9×10⁻³⁵; the exponent was truncated in
+/// reproduction.)
+pub fn train_probability(n: f64, r: f64) -> f64 {
+    assert!(n >= 1.0 && r >= 0.0);
+    (-2.0 * TXN_RATE_PER_USER * r * (n - 1.0)).exp()
+}
+
+/// Per-user probability of offering no packet during an interval of
+/// length `r` (the footnote's "96 %").
+pub fn per_user_quiet_probability(r: f64) -> f64 {
+    (-2.0 * TXN_RATE_PER_USER * r).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_number_1001_pcbs() {
+        // "This equation yields an average cost of a linear scan of 1,001
+        // PCBs for a 200 TPC/A TPS benchmark."
+        let c = cost(2000.0);
+        assert!((c - 1001.0).abs() < 0.01, "{c}");
+    }
+
+    #[test]
+    fn paper_number_hit_rate() {
+        // "The hit rate for the PCB cache is 1/N, which is 0.05%."
+        assert!((hit_rate(2000.0) - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_approaches_half_n() {
+        // "approaching N/2 for large N".
+        for n in [1000.0, 10_000.0, 100_000.0] {
+            let ratio = cost(n) / (n / 2.0);
+            assert!((ratio - 1.0).abs() < 0.01, "n={n} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn single_connection_costs_one() {
+        // With one connection the cache always hits: cost exactly 1.
+        assert!((cost(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_cost_dominates() {
+        // "Since this is exactly the cost of a miss to three places, the
+        // cache is clearly providing little help."
+        let n = 2000.0;
+        // cost = 1001.00, miss cost = 1001.50: equal "to three places"
+        // in the paper's sense of three significant figures.
+        assert!((cost(n) - miss_cost(n)).abs() / miss_cost(n) < 1e-3);
+    }
+
+    #[test]
+    fn footnote_four_quiet_probability() {
+        // "96% probability that any given user will not offer a
+        // transaction or ... acknowledgement during a given
+        // 200-millisecond interval".
+        let p = per_user_quiet_probability(0.2);
+        assert!((p - 0.96).abs() < 0.002, "{p}");
+    }
+
+    #[test]
+    fn train_probability_is_remote() {
+        let p = train_probability(2000.0, 0.2);
+        assert!((1.0e-35..3.0e-35).contains(&p), "{p}");
+        // Shorter response times make trains likelier.
+        assert!(train_probability(2000.0, 0.01) > p);
+        // Two connections with a fast response: trains dominate.
+        assert!(train_probability(2.0, 0.01) > 0.99);
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_n() {
+        let mut prev = cost(1.0);
+        for n in 2..200 {
+            let c = cost(f64::from(n));
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The data series behind the paper's figures.
+//!
+//! Figure 4 plots Equation 3's `N(T)` for 2,000 users. Figures 13 and 14
+//! plot the expected PCB search cost against the number of TPC/A
+//! connections for every algorithm; Figure 14 is the same plot restricted
+//! to 1,000 connections with one extra series (SR at 10 ms). These
+//! functions return `(x, y)` series so the bench binaries, the regression
+//! tests, and any plotting front end share one source of truth.
+
+use crate::{bsd, mtf, sequent, srcache};
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, matching the paper's ("BSD", "MTF 1.0", "SR 1", …).
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Evaluate `f` over `xs`.
+    pub fn from_fn(label: &str, xs: &[f64], f: impl Fn(f64) -> f64) -> Self {
+        Series {
+            label: label.to_string(),
+            points: xs.iter().map(|&x| (x, f(x))).collect(),
+        }
+    }
+
+    /// The y value at the largest x (used by shape tests).
+    pub fn final_y(&self) -> f64 {
+        self.points.last().map(|&(_, y)| y).unwrap_or(f64::NAN)
+    }
+}
+
+/// Figure 4: `N(T)` for 2,000 TPC/A users, think time 0–50 s.
+pub fn figure_4(steps: usize) -> Series {
+    let xs = linspace(0.0, 50.0, steps);
+    Series::from_fn("N(T) for 2,000 TPC/A users", &xs, |t| {
+        mtf::expected_preceding(2000.0, t)
+    })
+}
+
+/// The x grid shared by Figures 13 and 14: connection counts from
+/// `lo` to `hi`. Counts below 2 are meaningless (no other users), so the
+/// grid starts at 2.
+pub fn connection_grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    linspace(lo.max(2.0), hi, steps)
+}
+
+/// Figure 13: cost vs. connections for N up to 10,000. Series, in the
+/// paper's legend order: BSD, SR 1 (D = 1 ms), MTF 1.0, MTF 0.5, MTF 0.2,
+/// SEQUENT (19 chains, R = 0.2 s).
+pub fn figure_13(steps: usize) -> Vec<Series> {
+    cost_series(connection_grid(2.0, 10_000.0, steps), false)
+}
+
+/// Figure 14: the detail view up to 1,000 connections, adding the
+/// "SR 10" (D = 10 ms) series as the paper does.
+pub fn figure_14(steps: usize) -> Vec<Series> {
+    cost_series(connection_grid(2.0, 1_000.0, steps), true)
+}
+
+fn cost_series(xs: Vec<f64>, include_sr10: bool) -> Vec<Series> {
+    let mut series = vec![
+        Series::from_fn("BSD", &xs, bsd::cost),
+        Series::from_fn("SR 1", &xs, |n| srcache::cost(n, 0.2, 0.001)),
+    ];
+    if include_sr10 {
+        series.push(Series::from_fn("SR 10", &xs, |n| {
+            srcache::cost(n, 0.2, 0.01)
+        }));
+    }
+    series.extend([
+        Series::from_fn("MTF 1.0", &xs, |n| mtf::average_cost(n, 1.0)),
+        Series::from_fn("MTF 0.5", &xs, |n| mtf::average_cost(n, 0.5)),
+        Series::from_fn("MTF 0.2", &xs, |n| mtf::average_cost(n, 0.2)),
+        Series::from_fn("SEQUENT", &xs, |n| {
+            // H cannot exceed N; tiny benchmarks fall back to fewer chains.
+            sequent::cost(n, 19.0f64.min(n), 0.2)
+        }),
+    ]);
+    series
+}
+
+fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 2, "need at least two points");
+    let step = (hi - lo) / (steps - 1) as f64;
+    (0..steps).map(|i| lo + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_label<'a>(series: &'a [Series], label: &str) -> &'a Series {
+        series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+    }
+
+    #[test]
+    fn figure_4_endpoints() {
+        let fig = figure_4(101);
+        assert_eq!(fig.points.len(), 101);
+        assert_eq!(fig.points[0], (0.0, 0.0));
+        let (x_last, y_last) = *fig.points.last().unwrap();
+        assert_eq!(x_last, 50.0);
+        // The paper's plot saturates toward 2,000 by T = 50 s.
+        assert!(y_last > 1980.0 && y_last < 2000.0, "{y_last}");
+    }
+
+    #[test]
+    fn figure_13_has_paper_series() {
+        let series = figure_13(51);
+        let labels: Vec<_> = series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["BSD", "SR 1", "MTF 1.0", "MTF 0.5", "MTF 0.2", "SEQUENT"]
+        );
+    }
+
+    #[test]
+    fn figure_14_adds_sr10() {
+        let series = figure_14(51);
+        assert!(series.iter().any(|s| s.label == "SR 10"));
+    }
+
+    #[test]
+    fn figure_13_ordering_at_full_scale() {
+        // At N = 10,000 the paper's plot shows, top to bottom:
+        // BSD ≈ SR 1 (converged), then MTF 1.0 > MTF 0.5 > MTF 0.2,
+        // then SEQUENT far below.
+        let series = figure_13(101);
+        let bsd = by_label(&series, "BSD").final_y();
+        let sr1 = by_label(&series, "SR 1").final_y();
+        let mtf10 = by_label(&series, "MTF 1.0").final_y();
+        let mtf05 = by_label(&series, "MTF 0.5").final_y();
+        let mtf02 = by_label(&series, "MTF 0.2").final_y();
+        let seq = by_label(&series, "SEQUENT").final_y();
+
+        // At D = 1 ms convergence is slower than at 10 ms; within 10 % by
+        // N = 10,000 and still approaching.
+        assert!((sr1 - bsd).abs() / bsd < 0.10, "SR converges to BSD");
+        assert!(
+            mtf10 > mtf05 && mtf05 > mtf02,
+            "MTF improves with smaller R"
+        );
+        assert!(mtf02 < bsd, "all MTF variants beat BSD");
+        assert!(seq * 10.0 < mtf02, "Sequent an order of magnitude below");
+    }
+
+    #[test]
+    fn figure_14_detail_shape() {
+        // In the detail view, SR 1 beats BSD clearly at small N, and
+        // SR 10 lies between SR 1 and BSD.
+        let series = figure_14(101);
+        let at = |label: &str, idx: usize| by_label(&series, label).points[idx].1;
+        // Index 10 ≈ N=102.
+        let n_small = 10;
+        assert!(at("SR 1", n_small) < at("BSD", n_small));
+        assert!(at("SR 1", n_small) <= at("SR 10", n_small));
+        assert!(at("SR 10", n_small) <= at("BSD", n_small) + 3.0);
+        // Sequent is lowest everywhere (direct-index aside).
+        for idx in [5, 50, 100] {
+            for label in ["BSD", "SR 1", "SR 10", "MTF 1.0", "MTF 0.5", "MTF 0.2"] {
+                assert!(
+                    at("SEQUENT", idx) <= at(label, idx) + 1e-9,
+                    "SEQUENT not lowest vs {label} at idx {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_sr_vs_mtf() {
+        // Figure 14 shows SR 1 sitting between MTF 0.5 and MTF 0.2 in the
+        // detail range (it beats MTF 0.5 at a few hundred users); Figure 13
+        // shows it ending *above* every MTF curve by N = 10,000. So SR 1
+        // and MTF 0.5 must cross between those scales.
+        let at_100 = (
+            srcache::cost(100.0, 0.2, 0.001),
+            mtf::average_cost(100.0, 0.5),
+        );
+        assert!(at_100.0 < at_100.1, "SR should win at N=100: {at_100:?}");
+        let at_10k = (
+            srcache::cost(10_000.0, 0.2, 0.001),
+            mtf::average_cost(10_000.0, 0.5),
+        );
+        assert!(
+            at_10k.0 > at_10k.1,
+            "MTF should win at N=10,000: {at_10k:?}"
+        );
+    }
+
+    #[test]
+    fn linspace_is_inclusive() {
+        let xs = linspace(0.0, 10.0, 11);
+        assert_eq!(xs.len(), 11);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[10], 10.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Analytic cost models for TCP demultiplexing under TPC/A traffic.
+//!
+//! This crate implements every equation in §3 of McKenney & Dove
+//! (SIGCOMM 1992) — the expected number of PCBs examined per received
+//! packet for each lookup algorithm — plus the numerical machinery needed
+//! to evaluate them (stable binomial sums, adaptive quadrature).
+//!
+//! | Module | Paper section | Equations |
+//! |--------|---------------|-----------|
+//! | [`bsd`] | §3.1 | Eq. 1, footnote 4's packet-train probability |
+//! | [`mtf`] | §3.2 | Eqs. 2–6 (Crowcroft's move-to-front) |
+//! | [`srcache`] | §3.3 | Eqs. 7–17 (Partridge & Pink send/receive cache) |
+//! | [`sequent`] | §3.4 | Eqs. 18–22 (hash chains with per-chain caches) |
+//! | [`tpca`] | §2 | benchmark scaling rules and think-time model |
+//! | [`figures`] | §3.5 | the data series behind Figures 4, 13 and 14 |
+//!
+//! Each model is written twice where the paper gives both forms: the
+//! *literal* form (binomial sums, integrals evaluated by quadrature) and
+//! the *closed* form we derive in the doc comments. Property tests confirm
+//! the two agree, and regression tests pin the paper's reported numbers.
+//!
+//! # Units and symbols
+//!
+//! * `n` — number of TPC/A users = number of TCP connections (paper's `N`).
+//! * `a` — per-user transaction rate; TPC/A fixes `a = 0.1/s`
+//!   ([`tpca::TXN_RATE_PER_USER`]).
+//! * `r` — response time in seconds (paper's `R`).
+//! * `d` — network round-trip time in seconds (paper's `D`).
+//! * `h` — number of hash chains (paper's `H`).
+//!
+//! All costs are in PCBs examined per received packet.
+//!
+//! # Example
+//!
+//! ```
+//! use tcpdemux_analytic::{bsd, sequent};
+//!
+//! // The paper's 200-TPS TPC/A benchmark: 2,000 users.
+//! let n = 2000.0;
+//! assert!((bsd::cost(n) - 1001.0).abs() < 0.5); // "a linear scan of 1,001 PCBs"
+//!
+//! // The Sequent algorithm with the installation default of 19 chains
+//! // and a 200 ms response time: "an average cost of ... 53.0 PCBs".
+//! let c = sequent::cost(n, 19.0, 0.2);
+//! assert!((c - 53.0).abs() < 0.1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bsd;
+pub mod figures;
+pub mod math;
+pub mod mtf;
+pub mod sequent;
+pub mod srcache;
+pub mod tpca;

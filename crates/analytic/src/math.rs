@@ -1,0 +1,289 @@
+//! Numerical machinery: adaptive quadrature and stable binomial sums.
+//!
+//! The paper's Equations 3, 5 and 6 involve sums of the form
+//! `Σ i·C(n,i)·pⁱ·(1−p)^(n−i)` with `n` up to 10,000 — far beyond what
+//! naive binomial coefficients can represent — and integrals over
+//! `[0, ∞)`. This module provides:
+//!
+//! * [`binomial_mean_literal`]: the literal weighted sum, computed by
+//!   iterating the binomial pmf in log space (no coefficient ever
+//!   materializes), used to validate the `n·p` closed form.
+//! * [`integrate`]: adaptive Simpson quadrature with error control.
+//! * [`integrate_exp_tail`]: integrals of `a·e^{−aT}·g(T)` over `[lo, ∞)`
+//!   via the substitution `u = e^{−aT}`, which maps the infinite tail onto
+//!   a finite interval exactly.
+
+/// The binomial probability mass function `C(n,i) pⁱ (1−p)^{n−i}`,
+/// computed in log space. `i ≤ n` required.
+pub fn binomial_pmf(n: u64, i: u64, p: f64) -> f64 {
+    assert!(i <= n, "i={i} > n={n}");
+    if p <= 0.0 {
+        return if i == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if i == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (-p).ln_1p();
+    ln.exp()
+}
+
+/// `ln C(n, k)` via the log-gamma function.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n);
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7,
+/// n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision for small x.
+        let pi = core::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * core::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The literal weighted sum `Σ_{i=0}^{n} i · C(n,i) pⁱ (1−p)^{n−i}`
+/// — the paper's Equation 3 with `n = N−1` — computed stably by iterating
+/// the pmf with the ratio recurrence. Mathematically equal to `n·p`.
+pub fn binomial_mean_literal(n: u64, p: f64) -> f64 {
+    if n == 0 || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return n as f64;
+    }
+    // pmf(0) in log space, then pmf(i+1)/pmf(i) = (n−i)/(i+1) · p/(1−p).
+    let ratio = p / (1.0 - p);
+    let mut ln_pmf = n as f64 * (-p).ln_1p();
+    let mut sum = 0.0;
+    let mut pmf = ln_pmf.exp();
+    for i in 0..=n {
+        sum += i as f64 * pmf;
+        if i < n {
+            let step = ((n - i) as f64 / (i + 1) as f64) * ratio;
+            ln_pmf += step.ln();
+            pmf = ln_pmf.exp();
+        }
+    }
+    sum
+}
+
+/// Adaptive Simpson quadrature of `f` over `[lo, hi]` to absolute
+/// tolerance `tol`.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> f64 {
+    assert!(hi >= lo, "inverted interval [{lo}, {hi}]");
+    assert!(tol > 0.0);
+    if lo == hi {
+        return 0.0;
+    }
+    let mid = 0.5 * (lo + hi);
+    let flo = f(lo);
+    let fmid = f(mid);
+    let fhi = f(hi);
+    let whole = simpson(lo, hi, flo, fmid, fhi);
+    adaptive(&f, lo, hi, flo, fmid, fhi, whole, tol, 50)
+}
+
+fn simpson(lo: f64, hi: f64, flo: f64, fmid: f64, fhi: f64) -> f64 {
+    (hi - lo) / 6.0 * (flo + 4.0 * fmid + fhi)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    lo: f64,
+    hi: f64,
+    flo: f64,
+    fmid: f64,
+    fhi: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let mid = 0.5 * (lo + hi);
+    let lmid = 0.5 * (lo + mid);
+    let rmid = 0.5 * (mid + hi);
+    let flmid = f(lmid);
+    let frmid = f(rmid);
+    let left = simpson(lo, mid, flo, flmid, fmid);
+    let right = simpson(mid, hi, fmid, frmid, fhi);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive(f, lo, mid, flo, flmid, fmid, left, tol / 2.0, depth - 1)
+            + adaptive(f, mid, hi, fmid, frmid, fhi, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Integrate `a·e^{−aT}·g(T)` over `[lo, ∞)` exactly as a finite integral
+/// via `u = e^{−aT}`:
+///
+/// ```text
+/// ∫_lo^∞ a e^{−aT} g(T) dT  =  ∫_0^{e^{−a·lo}} g(−ln u / a) du
+/// ```
+///
+/// `g` must be bounded on the tail for this to converge (all the paper's
+/// integrands are: they are probabilities scaled by PCB counts).
+pub fn integrate_exp_tail<G: Fn(f64) -> f64>(g: G, a: f64, lo: f64, tol: f64) -> f64 {
+    assert!(a > 0.0);
+    let hi_u = (-a * lo).exp();
+    // Avoid evaluating g at T = ∞ (u = 0): nudge the lower bound. The
+    // integrand's contribution below u = 1e-300 is negligible for bounded g.
+    integrate(|u| g(-(u.ln()) / a), 1e-300, hi_u, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11);
+        let half = core::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - half).abs() < 1e-11);
+        // Γ(171) is near the f64 overflow limit but ln Γ is fine.
+        assert!(ln_gamma(171.0).is_finite());
+        assert!(ln_gamma(2000.0).is_finite());
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 0)).abs() < 1e-10);
+        assert!((ln_choose(10, 10)).abs() < 1e-10);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (100, 0.01), (1999, 0.5), (1999, 0.999)] {
+            let total: f64 = (0..=n).map(|i| binomial_pmf(n, i, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn binomial_mean_matches_np_at_paper_scale() {
+        // Equation 3's simplification N(T) = (N−1)(1−e^{−aT}), checked at
+        // the paper's N = 2,000 and at the Figure 13 extreme N = 10,000.
+        for &(n, p) in &[
+            (1999u64, 0.01),
+            (1999, 0.3950),
+            (1999, 0.9),
+            (9999, 0.5),
+            (0, 0.5),
+            (1, 0.25),
+        ] {
+            let literal = binomial_mean_literal(n, p);
+            let closed = n as f64 * p;
+            let tol = 1e-8 * closed.max(1.0);
+            assert!(
+                (literal - closed).abs() < tol,
+                "n={n} p={p}: literal {literal} vs np {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn integrate_polynomial_exact() {
+        // Simpson is exact for cubics.
+        let got = integrate(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 1e-12);
+        let want = 4.0 - 4.0 + 2.0; // x⁴/4 − x² + x on [0,2]
+        assert!((got - want).abs() < 1e-10, "{got}");
+    }
+
+    #[test]
+    fn integrate_transcendental() {
+        let got = integrate(f64::sin, 0.0, core::f64::consts::PI, 1e-12);
+        assert!((got - 2.0).abs() < 1e-9, "{got}");
+        let got = integrate(|x| (-x).exp(), 0.0, 30.0, 1e-12);
+        assert!((got - 1.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn integrate_zero_width() {
+        assert_eq!(integrate(|x| x, 3.0, 3.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn exp_tail_total_mass() {
+        // ∫_0^∞ a e^{−aT} dT = 1 for any a.
+        for &a in &[0.1, 1.0, 10.0] {
+            let got = integrate_exp_tail(|_| 1.0, a, 0.0, 1e-12);
+            assert!((got - 1.0).abs() < 1e-9, "a={a}: {got}");
+        }
+    }
+
+    #[test]
+    fn exp_tail_from_offset() {
+        // ∫_R^∞ a e^{−aT} dT = e^{−aR}.
+        let a = 0.1;
+        let r = 0.2;
+        let got = integrate_exp_tail(|_| 1.0, a, r, 1e-12);
+        assert!((got - (-a * r).exp()).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn exp_tail_mean_of_exponential() {
+        // ∫_0^∞ a e^{−aT} · T dT = 1/a.
+        let a = 0.1;
+        let got = integrate_exp_tail(|t| t, a, 0.0, 1e-10);
+        assert!((got - 10.0).abs() < 1e-5, "{got}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binomial_mean_equals_np(n in 0u64..3000, p in 0.0f64..1.0) {
+            let literal = binomial_mean_literal(n, p);
+            let closed = n as f64 * p;
+            prop_assert!((literal - closed).abs() < 1e-7 * closed.max(1.0),
+                "literal {} vs np {}", literal, closed);
+        }
+
+        #[test]
+        fn prop_pmf_nonnegative_and_bounded(n in 0u64..500, i in 0u64..500, p in 0.0f64..1.0) {
+            prop_assume!(i <= n);
+            let v = binomial_pmf(n, i, p);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}", v);
+        }
+
+        #[test]
+        fn prop_integral_linearity(c in -10.0f64..10.0, hi in 0.1f64..20.0) {
+            let base = integrate(|x| x.cos(), 0.0, hi, 1e-10);
+            let scaled = integrate(|x| c * x.cos(), 0.0, hi, 1e-10);
+            prop_assert!((scaled - c * base).abs() < 1e-6 * (1.0 + c.abs()));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! §3.4 — The Sequent algorithm: Equations 18–22.
+//!
+//! With `H` hash chains each holding `N/H` PCBs on average and carrying a
+//! one-entry cache, a cache hit costs one probe and a miss costs one probe
+//! plus an average `(N/H + 1)/2` chain scan.
+//!
+//! The naive model (Eqs. 18–19) treats every packet like a memoryless
+//! transaction arrival:
+//!
+//! ```text
+//! C'(N,H) = 1 + (N−H)/N · (N/H + 1)/2 = C_BSD(N/H)
+//! ```
+//!
+//! The refined model observes that the response-time interval is often
+//! *quiet on the target's chain* — with probability (Eq. 20)
+//! `p = e^{−2aR(N/H − 1)}` no other packet hashes there — in which case
+//! the acknowledgement is a guaranteed cache hit (Eq. 21). Half the
+//! packets are acknowledgements, so (Eq. 22):
+//!
+//! ```text
+//! C(N,H,R) = ½·C'(N,H) + ½·[p + (1−p)·(N/H + 1)/2]
+//! ```
+//!
+//! **Accounting note.** Equation 21 as printed charges a missing
+//! acknowledgement `(N/H+1)/2` *without* the extra cache probe that
+//! Equation 18 charges transaction misses; reproducing the paper's
+//! reported 53.0 requires following that convention, which we do (the
+//! difference is under 1 % at the paper's scale).
+
+use crate::tpca::TXN_RATE_PER_USER as A;
+
+/// Per-chain occupancy `N/H`.
+fn per_chain(n: f64, h: f64) -> f64 {
+    assert!(
+        n >= 1.0 && h >= 1.0 && h <= n,
+        "need 1 ≤ H ≤ N (n={n}, h={h})"
+    );
+    n / h
+}
+
+/// Equations 18–19: the naive cost model — BSD applied to a chain of
+/// `N/H` PCBs.
+pub fn naive_cost(n: f64, h: f64) -> f64 {
+    let m = per_chain(n, h);
+    1.0 + (n - h) / n * (m + 1.0) / 2.0
+}
+
+/// The cache hit rate `H/N` ("just over 0.95 % given the installation
+/// default of 19 hash chains" at 2,000 users).
+pub fn hit_rate(n: f64, h: f64) -> f64 {
+    per_chain(n, h).recip()
+}
+
+/// Equation 20: probability that no other packet arrives on the target's
+/// chain during the response-time interval, leaving the cached PCB in
+/// place for the acknowledgement.
+pub fn quiet_probability(n: f64, h: f64, r: f64) -> f64 {
+    assert!(r >= 0.0);
+    (-2.0 * A * r * (per_chain(n, h) - 1.0)).exp()
+}
+
+/// Equation 21: expected PCBs examined by an acknowledgement packet.
+pub fn ack_cost(n: f64, h: f64, r: f64) -> f64 {
+    let p = quiet_probability(n, h, r);
+    let m = per_chain(n, h);
+    p + (1.0 - p) * (m + 1.0) / 2.0
+}
+
+/// Equation 22: the overall expected PCBs examined per received packet —
+/// the mean of the transaction cost (Eq. 19) and the acknowledgement cost
+/// (Eq. 21).
+pub fn cost(n: f64, h: f64, r: f64) -> f64 {
+    0.5 * (naive_cost(n, h) + ack_cost(n, h, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_number_53_0() {
+        // "This equation yields an average cost of a linear scan of 53.0
+        // PCBs for a 200 TPC/A TPS benchmark with 19 hash chains and a
+        // 200-millisecond response time."
+        let got = cost(2000.0, 19.0, 0.2);
+        assert!((got - 53.0).abs() < 0.1, "{got}");
+    }
+
+    #[test]
+    fn paper_number_53_6_naive() {
+        // "In contrast, Equation 19 predicts 53.6 for a little more than
+        // 1% error."
+        let got = naive_cost(2000.0, 19.0);
+        assert!((got - 53.6).abs() < 0.1, "{got}");
+        let err = (got - cost(2000.0, 19.0, 0.2)) / cost(2000.0, 19.0, 0.2);
+        assert!((0.01..0.02).contains(&err), "error {err}");
+    }
+
+    #[test]
+    fn paper_number_hit_rate() {
+        // "The hit rate for the PCB cache is H/N ... just over 0.95%."
+        let rate = hit_rate(2000.0, 19.0);
+        assert!((rate - 0.0095).abs() < 0.0001, "{rate}");
+    }
+
+    #[test]
+    fn paper_quiet_probabilities() {
+        // "This probability is about 1.5% for a 2000-user benchmark with a
+        // 200-millisecond response time and 19 hash chains."
+        let p19 = quiet_probability(2000.0, 19.0, 0.2);
+        assert!((p19 - 0.015).abs() < 0.001, "{p19}");
+        // "if the number of hash chains is increased to 51, the
+        // probability increases to almost 21%."
+        let p51 = quiet_probability(2000.0, 51.0, 0.2);
+        assert!((0.20..0.22).contains(&p51), "{p51}");
+    }
+
+    #[test]
+    fn paper_number_h100_under_9() {
+        // §3.5: "if the number of hash chains ... is increased from 19 to
+        // 100, the average number of PCBs searched drops from 53 to less
+        // than 9."
+        let c = cost(2000.0, 100.0, 0.2);
+        assert!(c < 9.0, "{c}");
+        assert!(c > 5.0, "{c}");
+    }
+
+    #[test]
+    fn error_grows_with_more_chains() {
+        // "The error ... exceed[s] 10% if 51 hash chains are substituted."
+        let naive = naive_cost(2000.0, 51.0);
+        let exact = cost(2000.0, 51.0, 0.2);
+        let err = (naive - exact) / exact;
+        assert!(err > 0.10, "error {err}");
+    }
+
+    #[test]
+    fn h_equals_one_is_bsd() {
+        // Equation 19 with H = 1 must be exactly Equation 1.
+        for n in [2.0, 100.0, 2000.0, 10_000.0] {
+            let seq = naive_cost(n, 1.0);
+            let bsd = crate::bsd::cost(n);
+            assert!((seq - bsd).abs() < 1e-9, "n={n}: {seq} vs {bsd}");
+        }
+    }
+
+    #[test]
+    fn order_of_magnitude_better_than_alternatives() {
+        // The paper's headline comparison at N = 2,000, R = 0.2 s, D = 1 ms.
+        let seq = cost(2000.0, 19.0, 0.2);
+        let bsd = crate::bsd::cost(2000.0);
+        let mtf = crate::mtf::average_cost(2000.0, 0.2);
+        let sr = crate::srcache::cost(2000.0, 0.2, 0.001);
+        assert!(bsd / seq > 10.0, "vs BSD: {}", bsd / seq);
+        assert!(mtf / seq > 10.0, "vs MTF: {}", mtf / seq);
+        assert!(sr / seq > 10.0, "vs SR: {}", sr / seq);
+    }
+
+    #[test]
+    fn naive_approaches_n_over_2h() {
+        // "approaching N/2H for large N."
+        let n = 1.0e6;
+        let h = 19.0;
+        let ratio = naive_cost(n, h) / (n / (2.0 * h));
+        assert!((ratio - 1.0).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn ack_cost_limits() {
+        // As the chain empties (H → N) every ack hits the cache.
+        assert!((ack_cost(2000.0, 2000.0, 0.2) - 1.0).abs() < 1e-9);
+        // As R → 0 the quiet probability → 1: guaranteed hit.
+        assert!((ack_cost(2000.0, 19.0, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// More chains never cost more (for fixed N, R).
+        #[test]
+        fn prop_monotone_in_h(h in 1.0f64..999.0, dh in 1.0f64..100.0) {
+            let n = 2000.0;
+            prop_assert!(cost(n, h + dh, 0.2) <= cost(n, h, 0.2) + 1e-9);
+        }
+
+        /// Refined cost never exceeds the naive cost (the quiet interval
+        /// can only help), and both are at least 1.
+        #[test]
+        fn prop_refined_bounded_by_naive(
+            n in 19.0f64..20_000.0,
+            r in 0.0f64..2.0,
+        ) {
+            let h = 19.0;
+            let refined = cost(n, h, r);
+            let naive = naive_cost(n, h);
+            prop_assert!(refined <= naive + 1e-9);
+            prop_assert!(refined >= 1.0 - 1e-9);
+        }
+    }
+}

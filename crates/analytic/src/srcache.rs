@@ -1,0 +1,242 @@
+//! §3.3 — Partridge & Pink's last-sent/last-received cache: Equations 7–17.
+//!
+//! Three mutually exclusive packet classes are analyzed, each with its own
+//! probability that the target user's cache entries survived the interval
+//! since his last packet:
+//!
+//! * **Case 1** (`T > R + D`, Eq. 8–11): a long think time gives the other
+//!   `N − 1` users a window of `T + R + D` to flush both caches;
+//!   `p₁ = e^{−a(T+R+D)(N−1)}`.
+//! * **Case 2** (`T ≤ R + D`, Eq. 12–14): the window is `2T`;
+//!   `p₂ = e^{−2aT(N−1)}`.
+//! * **Case 3** (acknowledgements, Eq. 15–16): two windows of length `D`;
+//!   `p_a = e^{−2aD(N−1)}`.
+//!
+//! A surviving cache costs one probe; a flush costs `(N+5)/2` (two cache
+//! probes plus the average `(N+1)/2` scan). Integrating over the
+//! exponential think time (Eqs. 10 and 13):
+//!
+//! ```text
+//! N₁ = (N+5)/2·e^{−a(R+D)} − (N+3)/(2N)·e^{−a(R+D)(2N−1)}
+//! N₂ = (N+5)/2·(1−e^{−a(R+D)}) − (N+3)/(2(2N−1))·(1−e^{−a(R+D)(2N−1)})
+//! N_a = (N+5)/2 − (N+3)/2·e^{−2aD(N−1)}
+//! ```
+//!
+//! and the per-packet average (Eq. 7) is `(N₁ + N₂ + N_a)/2`.
+//!
+//! **Transcription note.** Equation 11 as printed in the scanned paper
+//! shows the second coefficient as `(N+3)/aN`; integrating Eq. 10 gives
+//! `(N+3)/(2N)` (the `a` of the density cancels against the `1/(aN)` of
+//! the antiderivative, leaving no stray `a`). Our form reproduces the
+//! paper's reported row — 667/993/1002 PCBs for D = 1/10/100 ms — so the
+//! printed `aN` is an OCR artifact of `2N`.
+
+use crate::math::{integrate, integrate_exp_tail};
+use crate::tpca::TXN_RATE_PER_USER as A;
+
+/// Equation 8: probability that the target's cache entries survive a
+/// think time `t > r + d`.
+pub fn p1(n: f64, t: f64, r: f64, d: f64) -> f64 {
+    (-A * (t + r + d) * (n - 1.0)).exp()
+}
+
+/// Equation 12: survival probability for `t ≤ r + d`.
+pub fn p2(n: f64, t: f64) -> f64 {
+    (-2.0 * A * t * (n - 1.0)).exp()
+}
+
+/// Equation 15: survival probability for the acknowledgement's send-cache
+/// entry.
+pub fn pa(n: f64, d: f64) -> f64 {
+    (-2.0 * A * d * (n - 1.0)).exp()
+}
+
+/// The full-miss penalty `(N+5)/2`: both caches plus the average scan.
+pub fn miss_penalty(n: f64) -> f64 {
+    (n + 5.0) / 2.0
+}
+
+/// Equation 11 (closed form, re-derived; see module docs): expected PCBs
+/// examined for transaction arrivals with `T > R + D`.
+pub fn n1(n: f64, r: f64, d: f64) -> f64 {
+    assert!(n >= 1.0 && r >= 0.0 && d >= 0.0);
+    let x = A * (r + d);
+    (n + 5.0) / 2.0 * (-x).exp() - (n + 3.0) / (2.0 * n) * (-x * (2.0 * n - 1.0)).exp()
+}
+
+/// Equation 10 evaluated by quadrature (the literal integral), to validate
+/// [`n1`].
+pub fn n1_quadrature(n: f64, r: f64, d: f64) -> f64 {
+    integrate_exp_tail(
+        |t| {
+            let p = p1(n, t, r, d);
+            p + (1.0 - p) * miss_penalty(n)
+        },
+        A,
+        r + d,
+        1e-10,
+    )
+}
+
+/// Equation 14: expected PCBs examined for transaction arrivals with
+/// `T ≤ R + D`.
+pub fn n2(n: f64, r: f64, d: f64) -> f64 {
+    assert!(n >= 1.0 && r >= 0.0 && d >= 0.0);
+    let x = A * (r + d);
+    (n + 5.0) / 2.0 * (-(-x).exp_m1())
+        - (n + 3.0) / (2.0 * (2.0 * n - 1.0)) * (-(-x * (2.0 * n - 1.0)).exp_m1())
+}
+
+/// Equation 13 evaluated by quadrature, to validate [`n2`].
+pub fn n2_quadrature(n: f64, r: f64, d: f64) -> f64 {
+    integrate(
+        |t| {
+            let p = p2(n, t);
+            A * (-A * t).exp() * (p + (1.0 - p) * miss_penalty(n))
+        },
+        0.0,
+        r + d,
+        1e-10,
+    )
+}
+
+/// Equation 16: expected PCBs examined for acknowledgement arrivals.
+pub fn na(n: f64, d: f64) -> f64 {
+    assert!(n >= 1.0 && d >= 0.0);
+    (n + 5.0) / 2.0 - (n + 3.0) / 2.0 * pa(n, d)
+}
+
+/// Equations 7 and 17: the overall expected PCBs examined per received
+/// packet — half the packets are transactions (cases 1 and 2 combined),
+/// half are acknowledgements.
+pub fn cost(n: f64, r: f64, d: f64) -> f64 {
+    0.5 * (n1(n, r, d) + n2(n, r, d) + na(n, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_row_667_993_1002() {
+        // "Solving this numerically for 2,000 users and round-trip delays
+        // of 1, 10, and 100 milliseconds gives average search lengths of
+        // 667, 993, and 1002 PCBs, respectively." (R = 0.2 s.)
+        for (d, expected) in [(0.001, 667.0), (0.01, 993.0), (0.1, 1002.0)] {
+            let got = cost(2000.0, 0.2, d);
+            assert!(
+                (got - expected).abs() < 1.0,
+                "D={d}: got {got}, paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn insensitive_to_response_time_at_large_n() {
+        // "The algorithm is extremely insensitive to the value of R for
+        // large values of N."
+        let base = cost(2000.0, 0.2, 0.01);
+        for r in [0.5, 1.0, 2.0] {
+            let c = cost(2000.0, r, 0.01);
+            assert!((c - base).abs() / base < 0.02, "R={r}: {c} vs base {base}");
+        }
+    }
+
+    #[test]
+    fn approaches_miss_penalty_for_large_n() {
+        // Equation 17 "approaches (N+5)/2 as N increases".
+        let n = 50_000.0;
+        let c = cost(n, 0.2, 0.01);
+        assert!((c - miss_penalty(n)).abs() / miss_penalty(n) < 0.01, "{c}");
+    }
+
+    #[test]
+    fn na_limits() {
+        // As D → 0 (or N → 1) the acknowledgement cost approaches one
+        // probe; as D grows it approaches the miss penalty.
+        assert!((na(2000.0, 0.0) - 1.0).abs() < 1e-9);
+        assert!((na(1.0, 5.0) - 1.0).abs() < 1e-9);
+        let large_d = na(2000.0, 10.0);
+        assert!((large_d - miss_penalty(2000.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadrature_validates_n1() {
+        for n in [10.0, 200.0, 2000.0] {
+            for (r, d) in [(0.2, 0.001), (0.5, 0.01), (2.0, 0.1)] {
+                let closed = n1(n, r, d);
+                let quad = n1_quadrature(n, r, d);
+                assert!(
+                    (closed - quad).abs() < 1e-4 * closed.abs().max(1.0),
+                    "n={n} r={r} d={d}: {closed} vs {quad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_validates_n2() {
+        for n in [10.0, 200.0, 2000.0] {
+            for (r, d) in [(0.2, 0.001), (0.5, 0.01), (2.0, 0.1)] {
+                let closed = n2(n, r, d);
+                let quad = n2_quadrature(n, r, d);
+                assert!(
+                    (closed - quad).abs() < 1e-4 * closed.abs().max(1.0),
+                    "n={n} r={r} d={d}: {closed} vs {quad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn better_than_bsd_for_small_n() {
+        // Figure 14's message: for small user counts the send/receive
+        // cache clearly beats BSD...
+        for n in [10.0, 50.0, 100.0] {
+            assert!(cost(n, 0.2, 0.001) < crate::bsd::cost(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn asymptotically_approaches_bsd_for_large_n() {
+        // ...and asymptotically approaches BSD's performance for large N
+        // (Figure 13). At N = 10,000, D = 10 ms the two are within a few
+        // percent.
+        let n = 10_000.0;
+        let sr = cost(n, 0.2, 0.01);
+        let bsd = crate::bsd::cost(n);
+        assert!((sr - bsd).abs() / bsd < 0.05, "sr={sr} bsd={bsd}");
+    }
+
+    #[test]
+    fn survival_probabilities_are_probabilities() {
+        for &t in &[0.0, 0.1, 10.0] {
+            for &n in &[1.0, 2.0, 2000.0] {
+                for &x in &[0.0, 0.01, 1.0] {
+                    for p in [p1(n, t, 0.2, x), p2(n, t), pa(n, x)] {
+                        assert!((0.0..=1.0).contains(&p));
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Cost increases with round-trip delay: more time for another
+        /// user's packets to flush the caches.
+        #[test]
+        fn prop_monotone_in_d(d in 0.0f64..0.2, dd in 1e-4f64..0.1) {
+            let n = 2000.0;
+            prop_assert!(cost(n, 0.2, d + dd) >= cost(n, 0.2, d) - 1e-9);
+        }
+
+        /// The average lies between 1 (all hits) and the miss penalty.
+        #[test]
+        fn prop_bounded(n in 2.0f64..20_000.0, r in 0.01f64..2.0, d in 0.0f64..0.5) {
+            let c = cost(n, r, d);
+            prop_assert!(c >= 1.0 - 1e-9, "{}", c);
+            prop_assert!(c <= miss_penalty(n) + 1e-9, "{}", c);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! §2 — The TPC/A benchmark's communications model.
+//!
+//! TPC/A simulates bank tellers entering transactions. What matters to the
+//! demultiplexer is only the *traffic shape*, which the benchmark pins
+//! down precisely:
+//!
+//! * at least **10 users per TPS** (a 200-TPS run has ≥ 2,000 users);
+//! * each user cycles: enter transaction → wait for the response → think;
+//! * think time is drawn from a truncated negative-exponential
+//!   distribution with mean ≥ 10 s and truncation point ≥ 10× the mean;
+//! * each transaction costs the server exactly **two received packets**
+//!   (the query and the transport-level ack of the response) and two sent
+//!   packets (the query's ack and the response).
+//!
+//! The paper models the think time as an untruncated exponential; this
+//! module quantifies why that is safe (the neglected tail is 0.0045 % of
+//! the values and < 0.05 % of the total think time).
+
+/// Per-user transaction rate `a` implied by the 10-users-per-TPS scaling
+/// rule: 0.1 transactions per second (one per 10 s think time).
+pub const TXN_RATE_PER_USER: f64 = 0.1;
+
+/// The TPC/A scaling minimum: users per TPS.
+pub const USERS_PER_TPS: f64 = 10.0;
+
+/// Default mean think time in seconds.
+pub const MEAN_THINK_TIME: f64 = 10.0;
+
+/// Truncation point of the think-time distribution, as a multiple of the
+/// mean.
+pub const TRUNCATION_MULTIPLE: f64 = 10.0;
+
+/// Packets *received by the server* per transaction: the query and the
+/// transport-level acknowledgement of the response.
+pub const SERVER_RX_PACKETS_PER_TXN: f64 = 2.0;
+
+/// A TPC/A benchmark configuration, from the demultiplexer's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpcaConfig {
+    /// Number of simulated users (= TCP connections at the server).
+    pub users: u32,
+    /// Response time `R` in seconds (transaction entry to response).
+    pub response_time: f64,
+    /// Network round-trip time `D` in seconds.
+    pub round_trip: f64,
+}
+
+impl TpcaConfig {
+    /// The paper's running example: a 200-TPS benchmark — 2,000 users,
+    /// 200 ms response time, 10 ms round trip.
+    pub fn paper_default() -> Self {
+        Self {
+            users: 2000,
+            response_time: 0.2,
+            round_trip: 0.01,
+        }
+    }
+
+    /// Construct from a transaction rate using the minimum-users rule.
+    pub fn from_tps(tps: f64, response_time: f64, round_trip: f64) -> Self {
+        Self {
+            users: (tps * USERS_PER_TPS).ceil() as u32,
+            response_time,
+            round_trip,
+        }
+    }
+
+    /// The transaction rate this configuration sustains (TPS).
+    pub fn tps(&self) -> f64 {
+        f64::from(self.users) / USERS_PER_TPS
+    }
+
+    /// Aggregate packet arrival rate at the server (packets/second).
+    pub fn server_rx_rate(&self) -> f64 {
+        self.tps() * SERVER_RX_PACKETS_PER_TXN
+    }
+
+    /// Whether the configuration satisfies the TPC/A validity rules used
+    /// in the paper's analysis (≥ 10 users/TPS, response time ≤ 2 s).
+    pub fn is_valid(&self) -> bool {
+        self.response_time > 0.0 && self.response_time <= 2.0 && self.users >= 1
+    }
+}
+
+/// Fraction of think-time draws that exceed the truncation point and are
+/// therefore "neglected" by the untruncated model: `e^{−10}` ≈ 0.0045 %.
+pub fn neglected_fraction() -> f64 {
+    (-TRUNCATION_MULTIPLE).exp()
+}
+
+/// Fraction of the *total think time* carried by the neglected tail:
+/// `∫_{10m}^∞ t·(1/m)e^{−t/m} dt / m = 11·e^{−10}` ≈ 0.05 %, comfortably
+/// under the paper's "less than 0.4 %" bound.
+pub fn neglected_time_fraction() -> f64 {
+    (TRUNCATION_MULTIPLE + 1.0) * (-TRUNCATION_MULTIPLE).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_200_tps() {
+        let cfg = TpcaConfig::paper_default();
+        assert_eq!(cfg.users, 2000);
+        assert!((cfg.tps() - 200.0).abs() < 1e-12);
+        assert!((cfg.server_rx_rate() - 400.0).abs() < 1e-12);
+        assert!(cfg.is_valid());
+    }
+
+    #[test]
+    fn from_tps_applies_scaling_rule() {
+        let cfg = TpcaConfig::from_tps(200.0, 0.2, 0.01);
+        assert_eq!(cfg.users, 2000);
+        let cfg = TpcaConfig::from_tps(12.5, 0.5, 0.001);
+        assert_eq!(cfg.users, 125);
+    }
+
+    #[test]
+    fn validity_rules() {
+        let mut cfg = TpcaConfig::paper_default();
+        cfg.response_time = 2.0;
+        assert!(cfg.is_valid());
+        cfg.response_time = 2.5; // over the 90th-percentile limit
+        assert!(!cfg.is_valid());
+        cfg.response_time = 0.0;
+        assert!(!cfg.is_valid());
+    }
+
+    #[test]
+    fn truncation_is_negligible_as_the_paper_claims() {
+        // "only 0.004% of the values are neglected on average"
+        let frac = neglected_fraction();
+        assert!((3.0e-5..6.0e-5).contains(&frac), "{frac}");
+        // "...and they sum to less than 0.4% of the total think time"
+        let time_frac = neglected_time_fraction();
+        assert!(time_frac < 0.004, "{time_frac}");
+        assert!(time_frac > 0.0);
+    }
+
+    #[test]
+    fn txn_rate_is_inverse_mean_think_time() {
+        assert!((TXN_RATE_PER_USER - 1.0 / MEAN_THINK_TIME).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! A1 — wall-clock cost per lookup for every algorithm, across connection
+//! counts. The paper's metric (PCBs examined) is a surrogate for memory
+//! traffic; this bench closes the loop by measuring actual nanoseconds on
+//! the real data structures under OLTP-style (train-free) access patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcpdemux_core::{
+    AdaptiveDemux, BsdDemux, Demux, DirectDemux, HashedMtfDemux, MtfDemux, PacketKind,
+    SendRecvDemux, SequentDemux,
+};
+use tcpdemux_hash::{quality::tpca_key_population, Multiplicative};
+use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena};
+
+fn populate(demux: &mut dyn Demux, keys: &[ConnectionKey]) {
+    let mut arena = PcbArena::with_capacity(keys.len());
+    for &key in keys {
+        let id = arena.insert(Pcb::new(key));
+        demux.insert(key, id);
+    }
+    std::mem::forget(arena); // PCBs must outlive the bench iterations
+}
+
+/// A permuted visiting order with no trains (stride coprime to n).
+fn access_pattern(keys: &[ConnectionKey]) -> Vec<ConnectionKey> {
+    let n = keys.len();
+    (0..n).map(|i| keys[(i * 7919) % n]).collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    for &n in &[100usize, 1000, 2000] {
+        let keys = tpca_key_population(n);
+        let pattern = access_pattern(&keys);
+        let mut group = c.benchmark_group(format!("lookup/oltp/n={n}"));
+
+        let algorithms: Vec<Box<dyn Demux>> = vec![
+            Box::new(BsdDemux::new()),
+            Box::new(MtfDemux::new()),
+            Box::new(SendRecvDemux::new()),
+            Box::new(SequentDemux::new(Multiplicative, 19)),
+            Box::new(SequentDemux::new(Multiplicative, 100)),
+            Box::new(SequentDemux::new(Multiplicative, 19).without_cache()),
+            Box::new(HashedMtfDemux::new(Multiplicative, 19)),
+            Box::new(AdaptiveDemux::new(Multiplicative, 19, 8)),
+            Box::new(DirectDemux::new()),
+        ];
+        for mut demux in algorithms {
+            populate(demux.as_mut(), &keys);
+            let name = demux.name();
+            let mut cursor = 0usize;
+            group.bench_function(BenchmarkId::from_parameter(&name), |b| {
+                b.iter(|| {
+                    let key = &pattern[cursor];
+                    cursor = (cursor + 1) % pattern.len();
+                    black_box(demux.lookup(black_box(key), PacketKind::Data))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_packet_trains(c: &mut Criterion) {
+    // The cache-friendly regime: repeated lookups of one connection.
+    let keys = tpca_key_population(2000);
+    let mut group = c.benchmark_group("lookup/train/n=2000");
+    let algorithms: Vec<Box<dyn Demux>> = vec![
+        Box::new(BsdDemux::new()),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+        Box::new(DirectDemux::new()),
+    ];
+    for mut demux in algorithms {
+        populate(demux.as_mut(), &keys);
+        let name = demux.name();
+        let hot = keys[1234];
+        demux.lookup(&hot, PacketKind::Data); // prime the cache
+        group.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| black_box(demux.lookup(black_box(&hot), PacketKind::Data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_packet_trains);
+criterion_main!(benches);

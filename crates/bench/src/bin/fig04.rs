@@ -1,0 +1,14 @@
+//! F4 — regenerate Figure 4: `N(T)` for 2,000 TPC/A users.
+//!
+//! Pass `--csv <path>` to also write the curve as CSV for plotting.
+
+use tcpdemux_analytic::figures;
+
+fn main() {
+    println!("Figure 4: expected number of other users entering transactions");
+    println!("within a given user's think time (Equation 3, N = 2,000)\n");
+    println!("{}", tcpdemux_bench::experiments::fig04().render());
+    let series = vec![figures::figure_4(201)];
+    tcpdemux_bench::experiments::maybe_write_csv(&series).expect("write CSV");
+    println!("Paper shape: rises from 0, ~1264 at T = 10 s, saturates toward 2,000 by T = 50 s.");
+}

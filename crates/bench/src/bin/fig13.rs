@@ -1,0 +1,21 @@
+//! F13 — regenerate Figure 13: cost vs. connections up to 10,000.
+//!
+//! Pass `--csv <path>` to also write the series as CSV for plotting
+//! (e.g. `gnuplot -e "set datafile separator ','; plot for [i=2:7]
+//! 'fig13.csv' using 1:i with lines title columnheader"`).
+
+use tcpdemux_analytic::figures;
+
+fn main() {
+    println!("Figure 13: comparison of TCP demultiplexing algorithms");
+    println!("(expected PCBs searched vs. number of TPC/A connections)\n");
+    println!(
+        "{}",
+        tcpdemux_bench::experiments::figure_table(false, 21).render()
+    );
+    let series = figures::figure_13(201);
+    tcpdemux_bench::experiments::maybe_write_csv(&series).expect("write CSV");
+    println!("Expected shape: BSD ≈ N/2; SR 1 approaches BSD from below;");
+    println!("MTF 1.0 > MTF 0.5 > MTF 0.2, all below BSD; SEQUENT an order");
+    println!("of magnitude below everything.");
+}

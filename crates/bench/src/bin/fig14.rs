@@ -1,0 +1,17 @@
+//! F14 — regenerate Figure 14: the detail view up to 1,000 connections.
+//!
+//! Pass `--csv <path>` to also write the series as CSV for plotting.
+
+use tcpdemux_analytic::figures;
+
+fn main() {
+    println!("Figure 14: comparison detail (to 1,000 connections, adds SR 10)\n");
+    println!(
+        "{}",
+        tcpdemux_bench::experiments::figure_table(true, 21).render()
+    );
+    let series = figures::figure_14(201);
+    tcpdemux_bench::experiments::maybe_write_csv(&series).expect("write CSV");
+    println!("Expected shape: SR 1 between MTF 0.5 and MTF 0.2 in this range;");
+    println!("SR 10 between SR 1 and BSD; SEQUENT lowest everywhere.");
+}

@@ -1,0 +1,13 @@
+//! A2 — hash-function quality on realistic key populations.
+
+use tcpdemux_bench::experiments::hash_quality;
+
+fn main() {
+    for (keys, chains) in [(2_000usize, 19usize), (2_000, 100), (50_000, 499)] {
+        println!("Hash quality: {keys} TPC/A connection keys over {chains} chains\n");
+        println!("{}", hash_quality(keys, chains).render());
+        println!();
+    }
+    println!("'balance' is (ideal search cost)/(observed); 1.00 = perfectly uniform.");
+    println!("remote-port-only is the deliberate negative control (bit extraction).");
+}

@@ -1,0 +1,17 @@
+//! T5 — the §3.5 chain-count sweep, analytic and simulated.
+//!
+//! Pass `--fast` to skip the simulation column.
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("Table T5: hash-chain count sweep at N = 2,000, R = 0.2 s (paper §3.5)");
+    println!("\"increasing the number of hash chains from 19 to 100 drops the");
+    println!("average from 53 to less than 9\"\n");
+    println!(
+        "{}",
+        tcpdemux_bench::experiments::sweep_chains(!fast).render()
+    );
+    if fast {
+        println!("(simulation column skipped; rerun without --fast)");
+    }
+}

@@ -1,0 +1,9 @@
+//! T1 — regenerate the §3.1 BSD numbers.
+
+fn main() {
+    println!("Table T1: the BSD algorithm under TPC/A (paper §3.1)");
+    println!("{}\n", tcpdemux_bench::experiments::context_line());
+    println!("{}", tcpdemux_bench::experiments::table_bsd().render());
+    println!("* the scanned paper prints \"1.9e-3\"; the footnote's own arithmetic");
+    println!("  (0.96^1999) gives 1.9e-35 — see DESIGN.md transcription notes.");
+}

@@ -1,0 +1,9 @@
+//! T2 — regenerate the §3.2 move-to-front numbers.
+
+fn main() {
+    println!("Table T2: Crowcroft's move-to-front under TPC/A (paper §3.2)");
+    println!("{}\n", tcpdemux_bench::experiments::context_line());
+    println!("{}", tcpdemux_bench::experiments::table_mtf().render());
+    println!("Paper rows: entry 1019/1045/1086/1150, ack 78/190/362/659,");
+    println!("average 549/618/724/904 for R = 0.2/0.5/1.0/2.0 s. BSD is 1001 flat.");
+}

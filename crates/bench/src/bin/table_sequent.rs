@@ -1,0 +1,7 @@
+//! T4 — regenerate the §3.4 Sequent-algorithm numbers.
+
+fn main() {
+    println!("Table T4: the Sequent hashed algorithm (paper §3.4)");
+    println!("{}\n", tcpdemux_bench::experiments::context_line());
+    println!("{}", tcpdemux_bench::experiments::table_sequent().render());
+}

@@ -1,0 +1,8 @@
+//! T3 — regenerate the §3.3 last-sent/last-received cache numbers.
+
+fn main() {
+    println!("Table T3: Partridge & Pink's send/receive cache (paper §3.3)");
+    println!("{}\n", tcpdemux_bench::experiments::context_line());
+    println!("{}", tcpdemux_bench::experiments::table_srcache().render());
+    println!("Paper row: 667 / 993 / 1002 PCBs for D = 1 / 10 / 100 ms.");
+}

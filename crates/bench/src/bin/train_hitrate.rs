@@ -1,0 +1,8 @@
+//! A4 — packet-train traffic: the BSD cache's home turf.
+
+fn main() {
+    println!("Packet-train workload (bulk transfer): one-entry caches recover,");
+    println!("and the hashed structure does not lose (paper abstract: \"while");
+    println!("still maintaining good performance for packet-train traffic\")\n");
+    println!("{}", tcpdemux_bench::experiments::train_hitrate().render());
+}

@@ -1,0 +1,27 @@
+//! Experiment harness: everything needed to regenerate the paper's tables
+//! and figures, shared between the reporting binaries (`src/bin/*`), the
+//! Criterion wall-clock benches (`benches/*`), and the regression tests.
+//!
+//! Experiment index (see DESIGN.md for the full mapping):
+//!
+//! | ID | Artifact | Binary |
+//! |----|----------|--------|
+//! | F4 | Figure 4 — `N(T)` curve | `fig04` |
+//! | T1 | §3.1 BSD numbers | `table_bsd` |
+//! | T2 | §3.2 move-to-front table | `table_mtf` |
+//! | T3 | §3.3 send/receive-cache row | `table_srcache` |
+//! | T4 | §3.4 Sequent numbers | `table_sequent` |
+//! | F13 | Figure 13 — cost vs. connections (to 10,000) | `fig13` |
+//! | F14 | Figure 14 — detail (to 1,000) | `fig14` |
+//! | T5 | §3.5 chain-count sweep | `sweep_chains` |
+//! | T6 | simulation vs. analysis | `sim_vs_analytic` |
+//! | A2 | hash-quality ablation | `hash_quality` |
+//! | A4 | packet-train hit rates | `train_hitrate` |
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,110 @@
+//! §3.5 — The connection-ID strawman: direct indexing.
+//!
+//! TP4, X.25, and XTP negotiate small-integer connection IDs carried in
+//! every packet header, which the receiver uses to index an array of PCBs
+//! directly — no search at all. The paper argues that cheap hashing removes
+//! the motivation for adding such IDs to TCP. This implementation provides
+//! the ideal: every lookup examines exactly one PCB. It stands in for the
+//! protocol-with-connection-IDs upper bound in the comparison benchmarks.
+//!
+//! Internally it keeps a sorted map from key to handle — but per the
+//! paper's cost model the *counted* work is the single direct probe,
+//! because a real connection-ID protocol would carry the array index in
+//! the packet. The map stands in for the negotiation machinery.
+
+use crate::stats::LookupStats;
+use crate::{Demux, LookupResult, PacketKind};
+use std::collections::BTreeMap;
+use tcpdemux_pcb::{ConnectionKey, PcbId};
+
+/// Direct-indexed PCB lookup (connection-ID protocols).
+#[derive(Debug, Default)]
+pub struct DirectDemux {
+    map: BTreeMap<ConnectionKey, PcbId>,
+    stats: LookupStats,
+}
+
+impl DirectDemux {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Demux for DirectDemux {
+    fn insert(&mut self, key: ConnectionKey, id: PcbId) {
+        self.map.insert(key, id);
+    }
+
+    fn remove(&mut self, key: &ConnectionKey) -> Option<PcbId> {
+        self.map.remove(key)
+    }
+
+    fn lookup(&mut self, key: &ConnectionKey, _kind: PacketKind) -> LookupResult {
+        match self.map.get(key) {
+            Some(&id) => {
+                self.stats.record(1, true, false);
+                LookupResult {
+                    pcb: Some(id),
+                    examined: 1,
+                    cache_hit: false,
+                }
+            }
+            None => {
+                // A bad connection ID indexes an empty slot: one probe.
+                self.stats.record(1, false, false);
+                LookupResult::miss(1)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn name(&self) -> String {
+        "direct-index".to_string()
+    }
+
+    fn stats(&self) -> &LookupStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = LookupStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{key, populate};
+    use tcpdemux_pcb::PcbArena;
+
+    #[test]
+    fn every_lookup_costs_exactly_one() {
+        let mut arena = PcbArena::new();
+        let mut demux = DirectDemux::new();
+        let ids = populate(&mut demux, &mut arena, 1000);
+        for i in 0..1000u32 {
+            let r = demux.lookup(&key(i), PacketKind::Data);
+            assert_eq!(r.pcb, Some(ids[i as usize]));
+            assert_eq!(r.examined, 1);
+        }
+        let r = demux.lookup(&key(10_000), PacketKind::Ack);
+        assert_eq!(r.pcb, None);
+        assert_eq!(r.examined, 1);
+        assert!((demux.stats().mean_examined() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut arena = PcbArena::new();
+        let mut demux = DirectDemux::new();
+        let _ = populate(&mut demux, &mut arena, 2);
+        let new_id = arena.insert(tcpdemux_pcb::Pcb::new(key(0)));
+        demux.insert(key(0), new_id);
+        assert_eq!(demux.len(), 2);
+        assert_eq!(demux.lookup(&key(0), PacketKind::Data).pcb, Some(new_id));
+    }
+}

@@ -1,0 +1,256 @@
+//! A power-of-two histogram of per-lookup costs.
+//!
+//! The mean hides the paper's §3.4 pitfall — "the hit ratio is only part
+//! of the story; ... the miss penalty dominates" — a structure can have
+//! a wonderful average with a terrible tail. This histogram records each
+//! lookup's examined count in log₂ buckets so experiments can report
+//! p50/p90/p99/max alongside the mean.
+
+use core::fmt;
+
+/// Number of log₂ buckets: bucket `i` holds values in `[2^(i−1), 2^i)`,
+/// bucket 0 holds the value 0, bucket 1 holds the value 1. 32 buckets
+/// cover the full `u32` range.
+const BUCKETS: usize = 33;
+
+/// Histogram of `u32` samples in log₂ buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    max: u32,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(value: u32) -> usize {
+        match value {
+            0 => 0,
+            v => 1 + (31 - v.leading_zeros()) as usize,
+        }
+    }
+
+    /// The lower bound of a bucket's value range.
+    fn bucket_floor(bucket: usize) -> u32 {
+        match bucket {
+            0 => 0,
+            b => 1u32 << (b - 1),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u32) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+        self.sum += u64::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, resolved to the lower bound of
+    /// its bucket (so p50/p99 are conservative, never inflated). Returns
+    /// 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // The top bucket's floor can exceed the true max.
+                return Self::bucket_floor(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} p50={} p90={} p99={} max={}",
+            self.total,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(1023), 10);
+        assert_eq!(Histogram::bucket(1024), 11);
+        assert_eq!(Histogram::bucket(u32::MAX), 32);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u32, 1, 1, 1000] {
+            h.record(v);
+        }
+        assert!((h.mean() - 250.75).abs() < 1e-12);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_capture_the_tail() {
+        // 99 cheap lookups, 1 catastrophic one: the mean looks fine, the
+        // p99/max expose the miss penalty.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(2000);
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.90), 1);
+        assert!(h.quantile(0.995) >= 1024);
+        assert_eq!(h.max(), 2000);
+        assert!(h.mean() < 25.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u32 {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let val = h.quantile(q);
+            assert!(val >= prev, "q={q}");
+            prev = val;
+        }
+        // Quantiles resolve to bucket floors (conservative): p100 of
+        // 0..=999 is the floor of 999's bucket, 512.
+        assert_eq!(h.quantile(1.0), 512);
+        assert_eq!(h.max(), 999);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u32, 5, 9] {
+            a.record(v);
+        }
+        for v in [100u32, 200] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.max(), 200);
+        assert!((merged.mean() - 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summary() {
+        let mut h = Histogram::new();
+        h.record(7);
+        let s = h.to_string();
+        assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("max=7"), "{s}");
+    }
+
+    proptest! {
+        /// The quantile at any q is never above the max and never below
+        /// the min's bucket floor.
+        #[test]
+        fn prop_quantile_bounded(values in proptest::collection::vec(0u32..100_000, 1..200), q in 0.0f64..=1.0) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let got = h.quantile(q);
+            prop_assert!(got <= h.max());
+        }
+
+        /// Mean is exact regardless of bucketing.
+        #[test]
+        fn prop_mean_exact(values in proptest::collection::vec(0u32..100_000, 1..200)) {
+            let mut h = Histogram::new();
+            let mut sum = 0u64;
+            for &v in &values {
+                h.record(v);
+                sum += u64::from(v);
+            }
+            let expect = sum as f64 / values.len() as f64;
+            prop_assert!((h.mean() - expect).abs() < 1e-9);
+        }
+    }
+}

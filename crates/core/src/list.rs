@@ -1,0 +1,451 @@
+//! An index-based doubly-linked PCB list.
+//!
+//! Every list-structured algorithm in the paper (BSD, move-to-front, the
+//! send/receive cache, and each Sequent hash chain) needs the same three
+//! operations a kernel's `inpcb` queue provides: scan from the head
+//! counting entries examined, unlink in O(1) once found, and insert at the
+//! head in O(1). `PcbList` provides exactly that, with nodes in a `Vec` and
+//! explicit index links (no unsafe, no pointer chasing across allocations).
+//!
+//! The scan order is the *list* order, which is what the paper's analysis
+//! is about: the cost of a lookup is the 1-based position of the key.
+
+use tcpdemux_pcb::{ConnectionKey, PcbId};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: ConnectionKey,
+    id: PcbId,
+    prev: u32,
+    next: u32,
+    live: bool,
+}
+
+/// A doubly-linked list of `(ConnectionKey, PcbId)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct PcbList {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: Option<u32>,
+    tail: Option<u32>,
+    len: usize,
+}
+
+impl PcbList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entry at the head, if any.
+    pub fn front(&self) -> Option<(ConnectionKey, PcbId)> {
+        self.head.map(|h| {
+            let node = &self.nodes[h as usize];
+            (node.key, node.id)
+        })
+    }
+
+    /// Insert at the head (newest-first, the BSD convention).
+    pub fn push_front(&mut self, key: ConnectionKey, id: PcbId) {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let node = &mut self.nodes[idx as usize];
+                node.key = key;
+                node.id = id;
+                node.prev = NIL;
+                node.next = NIL;
+                node.live = true;
+                idx
+            }
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    key,
+                    id,
+                    prev: NIL,
+                    next: NIL,
+                    live: true,
+                });
+                idx
+            }
+        };
+        match self.head {
+            Some(old) => {
+                self.nodes[old as usize].prev = idx;
+                self.nodes[idx as usize].next = old;
+            }
+            None => self.tail = Some(idx),
+        }
+        self.head = Some(idx);
+        self.len += 1;
+    }
+
+    /// Insert at the tail.
+    pub fn push_back(&mut self, key: ConnectionKey, id: PcbId) {
+        self.push_front(key, id);
+        // push_front then move to back: only used at setup time, so the
+        // extra relink cost is irrelevant; reuse the unlink machinery.
+        let idx = self.head.expect("just pushed");
+        self.unlink(idx);
+        let node = &mut self.nodes[idx as usize];
+        node.prev = NIL;
+        node.next = NIL;
+        node.live = true;
+        match self.tail {
+            Some(old) => {
+                self.nodes[old as usize].next = idx;
+                self.nodes[idx as usize].prev = old;
+            }
+            None => self.head = Some(idx),
+        }
+        self.tail = Some(idx);
+        self.len += 1;
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[idx as usize];
+            debug_assert!(node.live);
+            (node.prev, node.next)
+        };
+        if prev == NIL {
+            self.head = (next != NIL).then_some(next);
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = (prev != NIL).then_some(prev);
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        let node = &mut self.nodes[idx as usize];
+        node.live = false;
+        node.prev = NIL;
+        node.next = NIL;
+        self.len -= 1;
+    }
+
+    /// Scan from the head for `key`. Returns the PCB handle and the
+    /// 1-based position at which it was found (the number of entries
+    /// examined), or `None` along with the full list length examined.
+    pub fn find(&self, key: &ConnectionKey) -> (Option<PcbId>, u32) {
+        let mut cursor = self.head;
+        let mut examined = 0u32;
+        while let Some(idx) = cursor {
+            let node = &self.nodes[idx as usize];
+            examined += 1;
+            if node.key == *key {
+                return (Some(node.id), examined);
+            }
+            cursor = (node.next != NIL).then_some(node.next);
+        }
+        (None, examined)
+    }
+
+    /// Scan for `key`; if found, unlink it and re-insert at the head
+    /// (Crowcroft's move-to-front). Returns the handle and entries examined.
+    pub fn find_move_to_front(&mut self, key: &ConnectionKey) -> (Option<PcbId>, u32) {
+        let mut cursor = self.head;
+        let mut examined = 0u32;
+        while let Some(idx) = cursor {
+            examined += 1;
+            if self.nodes[idx as usize].key == *key {
+                let id = self.nodes[idx as usize].id;
+                if self.head != Some(idx) {
+                    self.unlink(idx);
+                    // Relink at head reusing the same slot.
+                    let old_head = self.head.expect("nonempty: key was behind head");
+                    self.nodes[old_head as usize].prev = idx;
+                    let node = &mut self.nodes[idx as usize];
+                    node.next = old_head;
+                    node.prev = NIL;
+                    node.live = true;
+                    self.head = Some(idx);
+                    self.len += 1;
+                }
+                return (Some(id), examined);
+            }
+            let next = self.nodes[idx as usize].next;
+            cursor = (next != NIL).then_some(next);
+        }
+        (None, examined)
+    }
+
+    /// Remove `key` from the list, returning its handle if present.
+    pub fn remove(&mut self, key: &ConnectionKey) -> Option<PcbId> {
+        let mut cursor = self.head;
+        while let Some(idx) = cursor {
+            let node = &self.nodes[idx as usize];
+            if node.key == *key {
+                let id = node.id;
+                self.unlink(idx);
+                self.free.push(idx);
+                return Some(id);
+            }
+            cursor = (node.next != NIL).then_some(node.next);
+        }
+        None
+    }
+
+    /// Replace the handle stored for `key`, returning the old handle.
+    /// Position in the list is unchanged.
+    pub fn replace(&mut self, key: &ConnectionKey, id: PcbId) -> Option<PcbId> {
+        let mut cursor = self.head;
+        while let Some(idx) = cursor {
+            let node = &mut self.nodes[idx as usize];
+            if node.key == *key {
+                return Some(core::mem::replace(&mut node.id, id));
+            }
+            cursor = (node.next != NIL).then_some(node.next);
+        }
+        None
+    }
+
+    /// Iterate `(key, id)` in list order (head first).
+    pub fn iter(&self) -> ListIter<'_> {
+        ListIter {
+            list: self,
+            cursor: self.head,
+        }
+    }
+}
+
+/// Iterator over a [`PcbList`] in list order.
+#[derive(Debug)]
+pub struct ListIter<'a> {
+    list: &'a PcbList,
+    cursor: Option<u32>,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = (ConnectionKey, PcbId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.cursor?;
+        let node = &self.list.nodes[idx as usize];
+        self.cursor = (node.next != NIL).then_some(node.next);
+        Some((node.key, node.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::key;
+    use proptest::prelude::*;
+    use tcpdemux_pcb::{Pcb, PcbArena};
+
+    fn ids(n: u32, arena: &mut PcbArena) -> Vec<PcbId> {
+        (0..n).map(|i| arena.insert(Pcb::new(key(i)))).collect()
+    }
+
+    #[test]
+    fn push_front_orders_newest_first() {
+        let mut arena = PcbArena::new();
+        let ids = ids(3, &mut arena);
+        let mut list = PcbList::new();
+        for i in 0..3 {
+            list.push_front(key(i), ids[i as usize]);
+        }
+        let order: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![key(2), key(1), key(0)]);
+        assert_eq!(list.front().unwrap().0, key(2));
+    }
+
+    #[test]
+    fn push_back_orders_oldest_first() {
+        let mut arena = PcbArena::new();
+        let ids = ids(3, &mut arena);
+        let mut list = PcbList::new();
+        for i in 0..3 {
+            list.push_back(key(i), ids[i as usize]);
+        }
+        let order: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![key(0), key(1), key(2)]);
+    }
+
+    #[test]
+    fn find_reports_position() {
+        let mut arena = PcbArena::new();
+        let ids = ids(5, &mut arena);
+        let mut list = PcbList::new();
+        for i in (0..5).rev() {
+            list.push_front(key(i), ids[i as usize]); // order: 0,1,2,3,4
+        }
+        for i in 0..5u32 {
+            let (found, examined) = list.find(&key(i));
+            assert_eq!(found, Some(ids[i as usize]));
+            assert_eq!(examined, i + 1);
+        }
+        let (missing, examined) = list.find(&key(99));
+        assert_eq!(missing, None);
+        assert_eq!(examined, 5);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut arena = PcbArena::new();
+        let ids = ids(4, &mut arena);
+        let mut list = PcbList::new();
+        for i in (0..4).rev() {
+            list.push_front(key(i), ids[i as usize]); // order: 0,1,2,3
+        }
+        let (found, examined) = list.find_move_to_front(&key(2));
+        assert_eq!(found, Some(ids[2]));
+        assert_eq!(examined, 3);
+        let order: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![key(2), key(0), key(1), key(3)]);
+        // Finding the head is 1 probe and leaves order unchanged.
+        let (_, examined) = list.find_move_to_front(&key(2));
+        assert_eq!(examined, 1);
+        let order: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![key(2), key(0), key(1), key(3)]);
+        assert_eq!(list.len(), 4);
+    }
+
+    #[test]
+    fn move_to_front_of_tail() {
+        let mut arena = PcbArena::new();
+        let ids = ids(3, &mut arena);
+        let mut list = PcbList::new();
+        for i in (0..3).rev() {
+            list.push_front(key(i), ids[i as usize]); // order: 0,1,2
+        }
+        let (found, _) = list.find_move_to_front(&key(2));
+        assert_eq!(found, Some(ids[2]));
+        let order: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![key(2), key(0), key(1)]);
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn remove_relinks() {
+        let mut arena = PcbArena::new();
+        let ids = ids(3, &mut arena);
+        let mut list = PcbList::new();
+        for i in (0..3).rev() {
+            list.push_front(key(i), ids[i as usize]); // 0,1,2
+        }
+        assert_eq!(list.remove(&key(1)), Some(ids[1]));
+        assert_eq!(list.len(), 2);
+        let order: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![key(0), key(2)]);
+        assert_eq!(list.remove(&key(1)), None);
+        // Remove head and tail.
+        assert_eq!(list.remove(&key(0)), Some(ids[0]));
+        assert_eq!(list.remove(&key(2)), Some(ids[2]));
+        assert!(list.is_empty());
+        assert_eq!(list.front(), None);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut arena = PcbArena::new();
+        let ids = ids(2, &mut arena);
+        let mut list = PcbList::new();
+        list.push_front(key(0), ids[0]);
+        list.remove(&key(0));
+        list.push_front(key(1), ids[1]);
+        assert_eq!(list.nodes.len(), 1, "slot not recycled");
+        assert_eq!(list.find(&key(1)), (Some(ids[1]), 1));
+    }
+
+    #[test]
+    fn replace_keeps_position() {
+        let mut arena = PcbArena::new();
+        let ids = ids(3, &mut arena);
+        let mut list = PcbList::new();
+        for i in (0..3).rev() {
+            list.push_front(key(i), ids[i as usize]);
+        }
+        let replacement = arena.insert(Pcb::new(key(1)));
+        assert_eq!(list.replace(&key(1), replacement), Some(ids[1]));
+        let (found, examined) = list.find(&key(1));
+        assert_eq!(found, Some(replacement));
+        assert_eq!(examined, 2);
+        assert_eq!(list.replace(&key(42), replacement), None);
+    }
+
+    proptest! {
+        /// Model-based test: a sequence of operations on PcbList agrees
+        /// with a Vec-based reference model, including scan positions.
+        #[test]
+        fn prop_matches_vec_model(ops in proptest::collection::vec((0u8..4, 0u32..24), 0..200)) {
+            let mut arena = PcbArena::new();
+            let mut list = PcbList::new();
+            let mut model: Vec<(ConnectionKey, PcbId)> = Vec::new();
+
+            for (op, n) in ops {
+                let k = key(n);
+                match op {
+                    0 => {
+                        // push_front if absent (lists hold unique keys here)
+                        if !model.iter().any(|(mk, _)| *mk == k) {
+                            let id = arena.insert(Pcb::new(k));
+                            list.push_front(k, id);
+                            model.insert(0, (k, id));
+                        }
+                    }
+                    1 => {
+                        let (got, examined) = list.find(&k);
+                        match model.iter().position(|(mk, _)| *mk == k) {
+                            Some(pos) => {
+                                prop_assert_eq!(got, Some(model[pos].1));
+                                prop_assert_eq!(examined as usize, pos + 1);
+                            }
+                            None => {
+                                prop_assert_eq!(got, None);
+                                prop_assert_eq!(examined as usize, model.len());
+                            }
+                        }
+                    }
+                    2 => {
+                        let (got, examined) = list.find_move_to_front(&k);
+                        match model.iter().position(|(mk, _)| *mk == k) {
+                            Some(pos) => {
+                                prop_assert_eq!(got, Some(model[pos].1));
+                                prop_assert_eq!(examined as usize, pos + 1);
+                                let entry = model.remove(pos);
+                                model.insert(0, entry);
+                            }
+                            None => {
+                                prop_assert_eq!(got, None);
+                                prop_assert_eq!(examined as usize, model.len());
+                            }
+                        }
+                    }
+                    _ => {
+                        let got = list.remove(&k);
+                        match model.iter().position(|(mk, _)| *mk == k) {
+                            Some(pos) => {
+                                prop_assert_eq!(got, Some(model.remove(pos).1));
+                            }
+                            None => prop_assert_eq!(got, None),
+                        }
+                    }
+                }
+                prop_assert_eq!(list.len(), model.len());
+                let order: Vec<_> = list.iter().collect();
+                prop_assert_eq!(order, model.clone());
+            }
+        }
+    }
+}

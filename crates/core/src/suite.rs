@@ -1,0 +1,127 @@
+//! The standard suite of algorithms, for experiments that compare them all.
+
+use crate::{BsdDemux, Demux, DirectDemux, HashedMtfDemux, MtfDemux, SendRecvDemux, SequentDemux};
+use tcpdemux_hash::Multiplicative;
+
+/// Build one instance of every algorithm the paper compares, with the
+/// Sequent structure at its default 19 chains plus the 51- and 100-chain
+/// variants discussed in §3.4–3.5.
+///
+/// The hashed structures use [`Multiplicative`] hashing: the paper's
+/// analysis assumes well-balanced chains ("efficient hash functions for
+/// protocol addresses are well known"), and multiplicative hashing
+/// delivers that balance even on the correlated address/port populations
+/// real client farms produce. The cheaper XOR-fold's behaviour on such
+/// populations is measured separately in `tcpdemux-hash`'s quality
+/// experiments.
+pub fn standard_suite() -> Vec<Box<dyn Demux>> {
+    vec![
+        Box::new(BsdDemux::new()),
+        Box::new(MtfDemux::new()),
+        Box::new(SendRecvDemux::new()),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+        Box::new(SequentDemux::new(Multiplicative, 51)),
+        Box::new(SequentDemux::new(Multiplicative, 100)),
+        Box::new(HashedMtfDemux::new(Multiplicative, 19)),
+        Box::new(DirectDemux::new()),
+    ]
+}
+
+/// The names produced by [`standard_suite`], in order.
+pub fn suite_names() -> Vec<String> {
+    standard_suite().iter().map(|d| d.name()).collect()
+}
+
+/// [`standard_suite`] plus this crate's extensions beyond the paper:
+/// the self-resizing hashed structure (load factor 8).
+pub fn extended_suite() -> Vec<Box<dyn Demux>> {
+    let mut suite = standard_suite();
+    suite.push(Box::new(crate::AdaptiveDemux::new(Multiplicative, 19, 8)));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util;
+
+    #[test]
+    fn suite_contains_all_paper_algorithms() {
+        let names = suite_names();
+        for expected in [
+            "bsd",
+            "mtf",
+            "send-recv",
+            "sequent(19)",
+            "sequent(51)",
+            "sequent(100)",
+            "hashed-mtf(19)",
+            "direct-index",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn suite_members_satisfy_contract() {
+        for demux in standard_suite() {
+            test_util::check_contract(demux);
+        }
+    }
+
+    #[test]
+    fn extended_suite_adds_adaptive() {
+        let names: Vec<String> = extended_suite().iter().map(|d| d.name()).collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("adaptive(")),
+            "{names:?}"
+        );
+        assert_eq!(names.len(), suite_names().len() + 1);
+        for demux in extended_suite() {
+            test_util::check_contract(demux);
+        }
+    }
+
+    #[test]
+    fn suite_members_agree_on_lookups() {
+        // Equivalence: for any operation sequence, every algorithm returns
+        // the same PCB (they differ only in cost).
+        use crate::test_util::key;
+        use crate::PacketKind;
+        use tcpdemux_pcb::{Pcb, PcbArena};
+
+        let mut arena = PcbArena::new();
+        let mut suite = standard_suite();
+        let ids: Vec<_> = (0..64u32).map(|i| arena.insert(Pcb::new(key(i)))).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            for demux in suite.iter_mut() {
+                demux.insert(key(i as u32), id);
+            }
+        }
+        // Pseudo-random probe sequence, including misses and removals.
+        let mut state = 0x12345u32;
+        for step in 0..2000 {
+            state = state.wrapping_mul(1103515245).wrapping_add(12345);
+            let probe = (state >> 8) % 80; // 64 live + 16 misses
+            let kind = if state & 1 == 0 {
+                PacketKind::Data
+            } else {
+                PacketKind::Ack
+            };
+            let results: Vec<_> = suite
+                .iter_mut()
+                .map(|d| d.lookup(&key(probe), kind).pcb)
+                .collect();
+            for w in results.windows(2) {
+                assert_eq!(w[0], w[1], "step {step}, probe {probe}");
+            }
+            if step % 97 == 0 {
+                let victim = (state >> 16) % 64;
+                let removed: Vec<_> = suite.iter_mut().map(|d| d.remove(&key(victim))).collect();
+                for w in removed.windows(2) {
+                    assert_eq!(w[0], w[1]);
+                }
+            }
+        }
+    }
+}

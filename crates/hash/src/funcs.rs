@@ -1,0 +1,358 @@
+//! The hash function implementations.
+//!
+//! All of these are period-appropriate: they are the schemes Jain's 1989
+//! study compared (folding, CRC, bit extraction) plus multiplicative
+//! hashing (Knuth) and Pearson's 1990 byte-table hash. None require
+//! multiplies wider than 32 bits or tables larger than 1 KiB — realistic
+//! for the kernels of the era and still fast today.
+
+use crate::KeyHasher;
+use tcpdemux_pcb::ConnectionKey;
+
+/// XOR-folding of the three 32-bit key words, then folding the halves.
+///
+/// This is the classic TCP/IP PCB hash (and what Sequent's product used, up
+/// to constants): cheap, and good whenever client addresses or ports vary
+/// in their low bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XorFold;
+
+impl KeyHasher for XorFold {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        let [a, b, c] = key.as_words();
+        let x = a ^ b ^ c;
+        // Fold to 16 bits so the modulo sees mixing from both halves.
+        (x >> 16) ^ (x & 0xffff)
+    }
+
+    fn name(&self) -> &'static str {
+        "xor-fold"
+    }
+}
+
+/// Additive folding: sum the key words with wrapping arithmetic.
+///
+/// Slightly better than XOR at separating keys that differ in two fields
+/// that XOR would cancel (e.g. mirrored address pairs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddFold;
+
+impl KeyHasher for AddFold {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        let [a, b, c] = key.as_words();
+        let x = a.wrapping_add(b).wrapping_add(c);
+        x.wrapping_add(x >> 16)
+    }
+
+    fn name(&self) -> &'static str {
+        "add-fold"
+    }
+}
+
+/// Multiplicative (Fibonacci) hashing, Knuth §6.4: multiply by
+/// 2654435769 = ⌊2³²/φ⌋ and mix. Strong avalanche for sequential inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Multiplicative;
+
+impl KeyHasher for Multiplicative {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        const PHI: u32 = 0x9e37_79b9;
+        let [a, b, c] = key.as_words();
+        let mut h = a.wrapping_mul(PHI);
+        h ^= h >> 15;
+        h = h.wrapping_add(b).wrapping_mul(PHI);
+        h ^= h >> 15;
+        h = h.wrapping_add(c).wrapping_mul(PHI);
+        h ^ (h >> 16)
+    }
+
+    fn name(&self) -> &'static str {
+        "multiplicative"
+    }
+}
+
+/// Table-driven CRC-32 (IEEE 802.3 polynomial, reflected) over the twelve
+/// key bytes. The gold standard in Jain's comparison.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    table: [u32; 256],
+}
+
+impl Crc32 {
+    /// Build the 256-entry lookup table for the reflected polynomial
+    /// `0xEDB88320`.
+    pub fn new() -> Self {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        Self { table }
+    }
+
+    /// CRC-32 of an arbitrary byte slice (exposed for tests against known
+    /// vectors).
+    pub fn crc(&self, data: &[u8]) -> u32 {
+        let mut crc = 0xffff_ffffu32;
+        for &byte in data {
+            let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+            crc = (crc >> 8) ^ self.table[idx];
+        }
+        !crc
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher for Crc32 {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        self.crc(&key.as_bytes())
+    }
+
+    fn name(&self) -> &'static str {
+        "crc32"
+    }
+}
+
+/// Pearson hashing (CACM 1990): an 8-bit table-permutation hash, widened to
+/// 32 bits by running four lanes with different initial values.
+#[derive(Debug, Clone)]
+pub struct Pearson {
+    table: [u8; 256],
+}
+
+impl Pearson {
+    /// Build the permutation table. The permutation is a fixed multiplier
+    /// walk (97 is coprime to 256), matching Pearson's requirement of a
+    /// full permutation of 0..=255.
+    pub fn new() -> Self {
+        let mut table = [0u8; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            *entry = (i as u8).wrapping_mul(97).wrapping_add(31);
+        }
+        Self { table }
+    }
+
+    fn lane(&self, seed: u8, data: &[u8]) -> u8 {
+        let mut h = seed;
+        for &byte in data {
+            h = self.table[usize::from(h ^ byte)];
+        }
+        h
+    }
+}
+
+impl Default for Pearson {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher for Pearson {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        let bytes = key.as_bytes();
+        let l0 = self.lane(0, &bytes);
+        let l1 = self.lane(1, &bytes);
+        let l2 = self.lane(2, &bytes);
+        let l3 = self.lane(3, &bytes);
+        u32::from_be_bytes([l0, l1, l2, l3])
+    }
+
+    fn name(&self) -> &'static str {
+        "pearson"
+    }
+}
+
+/// The PJW hash (Peter J. Weinberger, as shipped in System V's ELF
+/// object-file format, 1988) over the twelve key bytes — another hash an
+/// early-1990s kernel engineer would actually have reached for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pjw;
+
+impl KeyHasher for Pjw {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        let mut h: u32 = 0;
+        for &byte in &key.as_bytes() {
+            h = (h << 4).wrapping_add(u32::from(byte));
+            let high = h & 0xf000_0000;
+            if high != 0 {
+                h ^= high >> 24;
+                h &= !high;
+            }
+        }
+        h
+    }
+
+    fn name(&self) -> &'static str {
+        "pjw-elf"
+    }
+}
+
+/// Bit extraction of only the remote port — deliberately poor.
+///
+/// Jain's study shows why naive bit extraction fails when the extracted
+/// field is structured; clients behind the same gateway often share port
+/// ranges. Kept as the negative control in the quality experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemotePortOnly;
+
+impl KeyHasher for RemotePortOnly {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        u32::from(key.remote_port)
+    }
+
+    fn name(&self) -> &'static str {
+        "remote-port-only"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(remote: u32, rport: u16) -> ConnectionKey {
+        ConnectionKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1521,
+            Ipv4Addr::from(remote),
+            rport,
+        )
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        let crc = Crc32::new();
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc.crc(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc.crc(b""), 0);
+    }
+
+    #[test]
+    fn xor_fold_mixes_both_halves() {
+        // Keys differing only in the high address bits must still differ.
+        let a = XorFold.hash(&key(0x0a00_0001, 40000));
+        let b = XorFold.hash(&key(0x8a00_0001, 40000));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn add_fold_separates_mirrored_keys() {
+        // local/remote swapped keys XOR identically word-wise; AddFold may
+        // also collide on some, but must not collide on this pair where the
+        // port word differs.
+        let k1 = ConnectionKey::new(Ipv4Addr::new(1, 1, 1, 1), 10, Ipv4Addr::new(2, 2, 2, 2), 20);
+        let k2 = ConnectionKey::new(Ipv4Addr::new(2, 2, 2, 2), 20, Ipv4Addr::new(1, 1, 1, 1), 10);
+        assert_ne!(AddFold.hash(&k1), AddFold.hash(&k2));
+    }
+
+    #[test]
+    fn multiplicative_avalanches_sequential_inputs() {
+        // Sequential client addresses should land far apart.
+        let h0 = Multiplicative.hash(&key(0x0a00_0000, 40000));
+        let h1 = Multiplicative.hash(&key(0x0a00_0001, 40000));
+        let differing = (h0 ^ h1).count_ones();
+        assert!(differing >= 8, "only {differing} bits differ");
+    }
+
+    #[test]
+    fn pearson_table_is_permutation() {
+        let p = Pearson::new();
+        let mut seen = [false; 256];
+        for &v in p.table.iter() {
+            assert!(!seen[usize::from(v)], "duplicate table entry {v}");
+            seen[usize::from(v)] = true;
+        }
+    }
+
+    #[test]
+    fn pearson_lanes_differ() {
+        let p = Pearson::new();
+        let h = p.hash(&key(0x0a00_0001, 40000));
+        let bytes = h.to_be_bytes();
+        // All four lanes identical would mean the seed is being ignored.
+        assert!(!(bytes[0] == bytes[1] && bytes[1] == bytes[2] && bytes[2] == bytes[3]));
+    }
+
+    #[test]
+    fn remote_port_only_is_port() {
+        assert_eq!(RemotePortOnly.hash(&key(0x0a00_0001, 1234)), 1234);
+    }
+
+    #[test]
+    fn pjw_high_nibble_never_accumulates() {
+        // The ELF-hash invariant: the top nibble is always folded away,
+        // so the hash stays within 28 bits.
+        for n in 0..1000u32 {
+            let h = Pjw.hash(&key(0x0a00_0000 + n, (40_000 + n % 1000) as u16));
+            assert_eq!(h & 0xf000_0000, 0, "n={n}: {h:#x}");
+        }
+    }
+
+    #[test]
+    fn pjw_distinguishes_neighbors() {
+        assert_ne!(
+            Pjw.hash(&key(0x0a00_0001, 40_000)),
+            Pjw.hash(&key(0x0a00_0002, 40_000))
+        );
+    }
+
+    #[test]
+    fn default_constructors() {
+        let _ = Crc32::default();
+        let _ = Pearson::default();
+        let _ = XorFold;
+    }
+
+    #[test]
+    fn hashers_spread_the_paper_population() {
+        // 2,000 clients on distinct addresses, same server and same client
+        // port — every hasher except the negative control must fill all 19
+        // buckets. (With ports *correlated* to addresses, XOR-folding is
+        // known to clump; see `quality` for that experiment.)
+        for hasher in crate::all_hashers() {
+            if hasher.name() == "remote-port-only" {
+                continue;
+            }
+            let mut used = [false; 19];
+            for n in 0..2000u32 {
+                used[hasher.bucket(&key(0x0a00_0000 + n, 40000), 19)] = true;
+            }
+            let count = used.iter().filter(|&&u| u).count();
+            assert_eq!(count, 19, "{} left buckets empty", hasher.name());
+        }
+    }
+
+    #[test]
+    fn xor_fold_clumps_on_correlated_ports() {
+        // Documented weakness: when the client port is an affine function
+        // of the client address, the XOR of the two cancels structure and
+        // XOR-fold covers fewer residues mod 19. This is the motivation for
+        // keeping stronger hashes (CRC, multiplicative) in the family.
+        let mut xor_used = [false; 19];
+        let mut mul_used = [false; 19];
+        for n in 0..2000u32 {
+            let k = key(0x0a00_0000 + n, 40000 + (n % 512) as u16);
+            xor_used[XorFold.bucket(&k, 19)] = true;
+            mul_used[Multiplicative.bucket(&k, 19)] = true;
+        }
+        let xor_count = xor_used.iter().filter(|&&u| u).count();
+        let mul_count = mul_used.iter().filter(|&&u| u).count();
+        assert_eq!(mul_count, 19);
+        assert!(
+            xor_count < 19,
+            "expected xor-fold to clump on correlated keys, filled {xor_count}"
+        );
+    }
+}

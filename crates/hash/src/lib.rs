@@ -1,0 +1,132 @@
+//! Hash functions for TCP/IP connection keys, and tools to judge them.
+//!
+//! The Sequent algorithm (McKenney & Dove 1992, §3.4) hashes each arriving
+//! segment's 96-bit connection key into one of `H` chains. The paper notes
+//! that "efficient hash functions for protocol addresses are well known",
+//! citing Jain's 1989 comparison of hashing schemes for address lookup and
+//! McKenney's stochastic fairness queueing work. This crate supplies a
+//! family of such functions behind the [`KeyHasher`] trait and, in
+//! [`quality`], the statistics needed to compare them the way Jain did:
+//! chain-length distributions, χ² uniformity, and expected search cost.
+//!
+//! # Example
+//!
+//! ```
+//! use tcpdemux_hash::{KeyHasher, XorFold};
+//! use tcpdemux_pcb::ConnectionKey;
+//! use std::net::Ipv4Addr;
+//!
+//! let key = ConnectionKey::new(
+//!     Ipv4Addr::new(10, 0, 0, 1), 1521,
+//!     Ipv4Addr::new(10, 0, 3, 7), 40111,
+//! );
+//! let hasher = XorFold;
+//! let chain = hasher.bucket(&key, 19); // the paper's default of 19 chains
+//! assert!(chain < 19);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod funcs;
+pub mod quality;
+
+pub use funcs::{AddFold, Crc32, Multiplicative, Pearson, Pjw, RemotePortOnly, XorFold};
+
+use tcpdemux_pcb::ConnectionKey;
+
+/// A hash function over connection keys.
+///
+/// Implementations must be pure: the same key always hashes to the same
+/// value. `bucket` reduces the 32-bit hash to a chain index.
+pub trait KeyHasher {
+    /// Hash a connection key to 32 bits.
+    fn hash(&self, key: &ConnectionKey) -> u32;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Reduce the hash to a chain index in `[0, chains)`.
+    ///
+    /// Uses modulo reduction, as the 1992-era stacks did. `chains` must be
+    /// nonzero.
+    fn bucket(&self, key: &ConnectionKey, chains: usize) -> usize {
+        debug_assert!(chains > 0, "bucket count must be nonzero");
+        (self.hash(key) as usize) % chains
+    }
+}
+
+impl<T: KeyHasher + ?Sized> KeyHasher for &T {
+    fn hash(&self, key: &ConnectionKey) -> u32 {
+        (**self).hash(key)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// All built-in hashers, for sweep experiments.
+pub fn all_hashers() -> Vec<Box<dyn KeyHasher>> {
+    vec![
+        Box::new(XorFold),
+        Box::new(AddFold),
+        Box::new(Multiplicative),
+        Box::new(Crc32::new()),
+        Box::new(Pearson::new()),
+        Box::new(Pjw),
+        Box::new(RemotePortOnly),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u32) -> ConnectionKey {
+        ConnectionKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1521,
+            Ipv4Addr::from(0x0a00_0000 | n),
+            40000 + (n % 1000) as u16,
+        )
+    }
+
+    #[test]
+    fn bucket_is_in_range() {
+        for hasher in all_hashers() {
+            for n in 0..500 {
+                for chains in [1usize, 2, 19, 51, 100] {
+                    assert!(hasher.bucket(&key(n), chains) < chains, "{}", hasher.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        for hasher in all_hashers() {
+            let k = key(42);
+            assert_eq!(hasher.hash(&k), hasher.hash(&k), "{}", hasher.name());
+        }
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let k = key(1);
+        let h = XorFold;
+        let r: &dyn KeyHasher = &h;
+        assert_eq!(r.hash(&k), h.hash(&k));
+        assert_eq!(h.name(), "xor-fold");
+        assert_eq!(h.bucket(&k, 19), h.bucket(&k, 19));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let hashers = all_hashers();
+        let mut names: Vec<_> = hashers.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), hashers.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! Hash-quality statistics in the style of Jain (DEC-TR-593, 1989).
+//!
+//! Given a hash function, a key population, and a chain count, compute the
+//! chain-length distribution and the figures of merit that matter for PCB
+//! lookup: the χ² statistic against a uniform spread, and the **expected
+//! search cost** — the average number of PCBs examined by an unsuccessful
+//! ... rather, by a successful search for a uniformly-chosen key, which is
+//! `Σ cᵢ(cᵢ+1)/2 / n` for chain lengths `cᵢ`.
+
+use crate::KeyHasher;
+use tcpdemux_pcb::ConnectionKey;
+
+/// Distribution statistics for one hasher over one key population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainStats {
+    /// Name of the hasher that produced these statistics.
+    pub hasher: &'static str,
+    /// Number of chains (`H` in the paper).
+    pub chains: usize,
+    /// Number of keys hashed (`N` in the paper).
+    pub keys: usize,
+    /// Per-chain occupancy.
+    pub lengths: Vec<usize>,
+}
+
+impl ChainStats {
+    /// Hash every key and collect the chain occupancy.
+    pub fn collect<H: KeyHasher + ?Sized>(
+        hasher: &H,
+        keys: impl IntoIterator<Item = ConnectionKey>,
+        chains: usize,
+    ) -> Self {
+        assert!(chains > 0, "chain count must be nonzero");
+        let mut lengths = vec![0usize; chains];
+        let mut count = 0usize;
+        for key in keys {
+            lengths[hasher.bucket(&key, chains)] += 1;
+            count += 1;
+        }
+        Self {
+            hasher: hasher.name(),
+            chains,
+            keys: count,
+            lengths,
+        }
+    }
+
+    /// The longest chain.
+    pub fn max_length(&self) -> usize {
+        self.lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean occupancy `N/H`.
+    pub fn mean_length(&self) -> f64 {
+        self.keys as f64 / self.chains as f64
+    }
+
+    /// Number of empty chains.
+    pub fn empty_chains(&self) -> usize {
+        self.lengths.iter().filter(|&&l| l == 0).count()
+    }
+
+    /// Pearson's χ² statistic against the uniform expectation `N/H`.
+    ///
+    /// For a good hash on random keys this is close to the χ² distribution
+    /// with `H − 1` degrees of freedom (mean `H − 1`).
+    pub fn chi_square(&self) -> f64 {
+        let expected = self.mean_length();
+        if expected == 0.0 {
+            return 0.0;
+        }
+        self.lengths
+            .iter()
+            .map(|&l| {
+                let d = l as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    }
+
+    /// Expected number of entries examined by a *successful* linear search
+    /// of the chain holding a uniformly-chosen key:
+    /// `Σ cᵢ(cᵢ+1)/2 / N`.
+    ///
+    /// For a perfectly uniform spread this approaches `(N/H + 1)/2`, the
+    /// miss penalty in the paper's Equation 18.
+    pub fn expected_search_cost(&self) -> f64 {
+        if self.keys == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .lengths
+            .iter()
+            .map(|&c| {
+                let c = c as f64;
+                c * (c + 1.0) / 2.0
+            })
+            .sum();
+        total / self.keys as f64
+    }
+
+    /// A normalized load-balance score in `(0, 1]`: the uniform search cost
+    /// divided by the observed search cost. 1.0 means perfectly uniform.
+    pub fn balance(&self) -> f64 {
+        if self.keys == 0 {
+            return 1.0;
+        }
+        let n = self.keys as f64;
+        let h = self.chains as f64;
+        // Ideal cost when keys are spread as evenly as integers allow.
+        let ideal = (n / h + 1.0) / 2.0;
+        (ideal / self.expected_search_cost()).min(1.0)
+    }
+}
+
+/// Convenience: generate the paper's key population — `n` clients with
+/// distinct addresses (and a small port range) all talking to one server
+/// port. Deterministic; independent of any RNG so results are exactly
+/// reproducible.
+pub fn tpca_key_population(n: usize) -> Vec<ConnectionKey> {
+    use std::net::Ipv4Addr;
+    (0..n)
+        .map(|i| {
+            // Clients allocated sequentially across subnets, as terminal
+            // concentrators of the era did.
+            let host = (i % 250 + 2) as u32;
+            let subnet = (i / 250) as u32;
+            ConnectionKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                1521,
+                Ipv4Addr::from((10 << 24) | (1 << 16) | (subnet << 8) | host),
+                (40_000 + (i % 1_000)) as u16,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crc32, Multiplicative, RemotePortOnly, XorFold};
+
+    #[test]
+    fn counts_and_lengths_sum() {
+        let keys = tpca_key_population(2000);
+        let stats = ChainStats::collect(&XorFold, keys, 19);
+        assert_eq!(stats.keys, 2000);
+        assert_eq!(stats.chains, 19);
+        assert_eq!(stats.lengths.iter().sum::<usize>(), 2000);
+        assert_eq!(stats.hasher, "xor-fold");
+    }
+
+    #[test]
+    fn uniform_population_statistics() {
+        let keys = tpca_key_population(1900);
+        let stats = ChainStats::collect(&Multiplicative, keys, 19);
+        assert!((stats.mean_length() - 100.0).abs() < 1e-9);
+        assert_eq!(stats.empty_chains(), 0);
+        // A decent hash keeps the longest chain within ~2x the mean here.
+        assert!(stats.max_length() < 200, "max {}", stats.max_length());
+        // Search cost should be near the ideal (100+1)/2 = 50.5.
+        let cost = stats.expected_search_cost();
+        assert!((40.0..70.0).contains(&cost), "cost {cost}");
+        assert!(stats.balance() > 0.7, "balance {}", stats.balance());
+    }
+
+    #[test]
+    fn degenerate_hash_is_pessimal() {
+        // All 2,000 TPC/A clients of one concentrator can share a port
+        // range; hashing on the port only piles them into few chains.
+        let keys: Vec<_> = tpca_key_population(2000)
+            .into_iter()
+            .map(|mut k| {
+                k.remote_port = 40_000; // worst case: identical ports
+                k
+            })
+            .collect();
+        let stats = ChainStats::collect(&RemotePortOnly, keys, 19);
+        assert_eq!(stats.max_length(), 2000);
+        assert_eq!(stats.empty_chains(), 18);
+        // Search cost equals a single linear list: (N+1)/2.
+        assert!((stats.expected_search_cost() - 1000.5).abs() < 1e-9);
+        assert!(stats.balance() < 0.1);
+    }
+
+    #[test]
+    fn chi_square_discriminates() {
+        // Use the hostile population: every client behind one concentrator
+        // reuses the same source port, so port-only hashing collapses while
+        // CRC over the full key stays uniform.
+        let keys: Vec<_> = tpca_key_population(2000)
+            .into_iter()
+            .map(|mut k| {
+                k.remote_port = 40_000;
+                k
+            })
+            .collect();
+        let good = ChainStats::collect(&Crc32::new(), keys.clone(), 19);
+        let bad = ChainStats::collect(&RemotePortOnly, keys, 19);
+        assert!(
+            good.chi_square() < bad.chi_square(),
+            "good {} !< bad {}",
+            good.chi_square(),
+            bad.chi_square()
+        );
+    }
+
+    #[test]
+    fn empty_population() {
+        let stats = ChainStats::collect(&XorFold, Vec::new(), 19);
+        assert_eq!(stats.keys, 0);
+        assert_eq!(stats.max_length(), 0);
+        assert_eq!(stats.expected_search_cost(), 0.0);
+        assert_eq!(stats.chi_square(), 0.0);
+        assert_eq!(stats.balance(), 1.0);
+    }
+
+    #[test]
+    fn single_chain_is_linear_list() {
+        let keys = tpca_key_population(100);
+        let stats = ChainStats::collect(&XorFold, keys, 1);
+        assert_eq!(stats.lengths, vec![100]);
+        assert!((stats.expected_search_cost() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_keys_are_distinct() {
+        let keys = tpca_key_population(10_000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
+    }
+}

@@ -1,0 +1,266 @@
+//! A slab-style arena owning all PCBs.
+//!
+//! Lookup structures in `tcpdemux-core` store [`PcbId`] handles, never PCBs
+//! themselves, mirroring how a kernel's lookup chains hold pointers into a
+//! PCB zone. The arena recycles slots through a free list with a generation
+//! counter, so stale handles held by a forgetful cache can never alias a
+//! new connection — exactly the bug class a real one-entry PCB cache must
+//! guard against.
+
+use crate::pcb::Pcb;
+use core::fmt;
+
+/// A stable handle to a PCB in a [`PcbArena`].
+///
+/// Internally an index plus a generation; a handle from a removed PCB
+/// (even if the slot was reused) fails to resolve instead of returning the
+/// wrong connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PcbId {
+    index: u32,
+    generation: u32,
+}
+
+impl PcbId {
+    /// The slot index (useful for dense per-PCB side tables in experiments).
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for PcbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pcb#{}.{}", self.index, self.generation)
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    value: Option<Pcb>,
+}
+
+/// Arena of PCBs with O(1) insert, remove, and handle resolution.
+#[derive(Debug, Default)]
+pub struct PcbArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PcbArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an arena with capacity reserved for `n` PCBs.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live PCBs.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the arena holds no live PCBs.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a PCB, returning its handle.
+    pub fn insert(&mut self, pcb: Pcb) -> PcbId {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(pcb);
+            PcbId {
+                index,
+                generation: slot.generation,
+            }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(pcb),
+            });
+            PcbId {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Resolve a handle to a shared reference, or `None` if the PCB was
+    /// removed (even if its slot has since been reused).
+    pub fn get(&self, id: PcbId) -> Option<&Pcb> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Resolve a handle to an exclusive reference.
+    pub fn get_mut(&mut self, id: PcbId) -> Option<&mut Pcb> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Remove a PCB, returning it. The slot's generation is bumped so the
+    /// handle (and any cached copies of it) becomes invalid.
+    pub fn remove(&mut self, id: PcbId) -> Option<Pcb> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// Iterate over `(id, &pcb)` for all live PCBs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (PcbId, &Pcb)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.value.as_ref().map(|pcb| {
+                (
+                    PcbId {
+                        index: i as u32,
+                        generation: slot.generation,
+                    },
+                    pcb,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ConnectionKey;
+    use std::net::Ipv4Addr;
+
+    fn pcb(n: u8) -> Pcb {
+        Pcb::new(ConnectionKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            Ipv4Addr::new(10, 0, 0, n),
+            1000 + u16::from(n),
+        ))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut arena = PcbArena::new();
+        let id = arena.insert(pcb(1));
+        assert_eq!(arena.len(), 1);
+        assert!(!arena.is_empty());
+        assert_eq!(arena.get(id).unwrap().key(), pcb(1).key());
+    }
+
+    #[test]
+    fn remove_invalidates_handle() {
+        let mut arena = PcbArena::new();
+        let id = arena.insert(pcb(1));
+        let removed = arena.remove(id).unwrap();
+        assert_eq!(removed.key(), pcb(1).key());
+        assert!(arena.get(id).is_none());
+        assert!(arena.get_mut(id).is_none());
+        assert!(arena.remove(id).is_none());
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_does_not_alias() {
+        let mut arena = PcbArena::new();
+        let stale = arena.insert(pcb(1));
+        arena.remove(stale).unwrap();
+        let fresh = arena.insert(pcb(2));
+        // Same slot, different generation.
+        assert_eq!(stale.index(), fresh.index());
+        assert_ne!(stale, fresh);
+        assert!(arena.get(stale).is_none(), "stale handle must not resolve");
+        assert_eq!(arena.get(fresh).unwrap().key(), pcb(2).key());
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut arena = PcbArena::new();
+        let id = arena.insert(pcb(1));
+        arena.get_mut(id).unwrap().note_segment_in(10);
+        assert_eq!(arena.get(id).unwrap().counters.segments_in, 1);
+    }
+
+    #[test]
+    fn iter_visits_live_only() {
+        let mut arena = PcbArena::new();
+        let a = arena.insert(pcb(1));
+        let b = arena.insert(pcb(2));
+        let c = arena.insert(pcb(3));
+        arena.remove(b).unwrap();
+        let ids: Vec<_> = arena.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+
+    #[test]
+    fn out_of_range_handle_is_none() {
+        let mut arena = PcbArena::new();
+        let id = arena.insert(pcb(1));
+        let mut other = PcbArena::new();
+        assert!(other.get(id).is_none());
+        assert!(other.remove(id).is_none());
+        let _ = arena;
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut arena = PcbArena::with_capacity(100);
+        assert!(arena.is_empty());
+        let id = arena.insert(pcb(1));
+        assert!(arena.get(id).is_some());
+    }
+
+    #[test]
+    fn thousands_of_pcbs() {
+        // The paper's scale: 2,000 connections, then churn.
+        let mut arena = PcbArena::with_capacity(2000);
+        let ids: Vec<_> = (0..2000)
+            .map(|i| {
+                arena.insert(Pcb::new(ConnectionKey::new(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    1521,
+                    Ipv4Addr::from(0x0a000000 + i as u32),
+                    40000,
+                )))
+            })
+            .collect();
+        assert_eq!(arena.len(), 2000);
+        for id in &ids[..1000] {
+            arena.remove(*id).unwrap();
+        }
+        assert_eq!(arena.len(), 1000);
+        // Reinsert into recycled slots.
+        for i in 0..1000u32 {
+            arena.insert(Pcb::new(ConnectionKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                1521,
+                Ipv4Addr::from(0x0b000000 + i),
+                40000,
+            )));
+        }
+        assert_eq!(arena.len(), 2000);
+        assert_eq!(arena.iter().count(), 2000);
+    }
+}

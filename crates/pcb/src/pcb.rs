@@ -1,0 +1,262 @@
+//! The protocol control block itself.
+
+use crate::key::ConnectionKey;
+use crate::seq::SeqNum;
+use crate::state::{InvalidTransition, TcpEvent, TcpState};
+use core::fmt;
+
+/// Send-side sequence bookkeeping (RFC 793 "send sequence space").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendSequenceSpace {
+    /// SND.UNA — oldest unacknowledged sequence number.
+    pub una: SeqNum,
+    /// SND.NXT — next sequence number to send.
+    pub nxt: SeqNum,
+    /// SND.WND — send window granted by the peer.
+    pub wnd: u16,
+    /// ISS — initial send sequence number.
+    pub iss: SeqNum,
+}
+
+/// Receive-side sequence bookkeeping (RFC 793 "receive sequence space").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecvSequenceSpace {
+    /// RCV.NXT — next sequence number expected.
+    pub nxt: SeqNum,
+    /// RCV.WND — window we advertise.
+    pub wnd: u16,
+    /// IRS — initial receive sequence number.
+    pub irs: SeqNum,
+}
+
+/// Per-connection accounting, exposed so experiments can attribute load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcbCounters {
+    /// Segments received for this connection.
+    pub segments_in: u64,
+    /// Segments sent on this connection.
+    pub segments_out: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+}
+
+/// A protocol control block: one endpoint of one TCP (or UDP) connection.
+///
+/// The struct is deliberately "heavy" (sequence spaces, counters, MSS) —
+/// the paper's whole argument is that PCBs are too big to all sit in cache,
+/// so a realistic PCB should cost a realistic number of cache lines.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    key: ConnectionKey,
+    state: TcpState,
+    /// Send sequence space.
+    pub snd: SendSequenceSpace,
+    /// Receive sequence space.
+    pub rcv: RecvSequenceSpace,
+    /// Effective maximum segment size for this connection.
+    pub mss: u16,
+    /// Smoothed round-trip-time state (Jacobson–Karels), updated by the
+    /// transport on each acknowledged segment.
+    pub rtt: crate::RttEstimator,
+    /// Accounting counters.
+    pub counters: PcbCounters,
+}
+
+impl Pcb {
+    /// Default MSS when the peer offers none (RFC 1122: 536).
+    pub const DEFAULT_MSS: u16 = 536;
+
+    /// Create a closed PCB for a connection key.
+    pub fn new(key: ConnectionKey) -> Self {
+        Self {
+            key,
+            state: TcpState::Closed,
+            snd: SendSequenceSpace::default(),
+            rcv: RecvSequenceSpace::default(),
+            mss: Self::DEFAULT_MSS,
+            rtt: crate::RttEstimator::new(),
+            counters: PcbCounters::default(),
+        }
+    }
+
+    /// Create a PCB already in a given state (used by the simulator, which
+    /// fast-forwards past connection establishment).
+    pub fn new_in_state(key: ConnectionKey, state: TcpState) -> Self {
+        Self {
+            state,
+            ..Self::new(key)
+        }
+    }
+
+    /// The connection key.
+    pub fn key(&self) -> ConnectionKey {
+        self.key
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Drive the state machine.
+    pub fn on_event(&mut self, event: TcpEvent) -> Result<TcpState, InvalidTransition> {
+        let next = self.state.on_event(event)?;
+        self.state = next;
+        Ok(next)
+    }
+
+    /// Record an inbound segment's accounting.
+    pub fn note_segment_in(&mut self, payload_len: usize) {
+        self.counters.segments_in += 1;
+        self.counters.bytes_in += payload_len as u64;
+    }
+
+    /// Record an outbound segment's accounting.
+    pub fn note_segment_out(&mut self, payload_len: usize) {
+        self.counters.segments_out += 1;
+        self.counters.bytes_out += payload_len as u64;
+    }
+
+    /// Initialize the send space for an active or passive open.
+    pub fn init_send(&mut self, iss: SeqNum, window: u16) {
+        self.snd = SendSequenceSpace {
+            una: iss,
+            nxt: iss + 1, // the SYN occupies one sequence number
+            wnd: window,
+            iss,
+        };
+    }
+
+    /// Initialize the receive space upon seeing the peer's SYN.
+    pub fn init_recv(&mut self, irs: SeqNum, window: u16) {
+        self.rcv = RecvSequenceSpace {
+            nxt: irs + 1,
+            wnd: window,
+            irs,
+        };
+    }
+
+    /// Whether an arriving segment with this sequence number and length is
+    /// acceptable per the RFC 793 four-case acceptability test.
+    pub fn segment_acceptable(&self, seq: SeqNum, seg_len: u32) -> bool {
+        let rcv_nxt = self.rcv.nxt;
+        let rcv_wnd = u32::from(self.rcv.wnd);
+        match (seg_len, rcv_wnd) {
+            (0, 0) => seq == rcv_nxt,
+            (0, _) => seq.in_window(rcv_nxt, rcv_wnd),
+            (_, 0) => false,
+            (_, _) => {
+                seq.in_window(rcv_nxt, rcv_wnd) || (seq + (seg_len - 1)).in_window(rcv_nxt, rcv_wnd)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pcb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.key, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key() -> ConnectionKey {
+        ConnectionKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            Ipv4Addr::new(10, 0, 0, 2),
+            5555,
+        )
+    }
+
+    #[test]
+    fn new_pcb_is_closed() {
+        let pcb = Pcb::new(key());
+        assert_eq!(pcb.state(), TcpState::Closed);
+        assert_eq!(pcb.key(), key());
+        assert_eq!(pcb.mss, Pcb::DEFAULT_MSS);
+    }
+
+    #[test]
+    fn new_in_state_skips_handshake() {
+        let pcb = Pcb::new_in_state(key(), TcpState::Established);
+        assert_eq!(pcb.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn event_updates_state() {
+        let mut pcb = Pcb::new(key());
+        pcb.on_event(TcpEvent::AppConnect).unwrap();
+        assert_eq!(pcb.state(), TcpState::SynSent);
+        pcb.on_event(TcpEvent::RecvSynAck).unwrap();
+        assert_eq!(pcb.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn invalid_event_leaves_state_unchanged() {
+        let mut pcb = Pcb::new(key());
+        assert!(pcb.on_event(TcpEvent::RecvFin).is_err());
+        assert_eq!(pcb.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut pcb = Pcb::new(key());
+        pcb.note_segment_in(100);
+        pcb.note_segment_in(0);
+        pcb.note_segment_out(42);
+        assert_eq!(pcb.counters.segments_in, 2);
+        assert_eq!(pcb.counters.bytes_in, 100);
+        assert_eq!(pcb.counters.segments_out, 1);
+        assert_eq!(pcb.counters.bytes_out, 42);
+    }
+
+    #[test]
+    fn init_send_recv_spaces() {
+        let mut pcb = Pcb::new(key());
+        pcb.init_send(SeqNum(1000), 8192);
+        assert_eq!(pcb.snd.iss, SeqNum(1000));
+        assert_eq!(pcb.snd.una, SeqNum(1000));
+        assert_eq!(pcb.snd.nxt, SeqNum(1001));
+        pcb.init_recv(SeqNum(5000), 4096);
+        assert_eq!(pcb.rcv.irs, SeqNum(5000));
+        assert_eq!(pcb.rcv.nxt, SeqNum(5001));
+    }
+
+    #[test]
+    fn acceptability_four_cases() {
+        let mut pcb = Pcb::new(key());
+        pcb.init_recv(SeqNum(999), 100); // rcv.nxt = 1000, wnd = 100
+
+        // Case: empty segment, open window.
+        assert!(pcb.segment_acceptable(SeqNum(1000), 0));
+        assert!(pcb.segment_acceptable(SeqNum(1099), 0));
+        assert!(!pcb.segment_acceptable(SeqNum(1100), 0));
+        assert!(!pcb.segment_acceptable(SeqNum(999), 0));
+
+        // Case: data segment, open window — acceptable if any byte is in
+        // the window, including partial overlap from the left.
+        assert!(pcb.segment_acceptable(SeqNum(1000), 50));
+        assert!(pcb.segment_acceptable(SeqNum(950), 51)); // last byte = 1000
+        assert!(!pcb.segment_acceptable(SeqNum(949), 50)); // ends at 998
+
+        // Case: zero window.
+        pcb.rcv.wnd = 0;
+        assert!(pcb.segment_acceptable(SeqNum(1000), 0)); // pure ACK probe
+        assert!(!pcb.segment_acceptable(SeqNum(1001), 0));
+        assert!(!pcb.segment_acceptable(SeqNum(1000), 1)); // data refused
+    }
+
+    #[test]
+    fn display_shows_key_and_state() {
+        let pcb = Pcb::new_in_state(key(), TcpState::Established);
+        let s = pcb.to_string();
+        assert!(s.contains("10.0.0.1:80"), "{s}");
+        assert!(s.contains("ESTABLISHED"), "{s}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Round-trip-time estimation (Jacobson & Karels, SIGCOMM 1988).
+//!
+//! The PCB the paper's lookup schemes search is the same structure Van
+//! Jacobson's congestion work reads on every ACK — the two lines of
+//! research the introduction contrasts. A PCB therefore carries the
+//! smoothed RTT state: `srtt` and `rttvar` in the classic EWMA form
+//!
+//! ```text
+//! err    = sample − srtt
+//! srtt  += err / 8
+//! rttvar += (|err| − rttvar) / 4
+//! rto    = srtt + 4·rttvar        (clamped to [min_rto, max_rto])
+//! ```
+//!
+//! computed in integer microseconds, exactly as a kernel would.
+
+/// Jacobson–Karels smoothed RTT estimator (microsecond integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttEstimator {
+    srtt: u64,
+    rttvar: u64,
+    samples: u64,
+    min_rto: u64,
+    max_rto: u64,
+}
+
+impl RttEstimator {
+    /// Conventional clamps: 200 ms floor (BSD's slow-timer granularity
+    /// era used 500 ms; modern stacks use 200), 60 s ceiling.
+    pub const DEFAULT_MIN_RTO: u64 = 200_000;
+    /// Ceiling (60 s).
+    pub const DEFAULT_MAX_RTO: u64 = 60_000_000;
+
+    /// A fresh estimator with default clamps. Before the first sample,
+    /// [`rto`](Self::rto) returns a conservative 1 s (RFC 6298's initial
+    /// value, rounded from 3 s as modern practice does).
+    pub fn new() -> Self {
+        Self::with_bounds(Self::DEFAULT_MIN_RTO, Self::DEFAULT_MAX_RTO)
+    }
+
+    /// An estimator with explicit RTO clamps (microseconds).
+    pub fn with_bounds(min_rto: u64, max_rto: u64) -> Self {
+        assert!(min_rto > 0 && min_rto <= max_rto);
+        Self {
+            srtt: 0,
+            rttvar: 0,
+            samples: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Number of samples absorbed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The smoothed RTT in microseconds (0 before any sample).
+    pub fn srtt(&self) -> u64 {
+        self.srtt
+    }
+
+    /// The RTT variation estimate in microseconds.
+    pub fn rttvar(&self) -> u64 {
+        self.rttvar
+    }
+
+    /// Absorb one RTT measurement (microseconds).
+    pub fn record(&mut self, sample: u64) {
+        if self.samples == 0 {
+            // RFC 6298 initialization: srtt = R, rttvar = R/2.
+            self.srtt = sample;
+            self.rttvar = sample / 2;
+        } else {
+            let err = sample.abs_diff(self.srtt);
+            // srtt += err/8 with sign.
+            if sample >= self.srtt {
+                self.srtt += err / 8;
+            } else {
+                self.srtt -= err / 8;
+            }
+            // rttvar += (|err| − rttvar)/4.
+            if err >= self.rttvar {
+                self.rttvar += (err - self.rttvar) / 4;
+            } else {
+                self.rttvar -= (self.rttvar - err) / 4;
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// The retransmission timeout: `srtt + 4·rttvar`, clamped. Before any
+    /// sample, a conservative 1 s.
+    pub fn rto(&self) -> u64 {
+        if self.samples == 0 {
+            return 1_000_000.clamp(self.min_rto, self.max_rto);
+        }
+        (self.srtt + 4 * self.rttvar).clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Exponential backoff of the current RTO after a retransmission
+    /// timeout fires (doubling, clamped to the ceiling).
+    pub fn backed_off(&self, attempts: u32) -> u64 {
+        let rto = self.rto();
+        rto.saturating_mul(1u64 << attempts.min(16))
+            .min(self.max_rto)
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let est = RttEstimator::new();
+        assert_eq!(est.rto(), 1_000_000);
+        assert_eq!(est.samples(), 0);
+        assert_eq!(est.srtt(), 0);
+    }
+
+    #[test]
+    fn first_sample_initializes_per_rfc6298() {
+        let mut est = RttEstimator::new();
+        est.record(100_000); // 100 ms
+        assert_eq!(est.srtt(), 100_000);
+        assert_eq!(est.rttvar(), 50_000);
+        assert_eq!(est.rto(), 300_000); // srtt + 4·rttvar
+    }
+
+    #[test]
+    fn steady_rtt_converges_and_tightens() {
+        let mut est = RttEstimator::new();
+        for _ in 0..200 {
+            est.record(100_000);
+        }
+        assert_eq!(est.srtt(), 100_000);
+        // Integer EWMA floors: the decrement (rttvar/4) rounds to zero
+        // below 4 µs, so "decays to zero" means "to within 3 µs".
+        assert!(est.rttvar() <= 3, "rttvar {}", est.rttvar());
+        assert_eq!(est.rto(), RttEstimator::DEFAULT_MIN_RTO, "floor applies");
+    }
+
+    #[test]
+    fn spike_raises_rto_quickly() {
+        let mut est = RttEstimator::new();
+        for _ in 0..50 {
+            est.record(100_000);
+        }
+        let calm = est.rto();
+        est.record(1_000_000); // a 1 s outlier
+        assert!(est.rto() > calm, "variance term reacts to the spike");
+        assert!(est.rttvar() > 200_000, "rttvar jumped: {}", est.rttvar());
+    }
+
+    #[test]
+    fn rto_respects_ceiling() {
+        let mut est = RttEstimator::with_bounds(1_000, 500_000);
+        est.record(10_000_000); // 10 s sample
+        assert_eq!(est.rto(), 500_000);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let mut est = RttEstimator::new();
+        est.record(100_000);
+        let rto = est.rto();
+        assert_eq!(est.backed_off(0), rto);
+        assert_eq!(est.backed_off(1), rto * 2);
+        assert_eq!(est.backed_off(3), rto * 8);
+        assert_eq!(est.backed_off(30), RttEstimator::DEFAULT_MAX_RTO);
+    }
+
+    #[test]
+    fn tracks_shifting_baseline() {
+        // RTT moves from 50 ms to 250 ms; srtt must follow.
+        let mut est = RttEstimator::new();
+        for _ in 0..100 {
+            est.record(50_000);
+        }
+        for _ in 0..200 {
+            est.record(250_000);
+        }
+        assert!(
+            (240_000..=260_000).contains(&est.srtt()),
+            "srtt {}",
+            est.srtt()
+        );
+    }
+
+    proptest! {
+        /// The estimator never leaves the sample envelope: srtt stays
+        /// within [min sample, max sample] once initialized.
+        #[test]
+        fn prop_srtt_bounded_by_samples(samples in proptest::collection::vec(1_000u64..10_000_000, 1..100)) {
+            let mut est = RttEstimator::new();
+            for &s in &samples {
+                est.record(s);
+            }
+            let lo = *samples.iter().min().unwrap();
+            let hi = *samples.iter().max().unwrap();
+            prop_assert!(est.srtt() >= lo.min(est.srtt()));
+            prop_assert!(est.srtt() <= hi, "srtt {} > max sample {}", est.srtt(), hi);
+            // RTO is always within the clamps.
+            let rto = est.rto();
+            prop_assert!((RttEstimator::DEFAULT_MIN_RTO..=RttEstimator::DEFAULT_MAX_RTO).contains(&rto));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! TCP sequence-number arithmetic.
+//!
+//! Sequence numbers live in a 32-bit circular space; comparisons must use
+//! wrapping ("serial number") arithmetic per RFC 793 §3.3. [`SeqNum`] wraps
+//! a `u32` and provides the comparison and distance operations the state
+//! machine needs, so that raw `u32` comparisons can never sneak in.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number in circular 32-bit space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// Zero sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// The raw 32-bit value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Circular "less than": true if `self` precedes `other` by fewer than
+    /// 2³¹ positions.
+    pub fn lt(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// Circular "less than or equal".
+    pub fn le(self, other: SeqNum) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// Circular "greater than".
+    pub fn gt(self, other: SeqNum) -> bool {
+        other.lt(self)
+    }
+
+    /// Circular "greater than or equal".
+    pub fn ge(self, other: SeqNum) -> bool {
+        other.le(self)
+    }
+
+    /// True if `self` lies in the half-open circular interval
+    /// `[start, start + len)`.
+    pub fn in_window(self, start: SeqNum, len: u32) -> bool {
+        self.0.wrapping_sub(start.0) < len
+    }
+
+    /// Distance from `earlier` to `self`, assuming `earlier` precedes
+    /// `self` in circular order.
+    pub fn distance_from(self, earlier: SeqNum) -> u32 {
+        self.0.wrapping_sub(earlier.0)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(value: u32) -> Self {
+        SeqNum(value)
+    }
+}
+
+impl From<SeqNum> for u32 {
+    fn from(value: SeqNum) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ordering_near_zero() {
+        assert!(SeqNum(1).lt(SeqNum(2)));
+        assert!(!SeqNum(2).lt(SeqNum(1)));
+        assert!(SeqNum(2).gt(SeqNum(1)));
+        assert!(SeqNum(1).le(SeqNum(1)));
+        assert!(SeqNum(1).ge(SeqNum(1)));
+    }
+
+    #[test]
+    fn ordering_across_wraparound() {
+        let near_max = SeqNum(u32::MAX - 1);
+        let wrapped = SeqNum(5);
+        assert!(near_max.lt(wrapped));
+        assert!(wrapped.gt(near_max));
+        assert_eq!(wrapped.distance_from(near_max), 7);
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(SeqNum(100).in_window(SeqNum(100), 1));
+        assert!(SeqNum(149).in_window(SeqNum(100), 50));
+        assert!(!SeqNum(150).in_window(SeqNum(100), 50));
+        assert!(!SeqNum(99).in_window(SeqNum(100), 50));
+        // Window spanning the wrap point.
+        assert!(SeqNum(3).in_window(SeqNum(u32::MAX - 2), 10));
+        // Zero-length window contains nothing.
+        assert!(!SeqNum(100).in_window(SeqNum(100), 0));
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(SeqNum(u32::MAX) + 1, SeqNum(0));
+        assert_eq!(SeqNum(0) - SeqNum(u32::MAX), 1);
+        let mut s = SeqNum(u32::MAX);
+        s += 2;
+        assert_eq!(s, SeqNum(1));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(SeqNum(42).to_string(), "42");
+        assert_eq!(u32::from(SeqNum(7)), 7);
+        assert_eq!(SeqNum::from(7u32), SeqNum(7));
+        assert_eq!(SeqNum::ZERO.raw(), 0);
+    }
+
+    proptest! {
+        /// lt is a strict order on any pair closer than 2^31.
+        #[test]
+        fn prop_lt_antisymmetric(a in any::<u32>(), delta in 1u32..0x7fff_ffff) {
+            let x = SeqNum(a);
+            let y = x + delta;
+            prop_assert!(x.lt(y));
+            prop_assert!(!y.lt(x));
+            prop_assert!(y.gt(x));
+        }
+
+        /// Adding then measuring distance is the identity.
+        #[test]
+        fn prop_distance_roundtrip(a in any::<u32>(), delta in any::<u32>()) {
+            let x = SeqNum(a);
+            let y = x + delta;
+            prop_assert_eq!(y.distance_from(x), delta);
+            prop_assert_eq!(y - x, delta);
+        }
+
+        /// in_window agrees with the definition via distance.
+        #[test]
+        fn prop_window_definition(a in any::<u32>(), start in any::<u32>(), len in any::<u32>()) {
+            let s = SeqNum(a);
+            let w = SeqNum(start);
+            prop_assert_eq!(s.in_window(w, len), s.distance_from(w) < len);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The RFC 793 TCP connection state machine.
+//!
+//! The demultiplexing paper assumes established connections, but a credible
+//! PCB must carry the full lifecycle: listeners spawn PCBs in `SynReceived`,
+//! data flows in `Established`, and teardown walks the FIN states. The
+//! transition function here is the classic RFC 793 diagram (minus
+//! simultaneous-open corner cases that the diagram includes and real BSD
+//! stacks rarely exercise — simultaneous open *is* supported; simultaneous
+//! close is too).
+
+use core::fmt;
+
+/// TCP connection states, per RFC 793 §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open: waiting for a SYN.
+    Listen,
+    /// Active open: SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// SYN received (from Listen or simultaneous open), waiting for ACK.
+    SynReceived,
+    /// The steady state: data transfer.
+    Established,
+    /// Local close requested; FIN sent, waiting for ACK or FIN.
+    FinWait1,
+    /// Our FIN acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Peer sent FIN; waiting for local close.
+    CloseWait,
+    /// Both sides closing simultaneously; FIN sent and FIN received,
+    /// waiting for the ACK of our FIN.
+    Closing,
+    /// Peer closed first and we have now sent our FIN; waiting for its ACK.
+    LastAck,
+    /// Connection done; draining old duplicates for 2·MSL.
+    TimeWait,
+}
+
+impl TcpState {
+    /// Whether a PCB in this state can carry application data.
+    pub fn can_transfer_data(self) -> bool {
+        matches!(
+            self,
+            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::CloseWait
+        )
+    }
+
+    /// Whether the connection is fully specified (has a remote endpoint),
+    /// i.e. is found by exact-match demultiplexing rather than the wildcard
+    /// listener path.
+    pub fn is_fully_specified(self) -> bool {
+        !matches!(self, TcpState::Closed | TcpState::Listen)
+    }
+
+    /// Whether the state machine has terminated.
+    pub fn is_closed(self) -> bool {
+        matches!(self, TcpState::Closed)
+    }
+}
+
+impl fmt::Display for TcpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TcpState::Closed => "CLOSED",
+            TcpState::Listen => "LISTEN",
+            TcpState::SynSent => "SYN-SENT",
+            TcpState::SynReceived => "SYN-RECEIVED",
+            TcpState::Established => "ESTABLISHED",
+            TcpState::FinWait1 => "FIN-WAIT-1",
+            TcpState::FinWait2 => "FIN-WAIT-2",
+            TcpState::CloseWait => "CLOSE-WAIT",
+            TcpState::Closing => "CLOSING",
+            TcpState::LastAck => "LAST-ACK",
+            TcpState::TimeWait => "TIME-WAIT",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Events that drive the state machine: application calls, received
+/// segments (already validated), and timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpEvent {
+    /// Application performs a passive open (listen).
+    AppListen,
+    /// Application performs an active open (connect); SYN goes out.
+    AppConnect,
+    /// Application closes; FIN goes out where the diagram says so.
+    AppClose,
+    /// A SYN (without ACK) arrived.
+    RecvSyn,
+    /// A SYN-ACK arrived.
+    RecvSynAck,
+    /// An ACK arrived that acknowledges our SYN or FIN (plain data ACKs in
+    /// `Established` do not change state and need not be fed here).
+    RecvAck,
+    /// A FIN arrived.
+    RecvFin,
+    /// A valid RST arrived.
+    RecvRst,
+    /// The 2·MSL TIME-WAIT timer (or SYN-RCVD abort timer) expired.
+    Timeout,
+}
+
+/// Error returned when an event is not legal in the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the machine was in.
+    pub state: TcpState,
+    /// Event that was not acceptable.
+    pub event: TcpEvent,
+}
+
+impl fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event {:?} is invalid in state {}",
+            self.event, self.state
+        )
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+impl TcpState {
+    /// Apply `event` and return the next state, or an error if the event is
+    /// not meaningful in this state (the caller decides whether that means
+    /// "drop segment" or "send RST").
+    pub fn on_event(self, event: TcpEvent) -> Result<TcpState, InvalidTransition> {
+        use TcpEvent::*;
+        use TcpState::*;
+        let next = match (self, event) {
+            (Closed, AppListen) => Listen,
+            (Closed, AppConnect) => SynSent,
+
+            (Listen, RecvSyn) => SynReceived,
+            (Listen, AppClose) => Closed,
+            // An RST aimed at a listener is ignored, the listener persists.
+            (Listen, RecvRst) => Listen,
+
+            (SynSent, RecvSynAck) => Established,
+            // Simultaneous open: our SYN crossed the peer's.
+            (SynSent, RecvSyn) => SynReceived,
+            (SynSent, AppClose) => Closed,
+            (SynSent, RecvRst) => Closed,
+            (SynSent, Timeout) => Closed,
+
+            (SynReceived, RecvAck) => Established,
+            (SynReceived, AppClose) => FinWait1,
+            (SynReceived, RecvRst) => Closed,
+            (SynReceived, Timeout) => Closed,
+            (SynReceived, RecvFin) => CloseWait,
+
+            (Established, AppClose) => FinWait1,
+            (Established, RecvFin) => CloseWait,
+            (Established, RecvRst) => Closed,
+            // A duplicate ACK in Established is a no-op, not an error.
+            (Established, RecvAck) => Established,
+
+            (FinWait1, RecvAck) => FinWait2,
+            (FinWait1, RecvFin) => Closing,
+            (FinWait1, RecvRst) => Closed,
+
+            (FinWait2, RecvFin) => TimeWait,
+            (FinWait2, RecvRst) => Closed,
+            (FinWait2, RecvAck) => FinWait2,
+
+            (CloseWait, AppClose) => LastAck,
+            (CloseWait, RecvRst) => Closed,
+            (CloseWait, RecvAck) => CloseWait,
+
+            (Closing, RecvAck) => TimeWait,
+            (Closing, RecvRst) => Closed,
+
+            (LastAck, RecvAck) => Closed,
+            (LastAck, RecvRst) => Closed,
+
+            (TimeWait, Timeout) => Closed,
+            (TimeWait, RecvRst) => Closed,
+            // Retransmitted FINs in TIME-WAIT re-arm the timer; state stays.
+            (TimeWait, RecvFin) => TimeWait,
+
+            (state, event) => return Err(InvalidTransition { state, event }),
+        };
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use TcpEvent::*;
+    use TcpState::*;
+
+    fn drive(start: TcpState, events: &[TcpEvent]) -> TcpState {
+        events.iter().fold(start, |s, &e| {
+            s.on_event(e)
+                .unwrap_or_else(|err| panic!("unexpected invalid transition: {err}"))
+        })
+    }
+
+    #[test]
+    fn passive_open_handshake() {
+        let s = drive(Closed, &[AppListen, RecvSyn, RecvAck]);
+        assert_eq!(s, Established);
+    }
+
+    #[test]
+    fn active_open_handshake() {
+        let s = drive(Closed, &[AppConnect, RecvSynAck]);
+        assert_eq!(s, Established);
+    }
+
+    #[test]
+    fn simultaneous_open() {
+        let s = drive(Closed, &[AppConnect, RecvSyn, RecvAck]);
+        assert_eq!(s, Established);
+    }
+
+    #[test]
+    fn active_close_normal() {
+        let s = drive(Established, &[AppClose, RecvAck, RecvFin]);
+        assert_eq!(s, TimeWait);
+        assert_eq!(s.on_event(Timeout).unwrap(), Closed);
+    }
+
+    #[test]
+    fn passive_close() {
+        let s = drive(Established, &[RecvFin, AppClose, RecvAck]);
+        assert_eq!(s, Closed);
+    }
+
+    #[test]
+    fn simultaneous_close() {
+        let s = drive(Established, &[AppClose, RecvFin, RecvAck]);
+        assert_eq!(s, TimeWait);
+    }
+
+    #[test]
+    fn rst_tears_down_from_every_synchronized_state() {
+        for state in [
+            SynSent,
+            SynReceived,
+            Established,
+            FinWait1,
+            FinWait2,
+            CloseWait,
+            Closing,
+            LastAck,
+            TimeWait,
+        ] {
+            assert_eq!(
+                state.on_event(RecvRst).unwrap(),
+                Closed,
+                "RST in {state} must close"
+            );
+        }
+        // But a listener survives an RST.
+        assert_eq!(Listen.on_event(RecvRst).unwrap(), Listen);
+    }
+
+    #[test]
+    fn invalid_transitions_are_errors() {
+        let err = Closed.on_event(RecvFin).unwrap_err();
+        assert_eq!(err.state, Closed);
+        assert_eq!(err.event, RecvFin);
+        assert!(err.to_string().contains("CLOSED"));
+        assert!(Listen.on_event(RecvSynAck).is_err());
+        assert!(TimeWait.on_event(AppConnect).is_err());
+        assert!(Established.on_event(AppListen).is_err());
+    }
+
+    #[test]
+    fn data_transfer_states() {
+        for state in [Established, FinWait1, FinWait2, CloseWait] {
+            assert!(state.can_transfer_data(), "{state}");
+        }
+        for state in [
+            Closed,
+            Listen,
+            SynSent,
+            SynReceived,
+            Closing,
+            LastAck,
+            TimeWait,
+        ] {
+            assert!(!state.can_transfer_data(), "{state}");
+        }
+    }
+
+    #[test]
+    fn fully_specified_states() {
+        assert!(!Closed.is_fully_specified());
+        assert!(!Listen.is_fully_specified());
+        for state in [SynSent, SynReceived, Established, TimeWait] {
+            assert!(state.is_fully_specified(), "{state}");
+        }
+    }
+
+    #[test]
+    fn display_names_match_rfc() {
+        assert_eq!(Established.to_string(), "ESTABLISHED");
+        assert_eq!(FinWait2.to_string(), "FIN-WAIT-2");
+        assert_eq!(TimeWait.to_string(), "TIME-WAIT");
+    }
+
+    #[test]
+    fn syn_received_passive_fin() {
+        // Peer can send FIN immediately after its SYN is acknowledged at the
+        // segment level but before we see the ACK (half-open teardown).
+        assert_eq!(SynReceived.on_event(RecvFin).unwrap(), CloseWait);
+    }
+
+    proptest! {
+        /// The machine never panics and always either transitions or
+        /// reports an InvalidTransition for arbitrary event sequences.
+        #[test]
+        fn prop_total_over_event_sequences(events in proptest::collection::vec(0u8..9, 0..64)) {
+            let decode = |b: u8| match b {
+                0 => AppListen,
+                1 => AppConnect,
+                2 => AppClose,
+                3 => RecvSyn,
+                4 => RecvSynAck,
+                5 => RecvAck,
+                6 => RecvFin,
+                7 => RecvRst,
+                _ => Timeout,
+            };
+            let mut state = Closed;
+            for b in events {
+                if let Ok(next) = state.on_event(decode(b)) {
+                    state = next;
+                }
+            }
+            // Invariant: whatever happened, the state is one of the 11.
+            let _ = state.to_string();
+        }
+
+        /// From any state, RST or Timeout eventually leads to Closed within
+        /// two steps (RST always, Timeout where defined).
+        #[test]
+        fn prop_rst_converges(start_idx in 0usize..11) {
+            let states = [
+                Closed, Listen, SynSent, SynReceived, Established, FinWait1,
+                FinWait2, CloseWait, Closing, LastAck, TimeWait,
+            ];
+            let state = states[start_idx];
+            if let Ok(next) = state.on_event(RecvRst) {
+                prop_assert!(next == Closed || next == Listen);
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Connection-churn workload: sessions arrive, transact, and leave.
+//!
+//! The paper's analysis holds `N` fixed, but a real OLTP front end also
+//! churns connections (tellers log in and out; the paper's §4 notes user
+//! counts are "sharply limited by other factors"). This workload runs a
+//! birth–death process: sessions arrive Poisson at rate `λ`, each
+//! performs a geometric number of transactions at the TPC/A pace, then
+//! closes. It exercises the code path the static workloads never touch —
+//! `insert`/`remove` interleaved with lookups — and checks that no
+//! structure decays under churn (stale caches, leaked list nodes).
+
+use crate::engine::EventQueue;
+use crate::rng::SimRng;
+use crate::runner::TraceEvent;
+use crate::time::SimTime;
+use std::net::Ipv4Addr;
+use tcpdemux_core::PacketKind;
+use tcpdemux_pcb::ConnectionKey;
+
+/// Configuration for the churn workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Session arrival rate, sessions per second.
+    pub arrival_rate: f64,
+    /// Mean transactions a session performs before disconnecting.
+    pub mean_transactions: f64,
+    /// Mean think time between a session's transactions (seconds).
+    pub mean_think: f64,
+    /// Response time (seconds); the ack returns this much later.
+    pub response_time: f64,
+    /// Total sessions to run through their full lifecycle.
+    pub sessions: u32,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate: 10.0,
+            mean_transactions: 20.0,
+            mean_think: 10.0,
+            response_time: 0.2,
+            sessions: 500,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    SessionArrives(u32),
+    Txn(u32),
+    Ack(u32),
+}
+
+fn key_for_session(n: u32) -> ConnectionKey {
+    // Each session gets a fresh ephemeral port and client address, so
+    // keys never repeat even as sessions come and go.
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::from(0x0a80_0000 + (n / 16_000)),
+        (49_152 + (n % 16_000)) as u16,
+    )
+}
+
+/// Generate a churn trace: `Open`, transactions, `Close` per session.
+pub fn trace(config: ChurnConfig, seed: u64) -> Vec<TraceEvent> {
+    assert!(config.arrival_rate > 0.0 && config.sessions > 0);
+    assert!(config.mean_transactions >= 1.0);
+    let mut rng = SimRng::new(seed);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut events = Vec::new();
+    // Remaining transactions per session, indexed by session id.
+    let mut remaining: Vec<u64> = Vec::with_capacity(config.sessions as usize);
+
+    let mut t = 0.0f64;
+    for session in 0..config.sessions {
+        t += rng.exponential(1.0 / config.arrival_rate);
+        queue.schedule(SimTime::from_secs_f64(t), Ev::SessionArrives(session));
+        remaining.push(rng.geometric(1.0 / config.mean_transactions));
+    }
+
+    let r = SimTime::from_secs_f64(config.response_time);
+    while let Some((at, ev)) = queue.pop() {
+        match ev {
+            Ev::SessionArrives(s) => {
+                let key = key_for_session(s);
+                events.push(TraceEvent::Open { at, key });
+                let think = rng.exponential(config.mean_think);
+                queue.schedule(at + SimTime::from_secs_f64(think), Ev::Txn(s));
+            }
+            Ev::Txn(s) => {
+                let key = key_for_session(s);
+                events.push(TraceEvent::Arrival {
+                    at,
+                    key,
+                    kind: PacketKind::Data,
+                });
+                events.push(TraceEvent::Departure { at, key }); // query ack
+                queue.schedule(at + r, Ev::Ack(s));
+            }
+            Ev::Ack(s) => {
+                let key = key_for_session(s);
+                events.push(TraceEvent::Departure { at, key }); // response
+                events.push(TraceEvent::Arrival {
+                    at,
+                    key,
+                    kind: PacketKind::Ack,
+                });
+                remaining[s as usize] -= 1;
+                if remaining[s as usize] == 0 {
+                    events.push(TraceEvent::Close { at, key });
+                } else {
+                    let think = rng.exponential(config.mean_think);
+                    queue.schedule(at + SimTime::from_secs_f64(think), Ev::Txn(s));
+                }
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_trace;
+    use tcpdemux_core::standard_suite;
+
+    #[test]
+    fn every_session_opens_and_closes_once() {
+        let cfg = ChurnConfig {
+            sessions: 100,
+            ..ChurnConfig::default()
+        };
+        let events = trace(cfg, 1);
+        let opens = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Open { .. }))
+            .count();
+        let closes = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Close { .. }))
+            .count();
+        assert_eq!(opens, 100);
+        assert_eq!(closes, 100);
+    }
+
+    #[test]
+    fn structures_drain_to_empty() {
+        // After every session closes, every structure must be empty: no
+        // leaked list nodes, no phantom chain entries.
+        let cfg = ChurnConfig {
+            sessions: 300,
+            ..ChurnConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 2), &mut suite);
+        for report in &reports {
+            assert_eq!(report.lost_packets, 0, "{}", report.name);
+        }
+        for demux in &suite {
+            assert_eq!(demux.len(), 0, "{} leaked connections", demux.name());
+            assert!(demux.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookups_between_open_and_close_always_hit() {
+        let cfg = ChurnConfig {
+            sessions: 200,
+            mean_transactions: 5.0,
+            ..ChurnConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 3), &mut suite);
+        for report in &reports {
+            assert_eq!(report.stats.not_found, 0, "{}", report.name);
+            assert!(report.stats.lookups > 0);
+        }
+    }
+
+    #[test]
+    fn hashing_still_wins_under_churn() {
+        let cfg = ChurnConfig {
+            arrival_rate: 50.0, // high concurrency: many live sessions
+            sessions: 800,
+            mean_transactions: 30.0,
+            ..ChurnConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 4), &mut suite);
+        let get = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .stats
+                .mean_examined()
+        };
+        assert!(get("sequent(19)") < get("bsd") / 3.0);
+        assert!(get("direct-index") <= get("sequent(100)"));
+    }
+
+    #[test]
+    fn session_keys_are_unique() {
+        let mut keys: Vec<_> = (0..50_000).map(key_for_session).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 50_000);
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = ChurnConfig::default();
+        assert_eq!(trace(cfg, 9), trace(cfg, 9));
+        assert_ne!(trace(cfg, 9), trace(cfg, 10));
+    }
+}

@@ -1,0 +1,199 @@
+//! Zipf-distributed connection popularity ("network locality").
+//!
+//! Mogul's SIGCOMM '91 measurements — the motivation the paper cites for
+//! Partridge & Pink's cache — showed that a few connections carry most
+//! packets. This workload draws each packet's connection from a Zipf
+//! distribution with tunable skew: exponent 0 is uniform (the OLTP
+//! regime), larger exponents concentrate traffic (the regime where the
+//! one-entry caches recover).
+
+use crate::rng::SimRng;
+use crate::runner::TraceEvent;
+use crate::time::SimTime;
+use tcpdemux_core::PacketKind;
+use tcpdemux_hash::quality::tpca_key_population;
+
+/// Configuration for the locality workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityConfig {
+    /// Number of connections.
+    pub connections: u32,
+    /// Zipf exponent `s ≥ 0` (0 = uniform).
+    pub exponent: f64,
+    /// Packets to emit.
+    pub packets: u64,
+    /// Microseconds between packets.
+    pub inter_packet_micros: u64,
+}
+
+impl Default for LocalityConfig {
+    fn default() -> Self {
+        Self {
+            connections: 500,
+            exponent: 1.0,
+            packets: 50_000,
+            inter_packet_micros: 100,
+        }
+    }
+}
+
+/// A sampler over ranks `0..n` with probability `∝ 1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the cumulative table for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1 && s >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draw a rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// The probability of the most popular rank.
+    pub fn top_probability(&self) -> f64 {
+        self.cdf[0]
+    }
+}
+
+/// Generate a locality trace (with leading `Open`s).
+pub fn trace(config: LocalityConfig, seed: u64) -> Vec<TraceEvent> {
+    assert!(config.connections >= 1);
+    let keys = tpca_key_population(config.connections as usize);
+    let sampler = ZipfSampler::new(keys.len(), config.exponent);
+    let mut rng = SimRng::new(seed);
+    let mut events: Vec<TraceEvent> = keys
+        .iter()
+        .map(|&key| TraceEvent::Open {
+            at: SimTime::ZERO,
+            key,
+        })
+        .collect();
+    let mut now = SimTime::ZERO;
+    for _ in 0..config.packets {
+        now += SimTime(config.inter_packet_micros);
+        events.push(TraceEvent::Arrival {
+            at: now,
+            key: keys[sampler.sample(&mut rng)],
+            kind: PacketKind::Data,
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_trace;
+    use tcpdemux_core::standard_suite;
+
+    #[test]
+    fn zipf_zero_is_uniform() {
+        let sampler = ZipfSampler::new(100, 0.0);
+        let mut rng = SimRng::new(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.4, "max {max} min {min}");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates() {
+        let s1 = ZipfSampler::new(100, 1.0);
+        let s2 = ZipfSampler::new(100, 2.0);
+        assert!(s2.top_probability() > s1.top_probability());
+        assert!(s1.top_probability() > 1.0 / 100.0);
+        // s = 2 over 100 ranks: top rank has p = 1/ζ₁₀₀(2) ≈ 0.62.
+        assert!((s2.top_probability() - 0.62).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_is_in_range() {
+        let sampler = ZipfSampler::new(7, 1.5);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            assert!(sampler.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn caches_recover_with_skew() {
+        // As locality rises, the BSD cache hit rate must rise (Mogul's
+        // observation) and MTF's mean cost must fall (popular PCBs stay
+        // near the front). Note BSD's *cost* need not fall: the popular
+        // rank-0 key sits at the tail of BSD's static list, so its misses
+        // stay maximally expensive — the paper's §3.4 pitfall that "the
+        // hit ratio is only part of the story".
+        let mut prev_hit = -1.0;
+        let mut prev_mtf_cost = f64::INFINITY;
+        for s in [0.0, 1.0, 2.0] {
+            let cfg = LocalityConfig {
+                connections: 200,
+                exponent: s,
+                packets: 20_000,
+                ..LocalityConfig::default()
+            };
+            let mut suite = standard_suite();
+            let reports = run_trace(trace(cfg, 3), &mut suite);
+            let bsd = reports.iter().find(|r| r.name == "bsd").unwrap();
+            let mtf = reports.iter().find(|r| r.name == "mtf").unwrap();
+            assert!(
+                bsd.stats.hit_rate() > prev_hit,
+                "s={s}: hit rate must increase"
+            );
+            assert!(
+                mtf.stats.mean_examined() < prev_mtf_cost,
+                "s={s}: MTF cost must decrease"
+            );
+            prev_hit = bsd.stats.hit_rate();
+            prev_mtf_cost = mtf.stats.mean_examined();
+        }
+    }
+
+    #[test]
+    fn sequent_still_wins_at_moderate_skew() {
+        let cfg = LocalityConfig {
+            connections: 500,
+            exponent: 1.0,
+            packets: 30_000,
+            ..LocalityConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 4), &mut suite);
+        let get = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .stats
+                .mean_examined()
+        };
+        assert!(get("sequent(19)") < get("bsd"));
+        assert!(get("sequent(19)") < get("mtf"));
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = LocalityConfig::default();
+        assert_eq!(trace(cfg, 5), trace(cfg, 5));
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic round-robin polling workload.
+//!
+//! §3.2: "if the think times were deterministic (exactly 10 seconds
+//! always), Crowcroft's algorithm would look through all 2,000 PCBs on
+//! each transaction entry. One example of a system with this behavior is a
+//! central server polling its clients, as seen in many point-of-sale
+//! terminal applications." This workload realizes that adversary: the
+//! server polls each client in a fixed rotation, and every client answers
+//! in turn.
+
+use crate::runner::TraceEvent;
+use crate::time::SimTime;
+use tcpdemux_core::PacketKind;
+use tcpdemux_hash::quality::tpca_key_population;
+
+/// Configuration for the polling workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollingConfig {
+    /// Number of polled terminals (connections).
+    pub terminals: u32,
+    /// Complete polling cycles to run.
+    pub cycles: u32,
+    /// Microseconds between consecutive polls.
+    pub poll_interval_micros: u64,
+}
+
+impl Default for PollingConfig {
+    fn default() -> Self {
+        Self {
+            terminals: 200,
+            cycles: 20,
+            poll_interval_micros: 1000,
+        }
+    }
+}
+
+/// Generate the polling trace: per poll, the server sends the poll
+/// (a `Departure`) and the terminal's answer arrives (an `Arrival`).
+pub fn trace(config: PollingConfig) -> Vec<TraceEvent> {
+    assert!(config.terminals >= 1 && config.cycles >= 1);
+    let keys = tpca_key_population(config.terminals as usize);
+    let mut events: Vec<TraceEvent> = keys
+        .iter()
+        .map(|&key| TraceEvent::Open {
+            at: SimTime::ZERO,
+            key,
+        })
+        .collect();
+    let mut now = SimTime::ZERO;
+    for _cycle in 0..config.cycles {
+        for &key in &keys {
+            now += SimTime(config.poll_interval_micros);
+            events.push(TraceEvent::Departure { at: now, key });
+            events.push(TraceEvent::Arrival {
+                at: now,
+                key,
+                kind: PacketKind::Data,
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_trace;
+    use tcpdemux_core::standard_suite;
+
+    fn reports(config: PollingConfig) -> Vec<crate::runner::AlgoReport> {
+        let mut suite = standard_suite();
+        let full = trace(config);
+        // Warm up one cycle so every structure reaches steady state, then
+        // measure the rest.
+        let events_per_cycle = 2 * config.terminals as usize;
+        let opens = config.terminals as usize;
+        let warmup: Vec<_> = full[..opens + events_per_cycle].to_vec();
+        let measured: Vec<_> = full[opens + events_per_cycle..].to_vec();
+        let _ = run_trace(warmup, &mut suite);
+        run_trace(measured, &mut suite)
+    }
+
+    #[test]
+    fn mtf_degrades_to_full_scan() {
+        let cfg = PollingConfig {
+            terminals: 100,
+            cycles: 5,
+            ..PollingConfig::default()
+        };
+        let rs = reports(cfg);
+        let mtf = rs.iter().find(|r| r.name == "mtf").unwrap();
+        // Every single poll under MTF scans all N PCBs — the paper's
+        // deterministic worst case, *worse* than plain BSD.
+        assert!(
+            (mtf.stats.mean_examined() - 100.0).abs() < 1e-9,
+            "{}",
+            mtf.stats.mean_examined()
+        );
+        let bsd = rs.iter().find(|r| r.name == "bsd").unwrap();
+        assert!(mtf.stats.mean_examined() > bsd.stats.mean_examined());
+    }
+
+    #[test]
+    fn send_recv_cache_shines_on_polling() {
+        // The poll goes out just before the answer comes back: the
+        // send-side cache holds exactly the right PCB. Partridge & Pink's
+        // scheme was designed for this locality.
+        let cfg = PollingConfig {
+            terminals: 100,
+            cycles: 5,
+            ..PollingConfig::default()
+        };
+        let rs = reports(cfg);
+        let sr = rs.iter().find(|r| r.name == "send-recv").unwrap();
+        assert!(
+            sr.stats.mean_examined() <= 2.0,
+            "{}",
+            sr.stats.mean_examined()
+        );
+        assert!(sr.stats.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn sequent_scans_chains_round_robin() {
+        // Within each chain the rotation is also round-robin, so each
+        // lookup scans its whole chain (~N/H) plus the cache probe — still
+        // an order of magnitude below MTF's N.
+        let cfg = PollingConfig {
+            terminals: 190,
+            cycles: 5,
+            ..PollingConfig::default()
+        };
+        let rs = reports(cfg);
+        let seq = rs.iter().find(|r| r.name == "sequent(19)").unwrap();
+        let mean = seq.stats.mean_examined();
+        assert!(
+            (5.0..30.0).contains(&mean),
+            "expected ≈ N/H + 1 = 11, got {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_trace() {
+        let cfg = PollingConfig::default();
+        assert_eq!(trace(cfg), trace(cfg));
+    }
+}

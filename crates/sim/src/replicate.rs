@@ -1,0 +1,135 @@
+//! Multi-seed replication: mean and spread of a simulated metric.
+//!
+//! A single simulation run is one draw from the workload's distribution;
+//! the cross-validation tables should say how wide that distribution is.
+//! [`replicate`] runs a closure over several seeds and summarizes the
+//! resulting samples (mean, standard deviation, and a ±half-width from
+//! the normal approximation), so experiment reports can print
+//! `54.6 ± 0.4` instead of a bare point estimate.
+
+/// Summary statistics over replicated simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replication {
+    /// Number of runs.
+    pub runs: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single run).
+    pub std_dev: f64,
+}
+
+impl Replication {
+    /// Summarize a set of samples. Panics on an empty set.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let std_dev = if samples.len() < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        Self {
+            runs: samples.len(),
+            mean,
+            std_dev,
+        }
+    }
+
+    /// Approximate 95 % confidence half-width (`1.96·σ/√n`; normal
+    /// approximation, fine for the ≥5 runs experiments use).
+    pub fn half_width(&self) -> f64 {
+        if self.runs < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.runs as f64).sqrt()
+    }
+
+    /// `"mean ± half-width"` with sensible precision.
+    pub fn display(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.half_width())
+    }
+}
+
+/// Run `metric` once per seed and summarize the results.
+pub fn replicate(
+    seeds: impl IntoIterator<Item = u64>,
+    mut metric: impl FnMut(u64) -> f64,
+) -> Replication {
+    let samples: Vec<f64> = seeds.into_iter().map(&mut metric).collect();
+    Replication::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpca::{TpcaSim, TpcaSimConfig};
+
+    #[test]
+    fn summary_arithmetic() {
+        let r = Replication::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(r.runs, 5);
+        assert!((r.mean - 3.0).abs() < 1e-12);
+        assert!((r.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+        assert!((r.half_width() - 1.96 * r.std_dev / 5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.display(), "3.0 ± 1.4");
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let r = Replication::from_samples(&[42.0]);
+        assert_eq!(r.std_dev, 0.0);
+        assert_eq!(r.half_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = Replication::from_samples(&[]);
+    }
+
+    #[test]
+    fn tpca_replication_brackets_the_analytic_value() {
+        // Five seeds of a small TPC/A run: the analytic BSD cost must lie
+        // within (mean ± 3·half-width) — a loose but meaningful check
+        // that the simulator's spread is honest.
+        let cfg = TpcaSimConfig {
+            users: 100,
+            transactions: 2_000,
+            warmup_transactions: 400,
+            ..TpcaSimConfig::default()
+        };
+        let rep = replicate(1..=5u64, |seed| {
+            let reports = TpcaSim::new(cfg, seed).run_standard_suite();
+            reports
+                .iter()
+                .find(|r| r.name == "bsd")
+                .unwrap()
+                .stats
+                .mean_examined()
+        });
+        let predicted = tcpdemux_analytic::bsd::cost(100.0);
+        let hw = rep.half_width().max(1.0);
+        assert!(
+            (rep.mean - predicted).abs() < 3.0 * hw,
+            "mean {} ± {} vs analytic {}",
+            rep.mean,
+            hw,
+            predicted
+        );
+        assert!(
+            rep.std_dev < predicted * 0.1,
+            "spread is small: {}",
+            rep.std_dev
+        );
+    }
+
+    #[test]
+    fn replicate_is_deterministic_given_seeds() {
+        let f = |seed: u64| (seed as f64) * 2.0;
+        let a = replicate(vec![1, 2, 3], f);
+        let b = replicate(vec![1, 2, 3], f);
+        assert_eq!(a, b);
+    }
+}

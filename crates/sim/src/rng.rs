@@ -1,0 +1,150 @@
+//! Random variates for the workload generators.
+//!
+//! Everything derives from a seeded [`rand::rngs::StdRng`], so every
+//! simulation run is exactly reproducible from its seed. The exponential
+//! and truncated-exponential samplers are implemented by inverse
+//! transform; the truncated variant matches TPC/A's think-time rule (a
+//! negative-exponential *conditioned* on not exceeding the truncation
+//! point, realized by rejection).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of the workload generators' random variates.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Exponential with the given mean, by inverse transform:
+    /// `−mean·ln(1−U)`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        let u: f64 = self.rng.gen();
+        -mean * (-u).ln_1p()
+    }
+
+    /// Truncated exponential: exponential with `mean`, conditioned on the
+    /// value not exceeding `max` (rejection sampling). TPC/A requires
+    /// `max ≥ 10 × mean`, making rejection vanishingly rare (`e⁻¹⁰`).
+    pub fn truncated_exponential(&mut self, mean: f64, max: f64) -> f64 {
+        assert!(max > 0.0 && max >= mean, "truncation below the mean");
+        loop {
+            let v = self.exponential(mean);
+            if v <= max {
+                return v;
+            }
+        }
+    }
+
+    /// Geometric number of extra packets: returns `k ≥ 1` with
+    /// `P(k) = (1−p)^{k−1} p` — the packet-train length model of
+    /// Jain & Routhier (mean `1/p`).
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p) && p > 0.0);
+        let u: f64 = self.rng.gen();
+        // Inverse transform: ceil(ln(1−u)/ln(1−p)).
+        if p >= 1.0 {
+            return 1;
+        }
+        let k = ((-u).ln_1p() / (-p).ln_1p()).ceil();
+        (k as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_from_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+        let mut c = SimRng::new(8);
+        let same: Vec<f64> = (0..10).map(|_| SimRng::new(7).uniform()).collect();
+        assert!(same.iter().all(|&x| x == same[0]));
+        assert_ne!(a.uniform(), c.uniform());
+    }
+
+    #[test]
+    fn exponential_mean_and_memorylessness() {
+        let mut rng = SimRng::new(1);
+        let n = 200_000;
+        let mean = 10.0;
+        let samples: Vec<f64> = (0..n).map(|_| rng.exponential(mean)).collect();
+        let avg: f64 = samples.iter().sum::<f64>() / n as f64;
+        assert!((avg - mean).abs() < 0.15, "avg {avg}");
+        // CDF at the mean: 1 − e⁻¹ ≈ 0.632.
+        let below_mean = samples.iter().filter(|&&x| x < mean).count() as f64 / n as f64;
+        assert!((below_mean - 0.632).abs() < 0.01, "{below_mean}");
+    }
+
+    #[test]
+    fn truncated_exponential_respects_bound() {
+        let mut rng = SimRng::new(2);
+        let mean = 10.0;
+        let max = 100.0;
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let v = rng.truncated_exponential(mean, max);
+            assert!((0.0..=max).contains(&v));
+            sum += v;
+        }
+        // The conditioning barely moves the mean (by ~11e⁻¹⁰·mean).
+        let avg = sum / 100_000.0;
+        assert!((avg - mean).abs() < 0.2, "avg {avg}");
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut rng = SimRng::new(3);
+        let p = 0.25; // mean train length 4
+        let n = 100_000;
+        let avg: f64 = (0..n).map(|_| rng.geometric(p) as f64).sum::<f64>() / n as f64;
+        assert!((avg - 4.0).abs() < 0.1, "avg {avg}");
+        // Always at least 1.
+        assert!((0..1000).all(|_| rng.geometric(0.9) >= 1));
+        assert_eq!(rng.geometric(1.0), 1);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = SimRng::new(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn uniform_is_unit_interval() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation time: integer microseconds.
+//!
+//! Integer time makes event ordering exact and reproducible; microsecond
+//! resolution is three orders of magnitude below the paper's smallest
+//! parameter (the 1 ms round trip), so discretization error is invisible.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from seconds (fractional seconds fine down to 1 µs).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and nonnegative, got {secs}"
+        );
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// This instant in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Raw microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference (zero if `earlier` is actually later).
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_secs_f64(0.2);
+        assert_eq!(t.as_micros(), 200_000);
+        assert!((t.as_secs_f64() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn microsecond_resolution() {
+        assert_eq!(SimTime::from_secs_f64(1e-6).as_micros(), 1);
+        assert_eq!(SimTime::from_secs_f64(0.0).as_micros(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(100);
+        let b = SimTime(30);
+        assert_eq!(a + b, SimTime(130));
+        assert_eq!(a - b, SimTime(70));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime(130));
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        assert_eq!(a.saturating_since(b), SimTime(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime(1_500_000).to_string(), "1.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

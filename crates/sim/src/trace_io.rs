@@ -1,0 +1,261 @@
+//! Plain-text trace serialization.
+//!
+//! Workload traces can be written to disk and replayed later (or fed to
+//! an external tool) in a one-event-per-line format:
+//!
+//! ```text
+//! O <micros> <local>:<port> <remote>:<port>      # connection opened
+//! C <micros> <local>:<port> <remote>:<port>      # connection closed
+//! D <micros> <local>:<port> <remote>:<port>      # packet sent by host
+//! A <micros> <local>:<port> <remote>:<port> d|a  # packet arrived (data/ack)
+//! ```
+//!
+//! The format is deliberately trivial — greppable, diffable, and free of
+//! external dependencies — and round-trips exactly.
+
+use crate::runner::TraceEvent;
+use crate::time::SimTime;
+use core::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+use tcpdemux_core::PacketKind;
+use tcpdemux_pcb::ConnectionKey;
+
+/// Errors produced while parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn write_key(out: &mut String, key: &ConnectionKey) {
+    use core::fmt::Write;
+    let _ = write!(
+        out,
+        "{}:{} {}:{}",
+        key.local_addr, key.local_port, key.remote_addr, key.remote_port
+    );
+}
+
+/// Serialize a trace to its text form.
+pub fn write_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    use core::fmt::Write;
+    let mut out = String::new();
+    for event in events {
+        match event {
+            TraceEvent::Open { at, key } => {
+                let _ = write!(out, "O {} ", at.as_micros());
+                write_key(&mut out, key);
+            }
+            TraceEvent::Close { at, key } => {
+                let _ = write!(out, "C {} ", at.as_micros());
+                write_key(&mut out, key);
+            }
+            TraceEvent::Departure { at, key } => {
+                let _ = write!(out, "D {} ", at.as_micros());
+                write_key(&mut out, key);
+            }
+            TraceEvent::Arrival { at, key, kind } => {
+                let _ = write!(out, "A {} ", at.as_micros());
+                write_key(&mut out, key);
+                let _ = write!(
+                    out,
+                    " {}",
+                    match kind {
+                        PacketKind::Data => "d",
+                        PacketKind::Ack => "a",
+                    }
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_endpoint(token: &str, line: usize) -> Result<(Ipv4Addr, u16), TraceParseError> {
+    let err = |reason: &str| TraceParseError {
+        line,
+        reason: format!("{reason}: {token:?}"),
+    };
+    let (addr, port) = token.rsplit_once(':').ok_or_else(|| err("missing ':'"))?;
+    let addr = Ipv4Addr::from_str(addr).map_err(|_| err("bad address"))?;
+    let port = port.parse::<u16>().map_err(|_| err("bad port"))?;
+    Ok((addr, port))
+}
+
+/// Parse the text form back into events. Blank lines and lines starting
+/// with `#` are ignored.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceParseError> {
+    let mut events = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| TraceParseError {
+            line: line_no,
+            reason: reason.to_string(),
+        };
+        let mut fields = line.split_whitespace();
+        let tag = fields.next().ok_or_else(|| err("empty line"))?;
+        let at = fields
+            .next()
+            .ok_or_else(|| err("missing timestamp"))?
+            .parse::<u64>()
+            .map_err(|_| err("bad timestamp"))?;
+        let at = SimTime(at);
+        let local = parse_endpoint(fields.next().ok_or_else(|| err("missing local"))?, line_no)?;
+        let remote = parse_endpoint(fields.next().ok_or_else(|| err("missing remote"))?, line_no)?;
+        let key = ConnectionKey::new(local.0, local.1, remote.0, remote.1);
+        let event = match tag {
+            "O" => TraceEvent::Open { at, key },
+            "C" => TraceEvent::Close { at, key },
+            "D" => TraceEvent::Departure { at, key },
+            "A" => {
+                let kind = match fields.next() {
+                    Some("d") => PacketKind::Data,
+                    Some("a") => PacketKind::Ack,
+                    other => {
+                        return Err(TraceParseError {
+                            line: line_no,
+                            reason: format!("bad packet kind {other:?}"),
+                        })
+                    }
+                };
+                TraceEvent::Arrival { at, key, kind }
+            }
+            other => {
+                return Err(TraceParseError {
+                    line: line_no,
+                    reason: format!("unknown tag {other:?}"),
+                })
+            }
+        };
+        if fields.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpca::{TpcaSim, TpcaSimConfig};
+
+    #[test]
+    fn roundtrips_a_real_workload() {
+        let sim = TpcaSim::new(
+            TpcaSimConfig {
+                users: 20,
+                transactions: 50,
+                warmup_transactions: 10,
+                ..TpcaSimConfig::default()
+            },
+            7,
+        );
+        let (warmup, measured) = sim.trace();
+        for segment in [warmup, measured] {
+            let text = write_trace(segment.iter());
+            let parsed = parse_trace(&text).unwrap();
+            assert_eq!(parsed, segment);
+        }
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        use std::net::Ipv4Addr;
+        let key = tcpdemux_pcb::ConnectionKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1521,
+            Ipv4Addr::new(10, 0, 9, 9),
+            40001,
+        );
+        let events = [
+            TraceEvent::Open {
+                at: SimTime(0),
+                key,
+            },
+            TraceEvent::Arrival {
+                at: SimTime(1500),
+                key,
+                kind: PacketKind::Ack,
+            },
+        ];
+        let text = write_trace(events.iter());
+        assert_eq!(
+            text,
+            "O 0 10.0.0.1:1521 10.0.9.9:40001\nA 1500 10.0.0.1:1521 10.0.9.9:40001 a\n"
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a comment\n\nO 0 1.2.3.4:80 5.6.7.8:9000\n";
+        let parsed = parse_trace(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("X 0 1.2.3.4:80 5.6.7.8:9000", "unknown tag"),
+            ("A zz 1.2.3.4:80 5.6.7.8:9000 d", "bad timestamp"),
+            ("A 0 1.2.3.480 5.6.7.8:9000 d", "missing ':'"),
+            ("A 0 1.2.3:80 5.6.7.8:9000 d", "bad address"),
+            ("A 0 1.2.3.4:99999 5.6.7.8:9000 d", "bad port"),
+            ("A 0 1.2.3.4:80 5.6.7.8:9000 x", "bad packet kind"),
+            ("A 0 1.2.3.4:80 5.6.7.8:9000", "bad packet kind"),
+            ("O 0 1.2.3.4:80 5.6.7.8:9000 extra", "trailing"),
+            ("O 0", "missing local"),
+        ];
+        for (bad, expected) in cases {
+            let text = format!("# leading comment\n{bad}\n");
+            let err = parse_trace(&text).unwrap_err();
+            assert_eq!(err.line, 2, "{bad}");
+            assert!(err.reason.contains(expected), "{bad}: got {:?}", err.reason);
+            assert!(err.to_string().contains("line 2"));
+        }
+    }
+
+    #[test]
+    fn parsed_trace_runs_identically() {
+        // A trace replayed from text produces identical statistics.
+        use crate::runner::run_trace;
+        use tcpdemux_core::standard_suite;
+
+        let sim = TpcaSim::new(
+            TpcaSimConfig {
+                users: 30,
+                transactions: 200,
+                warmup_transactions: 0,
+                ..TpcaSimConfig::default()
+            },
+            21,
+        );
+        let (_, measured) = sim.trace();
+        let text = write_trace(measured.iter());
+        let replayed = parse_trace(&text).unwrap();
+
+        let mut suite_a = standard_suite();
+        let mut suite_b = standard_suite();
+        let reports_a = run_trace(measured, &mut suite_a);
+        let reports_b = run_trace(replayed, &mut suite_b);
+        for (a, b) in reports_a.iter().zip(reports_b.iter()) {
+            assert_eq!(a.stats, b.stats, "{}", a.name);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Packet-train (bulk transfer) workload.
+//!
+//! Jain & Routhier observed that network traffic arrives in *trains*:
+//! bursts of consecutive packets on the same connection. Bulk-data TCP
+//! (the traffic Van Jacobson's work optimized, §1) is the extreme case.
+//! This workload draws a connection uniformly, then emits a
+//! geometrically-distributed train of data packets on it — the regime in
+//! which the BSD one-entry cache shines, included so the benchmarks show
+//! *both* sides of the paper's trade-off (the hash scheme must not lose
+//! here: "while still maintaining good performance for packet-train
+//! traffic").
+
+use crate::rng::SimRng;
+use crate::runner::TraceEvent;
+use crate::time::SimTime;
+use tcpdemux_core::PacketKind;
+use tcpdemux_hash::quality::tpca_key_population;
+
+/// Configuration for the packet-train workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of concurrent connections.
+    pub connections: u32,
+    /// Mean train length (packets per burst); must be ≥ 1.
+    pub mean_train_len: f64,
+    /// Total packets to emit.
+    pub packets: u64,
+    /// Microseconds between consecutive packets.
+    pub inter_packet_micros: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            connections: 32,
+            mean_train_len: 16.0,
+            packets: 50_000,
+            inter_packet_micros: 100,
+        }
+    }
+}
+
+/// Generate a packet-train trace (with leading `Open`s).
+pub fn trace(config: TrainConfig, seed: u64) -> Vec<TraceEvent> {
+    assert!(config.connections >= 1);
+    assert!(config.mean_train_len >= 1.0);
+    let keys = tpca_key_population(config.connections as usize);
+    let mut rng = SimRng::new(seed);
+    let mut events: Vec<TraceEvent> = keys
+        .iter()
+        .map(|&key| TraceEvent::Open {
+            at: SimTime::ZERO,
+            key,
+        })
+        .collect();
+
+    let mut emitted = 0u64;
+    let mut now = SimTime::ZERO;
+    let p = 1.0 / config.mean_train_len;
+    while emitted < config.packets {
+        let key = keys[rng.below(u64::from(config.connections)) as usize];
+        let len = rng.geometric(p).min(config.packets - emitted);
+        for _ in 0..len {
+            now += SimTime(config.inter_packet_micros);
+            events.push(TraceEvent::Arrival {
+                at: now,
+                key,
+                kind: PacketKind::Data,
+            });
+            emitted += 1;
+        }
+        // The receiver acknowledges the train; its ack is *sent* by the
+        // host under study, updating send-side caches.
+        events.push(TraceEvent::Departure { at: now, key });
+    }
+    events
+}
+
+/// The expected one-entry-cache hit rate for mean train length `L`
+/// drawn geometrically: every packet after the first in a train hits, so
+/// the hit rate is `1 − 1/L`.
+pub fn expected_bsd_hit_rate(mean_train_len: f64) -> f64 {
+    assert!(mean_train_len >= 1.0);
+    1.0 - 1.0 / mean_train_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_trace;
+    use tcpdemux_core::standard_suite;
+
+    #[test]
+    fn trace_has_requested_packets() {
+        let cfg = TrainConfig {
+            packets: 1000,
+            ..TrainConfig::default()
+        };
+        let events = trace(cfg, 1);
+        let arrivals = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Arrival { .. }))
+            .count();
+        assert_eq!(arrivals, 1000);
+    }
+
+    #[test]
+    fn bsd_cache_hit_rate_matches_train_model() {
+        let cfg = TrainConfig {
+            connections: 64,
+            mean_train_len: 16.0,
+            packets: 40_000,
+            ..TrainConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 2), &mut suite);
+        let bsd = reports.iter().find(|r| r.name == "bsd").unwrap();
+        let predicted = expected_bsd_hit_rate(16.0);
+        let got = bsd.stats.hit_rate();
+        // Back-to-back trains on the same connection merge, nudging the
+        // hit rate slightly above 1 − 1/L.
+        assert!(
+            (got - predicted).abs() < 0.03,
+            "hit rate {got} vs predicted {predicted}"
+        );
+        // And the mean cost is tiny — nothing like the OLTP regime.
+        assert!(
+            bsd.stats.mean_examined() < 5.0,
+            "{}",
+            bsd.stats.mean_examined()
+        );
+    }
+
+    #[test]
+    fn sequent_does_not_lose_on_trains() {
+        // "while still maintaining good performance for packet-train
+        // traffic": the hash scheme's cost on trains must stay within a
+        // PCB or so of BSD's.
+        let cfg = TrainConfig {
+            connections: 64,
+            mean_train_len: 16.0,
+            packets: 40_000,
+            ..TrainConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 3), &mut suite);
+        let get = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .stats
+                .mean_examined()
+        };
+        assert!(get("sequent(19)") <= get("bsd") + 1.0);
+        // MTF also excels on trains.
+        assert!(get("mtf") < 5.0);
+    }
+
+    #[test]
+    fn single_connection_all_hits_after_first() {
+        let cfg = TrainConfig {
+            connections: 1,
+            mean_train_len: 8.0,
+            packets: 1000,
+            ..TrainConfig::default()
+        };
+        let mut suite = standard_suite();
+        let reports = run_trace(trace(cfg, 4), &mut suite);
+        for r in &reports {
+            assert!(
+                r.stats.mean_examined() <= 1.01,
+                "{}: {}",
+                r.name,
+                r.stats.mean_examined()
+            );
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = TrainConfig::default();
+        assert_eq!(trace(cfg, 9), trace(cfg, 9));
+        assert_ne!(trace(cfg, 9), trace(cfg, 10));
+    }
+}

@@ -1,0 +1,190 @@
+//! Fault injection for the in-memory link between two stacks.
+//!
+//! Modeled on smoltcp's example fault injector: frames may be dropped or
+//! have a random octet mutated with configurable probabilities. Corrupted
+//! frames must be caught by the IPv4 or TCP checksum and never reach the
+//! demultiplexer — the integration tests assert exactly that.
+
+use tcpdemux_sim_free_rng::FaultRng;
+
+/// A tiny xorshift generator so the injector does not depend on the sim
+/// crate (and stays deterministic from its seed).
+mod tcpdemux_sim_free_rng {
+    /// Deterministic xorshift64* stream.
+    #[derive(Debug, Clone)]
+    pub struct FaultRng(u64);
+
+    impl FaultRng {
+        /// Seeded constructor (seed must be nonzero; zero is mapped).
+        pub fn new(seed: u64) -> Self {
+            Self(seed.max(1))
+        }
+
+        /// Next raw value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform float in [0, 1).
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// What the injector did to a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Frame passed through unmodified.
+    Passed(Vec<u8>),
+    /// Frame passed through with one octet mutated.
+    Corrupted(Vec<u8>),
+    /// Frame was dropped.
+    Dropped,
+}
+
+impl FaultOutcome {
+    /// The frame to deliver, if any.
+    pub fn frame(&self) -> Option<&[u8]> {
+        match self {
+            FaultOutcome::Passed(f) | FaultOutcome::Corrupted(f) => Some(f),
+            FaultOutcome::Dropped => None,
+        }
+    }
+}
+
+/// A lossy, corrupting link.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    drop_chance: f64,
+    corrupt_chance: f64,
+    rng: FaultRng,
+    dropped: u64,
+    corrupted: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// Create an injector. Chances are probabilities in `[0, 1]`.
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance));
+        assert!((0.0..=1.0).contains(&corrupt_chance));
+        Self {
+            drop_chance,
+            corrupt_chance,
+            rng: FaultRng::new(seed),
+            dropped: 0,
+            corrupted: 0,
+            passed: 0,
+        }
+    }
+
+    /// A transparent link.
+    pub fn transparent() -> Self {
+        Self::new(0.0, 0.0, 1)
+    }
+
+    /// Pass a frame through the link.
+    pub fn transmit(&mut self, frame: &[u8]) -> FaultOutcome {
+        if self.rng.unit() < self.drop_chance {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        if !frame.is_empty() && self.rng.unit() < self.corrupt_chance {
+            self.corrupted += 1;
+            let mut out = frame.to_vec();
+            let idx = (self.rng.next_u64() as usize) % out.len();
+            let bit = 1u8 << (self.rng.next_u64() % 8);
+            out[idx] ^= bit;
+            return FaultOutcome::Corrupted(out);
+        }
+        self.passed += 1;
+        FaultOutcome::Passed(frame.to_vec())
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// Frames passed unmodified so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_passes_everything() {
+        let mut link = FaultInjector::transparent();
+        for i in 0..100u8 {
+            let frame = vec![i; 10];
+            assert_eq!(link.transmit(&frame), FaultOutcome::Passed(frame));
+        }
+        assert_eq!(link.passed(), 100);
+        assert_eq!(link.dropped(), 0);
+        assert_eq!(link.corrupted(), 0);
+    }
+
+    #[test]
+    fn always_drop() {
+        let mut link = FaultInjector::new(1.0, 0.0, 7);
+        assert_eq!(link.transmit(&[1, 2, 3]), FaultOutcome::Dropped);
+        assert_eq!(link.dropped(), 1);
+        assert_eq!(link.transmit(&[1]).frame(), None);
+    }
+
+    #[test]
+    fn always_corrupt_flips_exactly_one_bit() {
+        let mut link = FaultInjector::new(0.0, 1.0, 9);
+        let frame = vec![0u8; 64];
+        match link.transmit(&frame) {
+            FaultOutcome::Corrupted(out) => {
+                let flipped: u32 = out
+                    .iter()
+                    .zip(frame.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        let mut link = FaultInjector::new(0.25, 0.25, 42);
+        for _ in 0..10_000 {
+            let _ = link.transmit(&[0u8; 40]);
+        }
+        let drop_rate = link.dropped() as f64 / 10_000.0;
+        assert!((drop_rate - 0.25).abs() < 0.02, "{drop_rate}");
+        // Corruption applies to the ~75% that survive the drop stage.
+        let corrupt_rate = link.corrupted() as f64 / 10_000.0;
+        assert!((corrupt_rate - 0.1875).abs() < 0.02, "{corrupt_rate}");
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let run = |seed| {
+            let mut link = FaultInjector::new(0.3, 0.3, seed);
+            (0..50)
+                .map(|i| link.transmit(&[i as u8; 16]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

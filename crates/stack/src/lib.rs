@@ -1,0 +1,68 @@
+//! A miniature TCP/IPv4 receive path built around the demultiplexers.
+//!
+//! The paper's algorithms live inside a kernel's packet-receive path; this
+//! crate provides that path, end to end, over real packet bytes:
+//!
+//! ```text
+//! raw frame → IPv4 parse+checksum → TCP parse+checksum → ConnectionKey
+//!           → Demux::lookup (the paper's subject) → PCB state machine
+//!           → socket delivery + reply segments (ACK/SYN-ACK/RST)
+//! ```
+//!
+//! Two [`Stack`]s can be wired back to back ([`Stack::connect`] +
+//! shuttling the returned frames) to run full handshakes, data transfer,
+//! and teardown purely in memory. A [`FaultInjector`] can corrupt or drop
+//! frames in between, demonstrating that damaged packets die at the
+//! checksum long before they reach the demultiplexer.
+//!
+//! The transfer engine is deliberately minimal — in-order delivery only,
+//! no retransmission (there is no packet loss in memory unless injected),
+//! no congestion control — because the object of study is the lookup
+//! path. What *is* faithful: header formats, checksums, sequence-number
+//! accounting, the RFC 793 state machine, listener (wildcard) matching
+//! semantics, and RST generation for unmatched segments.
+//!
+//! # Example
+//!
+//! ```
+//! use tcpdemux_stack::{Stack, StackConfig};
+//! use tcpdemux_core::SequentDemux;
+//! use tcpdemux_hash::Multiplicative;
+//! use std::net::Ipv4Addr;
+//!
+//! let server_addr = Ipv4Addr::new(10, 0, 0, 1);
+//! let client_addr = Ipv4Addr::new(10, 0, 0, 2);
+//! let mut server = Stack::new(
+//!     StackConfig::new(server_addr),
+//!     Box::new(SequentDemux::new(Multiplicative, 19)),
+//! );
+//! let mut client = Stack::new(
+//!     StackConfig::new(client_addr),
+//!     Box::new(SequentDemux::new(Multiplicative, 19)),
+//! );
+//! server.listen(1521).unwrap();
+//! let (client_pcb, syn) = client.connect(server_addr, 1521).unwrap();
+//!
+//! // Shuttle the handshake: SYN -> SYN-ACK -> ACK.
+//! let synack = server.receive(&syn).unwrap().replies;
+//! let ack = client.receive(&synack[0]).unwrap().replies;
+//! server.receive(&ack[0]).unwrap();
+//! assert!(client.is_established(client_pcb));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fault;
+pub mod neighbor;
+mod socket;
+mod stack;
+mod stats;
+pub mod timer;
+
+pub use fault::{FaultInjector, FaultOutcome};
+pub use neighbor::NeighborCache;
+pub use socket::SocketBuffer;
+pub use stack::{RxOutcome, RxResult, Stack, StackConfig, StackError};
+pub use stats::StackStats;
+pub use timer::{TimerId, TimerWheel};

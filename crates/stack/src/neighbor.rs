@@ -1,0 +1,174 @@
+//! The ARP neighbor cache: IPv4 → MAC mappings with expiry.
+//!
+//! Entries learned from ARP traffic expire after a lifetime (smoltcp
+//! uses one minute; so do we, expressed in the stack's millisecond
+//! ticks) and the cache is capacity-bounded: when full, the entry
+//! closest to expiry is evicted — a small, honest approximation of the
+//! BSD ARP table.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tcpdemux_wire::EthernetAddress;
+
+/// Default entry lifetime, in ticks (ticks are milliseconds in the
+/// stack): one minute.
+pub const DEFAULT_LIFETIME: u64 = 60_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    mac: EthernetAddress,
+    expires_at: u64,
+}
+
+/// A bounded IPv4 → MAC cache with per-entry expiry.
+#[derive(Debug)]
+pub struct NeighborCache {
+    entries: HashMap<Ipv4Addr, Entry>,
+    capacity: usize,
+    lifetime: u64,
+}
+
+impl NeighborCache {
+    /// Create a cache holding at most `capacity` entries whose entries
+    /// live for `lifetime` ticks.
+    pub fn new(capacity: usize, lifetime: u64) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            lifetime,
+        }
+    }
+
+    /// A cache with the defaults (64 entries, one minute).
+    pub fn with_defaults() -> Self {
+        Self::new(64, DEFAULT_LIFETIME)
+    }
+
+    /// Number of (possibly stale) entries resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Learn (or refresh) a mapping at time `now`.
+    pub fn learn(&mut self, ip: Ipv4Addr, mac: EthernetAddress, now: u64) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&ip) {
+            // Evict the entry nearest to expiry.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.expires_at)
+                .map(|(ip, _)| ip)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            ip,
+            Entry {
+                mac,
+                expires_at: now + self.lifetime,
+            },
+        );
+    }
+
+    /// Look up a live mapping at time `now`; stale entries miss (and are
+    /// removed).
+    pub fn lookup(&mut self, ip: Ipv4Addr, now: u64) -> Option<EthernetAddress> {
+        match self.entries.get(&ip) {
+            Some(entry) if entry.expires_at > now => Some(entry.mac),
+            Some(_) => {
+                self.entries.remove(&ip);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Drop every entry at or past its expiry.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|_, e| e.expires_at > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress([2, 0, 0, 0, 0, last])
+    }
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn learn_and_lookup() {
+        let mut cache = NeighborCache::new(8, 100);
+        assert!(cache.is_empty());
+        cache.learn(ip(1), mac(1), 0);
+        assert_eq!(cache.lookup(ip(1), 50), Some(mac(1)));
+        assert_eq!(cache.lookup(ip(2), 50), None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut cache = NeighborCache::new(8, 100);
+        cache.learn(ip(1), mac(1), 0);
+        assert_eq!(cache.lookup(ip(1), 99), Some(mac(1)));
+        assert_eq!(cache.lookup(ip(1), 100), None, "expiry is exclusive");
+        assert!(cache.is_empty(), "stale entry removed by lookup");
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let mut cache = NeighborCache::new(8, 100);
+        cache.learn(ip(1), mac(1), 0);
+        cache.learn(ip(1), mac(1), 80);
+        assert_eq!(cache.lookup(ip(1), 150), Some(mac(1)));
+    }
+
+    #[test]
+    fn relearn_updates_mac() {
+        // The peer changed NICs: the newer mapping wins.
+        let mut cache = NeighborCache::new(8, 100);
+        cache.learn(ip(1), mac(1), 0);
+        cache.learn(ip(1), mac(2), 10);
+        assert_eq!(cache.lookup(ip(1), 20), Some(mac(2)));
+    }
+
+    #[test]
+    fn capacity_evicts_nearest_expiry() {
+        let mut cache = NeighborCache::new(2, 100);
+        cache.learn(ip(1), mac(1), 0); // expires 100
+        cache.learn(ip(2), mac(2), 50); // expires 150
+        cache.learn(ip(3), mac(3), 60); // evicts ip(1)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(ip(1), 60), None);
+        assert_eq!(cache.lookup(ip(2), 60), Some(mac(2)));
+        assert_eq!(cache.lookup(ip(3), 60), Some(mac(3)));
+    }
+
+    #[test]
+    fn expire_sweeps() {
+        let mut cache = NeighborCache::new(8, 100);
+        cache.learn(ip(1), mac(1), 0);
+        cache.learn(ip(2), mac(2), 50);
+        cache.expire(120);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(ip(2), 120), Some(mac(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = NeighborCache::new(0, 100);
+    }
+}

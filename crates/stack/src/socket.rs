@@ -1,0 +1,93 @@
+//! Per-connection socket receive buffers.
+
+/// The application-facing side of one connection: bytes the stack has
+/// accepted in order and not yet read.
+#[derive(Debug, Default, Clone)]
+pub struct SocketBuffer {
+    data: Vec<u8>,
+    total_received: u64,
+    fin_seen: bool,
+}
+
+impl SocketBuffer {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append in-order payload bytes (called by the stack).
+    pub(crate) fn deliver(&mut self, payload: &[u8]) {
+        self.data.extend_from_slice(payload);
+        self.total_received += payload.len() as u64;
+    }
+
+    /// Mark end-of-stream (peer FIN).
+    pub(crate) fn mark_fin(&mut self) {
+        self.fin_seen = true;
+    }
+
+    /// Bytes available to read.
+    pub fn available(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total bytes ever delivered on this connection.
+    pub fn total_received(&self) -> u64 {
+        self.total_received
+    }
+
+    /// Whether the peer has closed its direction.
+    pub fn is_eof(&self) -> bool {
+        self.fin_seen && self.data.is_empty()
+    }
+
+    /// Read up to `max` bytes, removing them from the buffer.
+    pub fn read(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.data.len());
+        let rest = self.data.split_off(n);
+        core::mem::replace(&mut self.data, rest)
+    }
+
+    /// Read everything currently buffered.
+    pub fn read_all(&mut self) -> Vec<u8> {
+        core::mem::take(&mut self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deliver_and_read() {
+        let mut buf = SocketBuffer::new();
+        buf.deliver(b"hello ");
+        buf.deliver(b"world");
+        assert_eq!(buf.available(), 11);
+        assert_eq!(buf.total_received(), 11);
+        assert_eq!(buf.read(5), b"hello".to_vec());
+        assert_eq!(buf.available(), 6);
+        assert_eq!(buf.read_all(), b" world".to_vec());
+        assert_eq!(buf.available(), 0);
+        // total_received is cumulative, not reduced by reads.
+        assert_eq!(buf.total_received(), 11);
+    }
+
+    #[test]
+    fn read_more_than_available() {
+        let mut buf = SocketBuffer::new();
+        buf.deliver(b"abc");
+        assert_eq!(buf.read(100), b"abc".to_vec());
+        assert!(buf.read(1).is_empty());
+    }
+
+    #[test]
+    fn eof_semantics() {
+        let mut buf = SocketBuffer::new();
+        buf.deliver(b"tail");
+        buf.mark_fin();
+        assert!(!buf.is_eof(), "data still pending");
+        buf.read_all();
+        assert!(buf.is_eof());
+    }
+}

@@ -1,0 +1,2041 @@
+//! The receive path itself.
+
+use crate::socket::SocketBuffer;
+use crate::stats::StackStats;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tcpdemux_core::{Demux, PacketKind};
+use tcpdemux_pcb::{ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, SeqNum, TcpEvent, TcpState};
+use tcpdemux_wire::{
+    FrameBuilder, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags, TcpRepr, TcpSegment, UdpDatagram,
+    UdpRepr, WireError,
+};
+
+/// Stack-level (non-wire) errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// The port already has a listener.
+    PortInUse(u16),
+    /// The PCB handle does not resolve (closed or never existed).
+    NoSuchConnection,
+    /// The operation requires an established connection.
+    NotEstablished,
+    /// All ephemeral ports are in use (practically unreachable).
+    NoEphemeralPorts,
+    /// The state machine refused the operation in the current state.
+    InvalidState(TcpState),
+}
+
+impl core::fmt::Display for StackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackError::PortInUse(p) => write!(f, "port {p} already in use"),
+            StackError::NoSuchConnection => write!(f, "no such connection"),
+            StackError::NotEstablished => write!(f, "connection not established"),
+            StackError::NoEphemeralPorts => write!(f, "ephemeral ports exhausted"),
+            StackError::InvalidState(s) => write!(f, "invalid in state {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// What happened to a received frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Payload bytes were delivered to a socket.
+    Delivered {
+        /// The connection.
+        pcb: PcbId,
+        /// Bytes delivered.
+        bytes: usize,
+    },
+    /// A UDP datagram was delivered to an unconnected bound socket (no
+    /// PCB involved — the wildcard path).
+    DeliveredUnconnected {
+        /// Bytes delivered.
+        bytes: usize,
+    },
+    /// A pure acknowledgement was processed.
+    AckProcessed {
+        /// The connection.
+        pcb: PcbId,
+    },
+    /// A handshake completed; the connection is now established.
+    Established {
+        /// The connection.
+        pcb: PcbId,
+    },
+    /// A listener accepted a SYN; a SYN-ACK is in `replies`.
+    NewConnection {
+        /// The embryonic connection (SYN-RECEIVED).
+        pcb: PcbId,
+    },
+    /// The peer sent FIN; its direction of the stream is closed.
+    PeerClosed {
+        /// The connection.
+        pcb: PcbId,
+    },
+    /// The connection finished closing and was reclaimed.
+    Closed,
+    /// The connection entered TIME-WAIT and is draining (2·MSL timer
+    /// scheduled; see [`StackConfig::time_wait_ticks`]).
+    TimeWait {
+        /// The draining connection.
+        pcb: PcbId,
+    },
+    /// The segment matched nothing; an RST is in `replies`.
+    ResetSent,
+    /// The peer reset the connection; it was reclaimed.
+    ResetReceived,
+    /// Out-of-order or duplicate segment; dropped and re-acknowledged.
+    Duplicate {
+        /// The connection.
+        pcb: PcbId,
+    },
+    /// The frame was addressed to some other host.
+    NotForUs,
+    /// The frame carried a protocol this stack does not implement.
+    UnhandledProtocol,
+    /// A UDP datagram arrived for a port with no socket; an ICMP
+    /// port-unreachable is in `replies` (RFC 1122).
+    UdpUnreachable,
+    /// An ICMP echo request was answered; the reply is in `replies`.
+    EchoReplied,
+    /// Another ICMP message was received and counted.
+    IcmpProcessed,
+    /// An ARP request for our address was answered; the reply is in
+    /// `replies`.
+    ArpReplied,
+    /// An ARP message was processed (mapping learned, no reply owed).
+    ArpProcessed,
+    /// A SYN arrived for a listener whose backlog is full; it was
+    /// dropped silently (the client will retransmit).
+    SynDropped,
+}
+
+/// The result of one received frame: what happened, any frames to send
+/// in response, and the demultiplexing cost incurred.
+#[derive(Debug, Clone)]
+pub struct RxResult {
+    /// Classification of the received frame.
+    pub outcome: RxOutcome,
+    /// Reply frames (ACKs, SYN-ACKs, RSTs) ready for transmission.
+    pub replies: Vec<Vec<u8>>,
+    /// PCBs examined by the lookup for this frame (the paper's metric).
+    pub pcbs_examined: u32,
+}
+
+/// Stack construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackConfig {
+    /// This host's IPv4 address.
+    pub local_addr: Ipv4Addr,
+    /// Receive window advertised on all connections.
+    pub window: u16,
+    /// MSS advertised in SYN segments.
+    pub mss: u16,
+    /// First ephemeral port for active opens.
+    pub ephemeral_base: u16,
+    /// TIME-WAIT duration in timer ticks (the 2·MSL drain). `None`
+    /// reclaims the connection as soon as it reaches TIME-WAIT — the
+    /// timer-free model convenient for simulations that never reuse a
+    /// four-tuple. `Some(n)` keeps the PCB resident (re-acking stray
+    /// FINs, refusing key reuse) until [`Stack::advance_time`] passes
+    /// `n` ticks.
+    pub time_wait_ticks: Option<u64>,
+}
+
+impl StackConfig {
+    /// Defaults appropriate for tests and simulation.
+    pub fn new(local_addr: Ipv4Addr) -> Self {
+        Self {
+            local_addr,
+            window: 8760,
+            mss: 1460,
+            ephemeral_base: 49152,
+            time_wait_ticks: None,
+        }
+    }
+
+    /// Enable real TIME-WAIT handling with the given duration in ticks.
+    pub fn with_time_wait(mut self, ticks: u64) -> Self {
+        self.time_wait_ticks = Some(ticks);
+        self
+    }
+}
+
+/// A TCP listener: its wildcard key, capacity, and accept queue.
+#[derive(Debug)]
+struct Listener {
+    key: ListenKey,
+    backlog: usize,
+    /// Connections in SYN-RECEIVED attributed to this listener.
+    embryonic: usize,
+    /// Established connections awaiting `accept`.
+    accept_queue: std::collections::VecDeque<PcbId>,
+}
+
+impl Listener {
+    fn pending(&self) -> usize {
+        self.embryonic + self.accept_queue.len()
+    }
+}
+
+/// A host: one IPv4 address, one demultiplexer, many connections.
+pub struct Stack {
+    config: StackConfig,
+    arena: PcbArena,
+    demux: Box<dyn Demux>,
+    listeners: Vec<Listener>,
+    udp_listeners: Vec<ListenKey>,
+    /// Which listener (index into `listeners`) each not-yet-accepted
+    /// connection belongs to.
+    listener_of: HashMap<PcbId, usize>,
+    sockets: HashMap<PcbId, SocketBuffer>,
+    stats: StackStats,
+    builder: FrameBuilder,
+    next_ephemeral: u16,
+    next_iss: u32,
+    timers: crate::timer::TimerWheel<(PcbId, ConnectionKey)>,
+    neighbors: crate::neighbor::NeighborCache,
+    now_ticks: u64,
+}
+
+impl Stack {
+    /// Create a stack using the given demultiplexing algorithm.
+    pub fn new(config: StackConfig, demux: Box<dyn Demux>) -> Self {
+        Self {
+            next_ephemeral: config.ephemeral_base,
+            config,
+            arena: PcbArena::new(),
+            demux,
+            listeners: Vec::new(),
+            udp_listeners: Vec::new(),
+            listener_of: HashMap::new(),
+            sockets: HashMap::new(),
+            stats: StackStats::default(),
+            builder: FrameBuilder::new(),
+            next_iss: 0x1000_0000,
+            timers: crate::timer::TimerWheel::new(256),
+            neighbors: crate::neighbor::NeighborCache::with_defaults(),
+            now_ticks: 0,
+        }
+    }
+
+    /// Advance the stack's clock to `tick`, firing TIME-WAIT expirations
+    /// and sweeping stale neighbor-cache entries.
+    /// Returns the number of connections reclaimed.
+    pub fn advance_time(&mut self, tick: u64) -> usize {
+        self.now_ticks = tick;
+        self.neighbors.expire(tick);
+        let expired = self.timers.advance_to(tick);
+        let mut reclaimed = 0;
+        for (id, key) in expired {
+            // The timer may be stale: the slot could have been reclaimed
+            // by an RST already. The arena's generation check makes a
+            // stale handle harmless.
+            if matches!(
+                self.arena.get(id).map(|p| p.state()),
+                Some(TcpState::TimeWait)
+            ) {
+                self.reclaim(id, &key);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Number of connections currently sitting in TIME-WAIT.
+    pub fn time_wait_count(&self) -> usize {
+        self.arena
+            .iter()
+            .filter(|(_, p)| p.state() == TcpState::TimeWait)
+            .count()
+    }
+
+    /// Snapshot of every live connection and its state (like `netstat`'s
+    /// per-connection rows, in arena order).
+    pub fn connections(&self) -> Vec<(ConnectionKey, TcpState)> {
+        self.arena
+            .iter()
+            .map(|(_, p)| (p.key(), p.state()))
+            .collect()
+    }
+
+    /// A `netstat -an`-style textual dump: listeners first, then every
+    /// connection with its state.
+    pub fn netstat(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Active connections on {}", self.config.local_addr);
+        for listener in &self.listeners {
+            let _ = writeln!(
+                out,
+                "tcp  {:<28} {:<24} LISTEN (backlog {}/{})",
+                listener.key.to_string(),
+                "*:*",
+                listener.pending(),
+                listener.backlog
+            );
+        }
+        for udp in &self.udp_listeners {
+            let _ = writeln!(out, "udp  {:<28} {:<24} BOUND", udp.to_string(), "*:*");
+        }
+        for (key, state) in self.connections() {
+            let _ = writeln!(
+                out,
+                "tcp  {:<28} {:<24} {}",
+                format!("{}:{}", key.local_addr, key.local_port),
+                format!("{}:{}", key.remote_addr, key.remote_port),
+                state
+            );
+        }
+        out
+    }
+
+    /// Park a TIME-WAIT connection: reclaim now (timer-free model) or
+    /// schedule the 2·MSL timer.
+    fn enter_time_wait(&mut self, id: PcbId, key: &ConnectionKey) -> bool {
+        match self.config.time_wait_ticks {
+            None => {
+                self.reclaim(id, key);
+                true
+            }
+            Some(ticks) => {
+                self.timers.schedule(ticks, (id, *key));
+                false
+            }
+        }
+    }
+
+    /// This host's address.
+    pub fn local_addr(&self) -> Ipv4Addr {
+        self.config.local_addr
+    }
+
+    /// This host's MAC address (derived deterministically from the IPv4
+    /// address; the in-memory fabric has no ARP).
+    pub fn mac(&self) -> tcpdemux_wire::EthernetAddress {
+        tcpdemux_wire::EthernetAddress::from_ipv4(self.config.local_addr)
+    }
+
+    /// Process one received *Ethernet* frame: link-layer filtering, then
+    /// the normal IPv4 receive path on the payload.
+    pub fn receive_ethernet(&mut self, frame: &[u8]) -> Result<RxResult, WireError> {
+        use tcpdemux_wire::{EtherType, EthernetFrame, EthernetRepr};
+        let eth = EthernetFrame::new_checked(frame).inspect_err(|_e| {
+            self.stats.frames_in += 1;
+            self.stats.ip_errors += 1;
+        })?;
+        let repr = EthernetRepr::parse(&eth)?;
+        if repr.dst_addr != self.mac() && !repr.dst_addr.is_broadcast() {
+            self.stats.frames_in += 1;
+            self.stats.not_for_us += 1;
+            return Ok(RxResult {
+                outcome: RxOutcome::NotForUs,
+                replies: Vec::new(),
+                pcbs_examined: 0,
+            });
+        }
+        match repr.ethertype {
+            EtherType::Ipv4 => self.receive(eth.payload()),
+            EtherType::Arp => self.receive_arp(eth.payload()),
+            EtherType::Unknown(_) => {
+                self.stats.frames_in += 1;
+                self.stats.bad_protocol += 1;
+                Ok(RxResult {
+                    outcome: RxOutcome::UnhandledProtocol,
+                    replies: Vec::new(),
+                    pcbs_examined: 0,
+                })
+            }
+        }
+    }
+
+    fn receive_arp(&mut self, packet: &[u8]) -> Result<RxResult, WireError> {
+        use tcpdemux_wire::{ArpOperation, ArpRepr};
+        self.stats.frames_in += 1;
+        let arp = ArpRepr::parse(packet).inspect_err(|_e| {
+            self.stats.ip_errors += 1;
+        })?;
+        // Learn the sender's mapping from either message kind.
+        self.neighbors
+            .learn(arp.src_ip, arp.src_mac, self.now_ticks);
+        if arp.operation == ArpOperation::Request && arp.dst_ip == self.config.local_addr {
+            let reply = arp.reply_to(self.mac());
+            let bytes = reply.emit();
+            let payload_len = bytes.len().max(tcpdemux_wire::ethernet::MIN_PAYLOAD);
+            let mut out = vec![0u8; tcpdemux_wire::ethernet::HEADER_LEN + payload_len];
+            {
+                let mut eth = tcpdemux_wire::EthernetFrame::new_unchecked(&mut out[..]);
+                tcpdemux_wire::EthernetRepr {
+                    src_addr: self.mac(),
+                    dst_addr: arp.src_mac,
+                    ethertype: tcpdemux_wire::EtherType::Arp,
+                }
+                .emit(&mut eth)
+                .expect("sized buffer");
+                eth.payload_mut()[..bytes.len()].copy_from_slice(&bytes);
+            }
+            self.stats.frames_out += 1;
+            return Ok(RxResult {
+                outcome: RxOutcome::ArpReplied,
+                replies: vec![out],
+                pcbs_examined: 0,
+            });
+        }
+        Ok(RxResult {
+            outcome: RxOutcome::ArpProcessed,
+            replies: Vec::new(),
+            pcbs_examined: 0,
+        })
+    }
+
+    /// The MAC this stack would use to reach `dst_addr`: the learned ARP
+    /// mapping if one is live, else the deterministic derived MAC (the
+    /// in-memory fabric's substitute for a real broadcast resolution).
+    pub fn resolve(&mut self, dst_addr: Ipv4Addr) -> tcpdemux_wire::EthernetAddress {
+        self.neighbors
+            .lookup(dst_addr, self.now_ticks)
+            .unwrap_or_else(|| tcpdemux_wire::EthernetAddress::from_ipv4(dst_addr))
+    }
+
+    /// Wrap an IPv4 packet produced by this stack in an Ethernet frame
+    /// addressed to `dst_addr` (via the neighbor cache, falling back to
+    /// the derived MAC).
+    pub fn encapsulate(&mut self, ip_packet: &[u8], dst_addr: Ipv4Addr) -> Vec<u8> {
+        let dst_mac = self.resolve(dst_addr);
+        tcpdemux_wire::ethernet::encapsulate_ipv4(self.mac(), dst_mac, ip_packet)
+    }
+
+    /// Receive-path counters.
+    pub fn stats(&self) -> &StackStats {
+        &self.stats
+    }
+
+    /// The demultiplexer's own statistics.
+    pub fn demux_stats(&self) -> &tcpdemux_core::LookupStats {
+        self.demux.stats()
+    }
+
+    /// Number of live connections (TCP in any state plus connected UDP).
+    pub fn connection_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether a connection is in `ESTABLISHED`.
+    pub fn is_established(&self, pcb: PcbId) -> bool {
+        self.arena
+            .get(pcb)
+            .map(|p| p.state() == TcpState::Established)
+            .unwrap_or(false)
+    }
+
+    /// The connection's current state, if it exists.
+    pub fn state(&self, pcb: PcbId) -> Option<TcpState> {
+        self.arena.get(pcb).map(|p| p.state())
+    }
+
+    /// The socket buffer for a connection.
+    pub fn socket(&self, pcb: PcbId) -> Option<&SocketBuffer> {
+        self.sockets.get(&pcb)
+    }
+
+    /// Mutable socket buffer (to read delivered bytes).
+    pub fn socket_mut(&mut self, pcb: PcbId) -> Option<&mut SocketBuffer> {
+        self.sockets.get_mut(&pcb)
+    }
+
+    /// The classic BSD default backlog (4.2BSD's `SOMAXCONN`), for
+    /// callers who want period-accurate semantics via
+    /// [`listen_with_backlog`](Self::listen_with_backlog).
+    pub const BSD_BACKLOG: usize = 5;
+
+    /// Start a TCP listener on `port` (all local addresses) with no
+    /// backlog limit — convenient for harnesses that process connections
+    /// without ever calling [`accept`](Self::accept). Use
+    /// [`listen_with_backlog`](Self::listen_with_backlog) for BSD
+    /// semantics.
+    pub fn listen(&mut self, port: u16) -> Result<(), StackError> {
+        self.listen_with_backlog(port, usize::MAX)
+    }
+
+    /// Start a TCP listener with an explicit backlog: the maximum number
+    /// of connections that may be embryonic (SYN-RECEIVED) or established
+    ///-but-unaccepted at once. SYNs beyond it are dropped silently (the
+    /// BSD behavior — the client retransmits).
+    pub fn listen_with_backlog(&mut self, port: u16, backlog: usize) -> Result<(), StackError> {
+        if backlog == 0 {
+            return Err(StackError::InvalidState(TcpState::Listen));
+        }
+        if self.listeners.iter().any(|l| l.key.local_port == port) {
+            return Err(StackError::PortInUse(port));
+        }
+        self.listeners.push(Listener {
+            key: ListenKey::any(port),
+            backlog,
+            embryonic: 0,
+            accept_queue: std::collections::VecDeque::new(),
+        });
+        Ok(())
+    }
+
+    /// Dequeue the oldest established-but-unaccepted connection on a
+    /// listening port, if any. After `accept`, the connection is the
+    /// application's; before it, data segments are still processed and
+    /// buffered (as BSD does for connections in the accept queue).
+    pub fn accept(&mut self, port: u16) -> Option<PcbId> {
+        let idx = self
+            .listeners
+            .iter()
+            .position(|l| l.key.local_port == port)?;
+        let id = self.listeners[idx].accept_queue.pop_front()?;
+        self.listener_of.remove(&id);
+        Some(id)
+    }
+
+    /// Number of connections waiting in a port's accept queue.
+    pub fn accept_queue_len(&self, port: u16) -> usize {
+        self.listeners
+            .iter()
+            .find(|l| l.key.local_port == port)
+            .map(|l| l.accept_queue.len())
+            .unwrap_or(0)
+    }
+
+    /// Open a UDP socket bound to `port` (unconnected; receives anything
+    /// addressed to the port).
+    pub fn udp_bind(&mut self, port: u16) -> Result<(), StackError> {
+        if self.udp_listeners.iter().any(|l| l.local_port == port) {
+            return Err(StackError::PortInUse(port));
+        }
+        self.udp_listeners.push(ListenKey::any(port));
+        Ok(())
+    }
+
+    /// Open a *connected* UDP socket: a full four-tuple entered into the
+    /// demultiplexer, exactly as Partridge & Pink's "faster UDP" assumes.
+    pub fn udp_open(
+        &mut self,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+    ) -> Result<PcbId, StackError> {
+        let key = ConnectionKey::new(self.config.local_addr, local_port, remote_addr, remote_port);
+        let pcb = Pcb::new_in_state(key, TcpState::Established);
+        let id = self.arena.insert(pcb);
+        self.demux.insert(key, id);
+        self.sockets.insert(id, SocketBuffer::new());
+        Ok(id)
+    }
+
+    /// Hand out the next ephemeral port. Ports recycle after the range is
+    /// exhausted (~16k active connects per remote endpoint); a stack that
+    /// actually wraps with the old connection still alive would need an
+    /// in-use check, which this harness's workloads never trigger.
+    fn alloc_ephemeral(&mut self) -> Result<u16, StackError> {
+        let port = self.next_ephemeral;
+        self.next_ephemeral = if self.next_ephemeral == u16::MAX {
+            self.config.ephemeral_base
+        } else {
+            self.next_ephemeral + 1
+        };
+        Ok(port)
+    }
+
+    fn alloc_iss(&mut self) -> SeqNum {
+        let iss = SeqNum(self.next_iss);
+        self.next_iss = self.next_iss.wrapping_add(64_000);
+        iss
+    }
+
+    /// Begin an active open to `remote:port`. Returns the new connection's
+    /// handle and the SYN frame to transmit.
+    pub fn connect(
+        &mut self,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+    ) -> Result<(PcbId, Vec<u8>), StackError> {
+        let local_port = self.alloc_ephemeral()?;
+        let key = ConnectionKey::new(self.config.local_addr, local_port, remote_addr, remote_port);
+        let mut pcb = Pcb::new(key);
+        pcb.on_event(TcpEvent::AppConnect)
+            .expect("CLOSED accepts connect");
+        let iss = self.alloc_iss();
+        pcb.init_send(iss, self.config.window);
+        pcb.mss = self.config.mss;
+        let id = self.arena.insert(pcb);
+        self.demux.insert(key, id);
+        self.sockets.insert(id, SocketBuffer::new());
+
+        let syn = TcpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+            seq: iss.raw(),
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: self.config.window,
+            mss: Some(self.config.mss),
+            window_scale: None,
+        };
+        let frame = self.emit_tcp(&key, &syn, b"");
+        Ok((id, frame))
+    }
+
+    /// Send payload on an established connection; returns the frame.
+    pub fn send(&mut self, pcb: PcbId, payload: &[u8]) -> Result<Vec<u8>, StackError> {
+        let (key, seq, ack, window) = {
+            let p = self
+                .arena
+                .get_mut(pcb)
+                .ok_or(StackError::NoSuchConnection)?;
+            if !p.state().can_transfer_data() {
+                return Err(StackError::NotEstablished);
+            }
+            let seq = p.snd.nxt;
+            p.snd.nxt += payload.len() as u32;
+            p.note_segment_out(payload.len());
+            (p.key(), seq, p.rcv.nxt, p.rcv.wnd)
+        };
+        let repr = TcpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+            seq: seq.raw(),
+            ack: ack.raw(),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window,
+            ..TcpRepr::default()
+        };
+        Ok(self.emit_tcp(&key, &repr, payload))
+    }
+
+    /// Send a UDP datagram on a connected UDP socket.
+    pub fn udp_send(&mut self, pcb: PcbId, payload: &[u8]) -> Result<Vec<u8>, StackError> {
+        let key = self
+            .arena
+            .get(pcb)
+            .ok_or(StackError::NoSuchConnection)?
+            .key();
+        let ip = Ipv4Repr::new(key.local_addr, key.remote_addr, IpProtocol::Udp);
+        let udp = UdpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+        };
+        self.stats.frames_out += 1;
+        self.demux.note_send(&key);
+        if let Some(p) = self.arena.get_mut(pcb) {
+            p.note_segment_out(payload.len());
+        }
+        Ok(self.builder.udp(&ip, &udp, payload).to_vec())
+    }
+
+    /// Close our direction of a connection. Returns the FIN frame.
+    pub fn close(&mut self, pcb: PcbId) -> Result<Vec<u8>, StackError> {
+        let (key, seq, ack, window) = {
+            let p = self
+                .arena
+                .get_mut(pcb)
+                .ok_or(StackError::NoSuchConnection)?;
+            let state = p.state();
+            p.on_event(TcpEvent::AppClose)
+                .map_err(|_| StackError::InvalidState(state))?;
+            let seq = p.snd.nxt;
+            p.snd.nxt += 1; // FIN consumes a sequence number
+            (p.key(), seq, p.rcv.nxt, p.rcv.wnd)
+        };
+        let repr = TcpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+            seq: seq.raw(),
+            ack: ack.raw(),
+            flags: TcpFlags::FIN | TcpFlags::ACK,
+            window,
+            ..TcpRepr::default()
+        };
+        Ok(self.emit_tcp(&key, &repr, b""))
+    }
+
+    /// Abort a connection: send RST and reclaim immediately.
+    pub fn abort(&mut self, pcb: PcbId) -> Result<Vec<u8>, StackError> {
+        let (key, seq) = {
+            let p = self.arena.get(pcb).ok_or(StackError::NoSuchConnection)?;
+            (p.key(), p.snd.nxt)
+        };
+        let repr = TcpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+            seq: seq.raw(),
+            ack: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+            ..TcpRepr::default()
+        };
+        let frame = self.emit_tcp(&key, &repr, b"");
+        self.reclaim(pcb, &key);
+        Ok(frame)
+    }
+
+    fn reclaim(&mut self, pcb: PcbId, key: &ConnectionKey) {
+        self.demux.remove(key);
+        self.arena.remove(pcb);
+        self.sockets.remove(&pcb);
+        // A connection dying before accept releases its backlog slot.
+        if let Some(idx) = self.listener_of.remove(&pcb) {
+            let listener = &mut self.listeners[idx];
+            if let Some(pos) = listener.accept_queue.iter().position(|&q| q == pcb) {
+                listener.accept_queue.remove(pos);
+            } else {
+                listener.embryonic -= 1;
+            }
+        }
+    }
+
+    fn emit_tcp(&mut self, key: &ConnectionKey, repr: &TcpRepr, payload: &[u8]) -> Vec<u8> {
+        let ip = Ipv4Repr::new(key.local_addr, key.remote_addr, IpProtocol::Tcp);
+        self.stats.frames_out += 1;
+        self.demux.note_send(key);
+        self.builder.tcp(&ip, repr, payload).to_vec()
+    }
+
+    /// Process one received frame.
+    ///
+    /// `Err` means the frame failed wire-level validation (and was
+    /// counted); `Ok` carries the classification, any reply frames, and
+    /// the demultiplexing cost.
+    pub fn receive(&mut self, frame: &[u8]) -> Result<RxResult, WireError> {
+        self.stats.frames_in += 1;
+
+        let packet = Ipv4Packet::new_checked(frame).inspect_err(|_e| {
+            self.stats.ip_errors += 1;
+        })?;
+        let ip = Ipv4Repr::parse(&packet).inspect_err(|_e| {
+            self.stats.ip_errors += 1;
+        })?;
+        if ip.dst_addr != self.config.local_addr {
+            self.stats.not_for_us += 1;
+            return Ok(RxResult {
+                outcome: RxOutcome::NotForUs,
+                replies: Vec::new(),
+                pcbs_examined: 0,
+            });
+        }
+        match ip.protocol {
+            IpProtocol::Tcp => self.receive_tcp(&ip, packet.payload()),
+            IpProtocol::Udp => {
+                let header_len = packet.header_len();
+                self.receive_udp(&ip, packet.payload(), frame, header_len)
+            }
+            IpProtocol::Icmp => self.receive_icmp(&ip, packet.payload()),
+            IpProtocol::Unknown(_) => {
+                self.stats.bad_protocol += 1;
+                Ok(RxResult {
+                    outcome: RxOutcome::UnhandledProtocol,
+                    replies: Vec::new(),
+                    pcbs_examined: 0,
+                })
+            }
+        }
+    }
+
+    /// Wrap raw ICMP bytes in an IPv4 packet addressed to `dst`.
+    fn emit_icmp(&mut self, dst: Ipv4Addr, icmp_bytes: &[u8]) -> Vec<u8> {
+        let ip = Ipv4Repr {
+            payload_len: icmp_bytes.len(),
+            ..Ipv4Repr::new(self.config.local_addr, dst, IpProtocol::Icmp)
+        };
+        let mut buf = vec![0u8; ip.total_len()];
+        buf[tcpdemux_wire::ipv4::HEADER_LEN..].copy_from_slice(icmp_bytes);
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut packet).expect("sized buffer");
+        self.stats.frames_out += 1;
+        buf
+    }
+
+    fn receive_icmp(&mut self, ip: &Ipv4Repr, message: &[u8]) -> Result<RxResult, WireError> {
+        use tcpdemux_wire::IcmpRepr;
+        let icmp = IcmpRepr::parse(message).inspect_err(|_e| {
+            self.stats.tcp_errors += 1;
+        })?;
+        self.stats.icmp_in += 1;
+        match icmp {
+            IcmpRepr::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
+                // Be pingable: echo the payload straight back.
+                let reply = IcmpRepr::EchoReply {
+                    ident,
+                    seq,
+                    payload,
+                }
+                .emit();
+                let frame = self.emit_icmp(ip.src_addr, &reply);
+                self.stats.icmp_echo_replies += 1;
+                Ok(RxResult {
+                    outcome: RxOutcome::EchoReplied,
+                    replies: vec![frame],
+                    pcbs_examined: 0,
+                })
+            }
+            // Replies to our pings, unreachables, and exotica are counted
+            // and surfaced; this harness initiates no pings of its own.
+            _ => Ok(RxResult {
+                outcome: RxOutcome::IcmpProcessed,
+                replies: Vec::new(),
+                pcbs_examined: 0,
+            }),
+        }
+    }
+
+    fn receive_udp(
+        &mut self,
+        ip: &Ipv4Repr,
+        datagram: &[u8],
+        full_packet: &[u8],
+        ip_header_len: usize,
+    ) -> Result<RxResult, WireError> {
+        let datagram = UdpDatagram::new_checked(datagram).inspect_err(|_e| {
+            self.stats.tcp_errors += 1;
+        })?;
+        let udp = UdpRepr::parse(&datagram, ip.src_addr, ip.dst_addr).inspect_err(|_e| {
+            self.stats.tcp_errors += 1;
+        })?;
+        let key = ConnectionKey::from_incoming_udp(ip, &udp);
+        let lookup = self.demux.lookup(&key, PacketKind::Data);
+        self.stats.pcbs_examined += u64::from(lookup.examined);
+
+        if let Some(id) = lookup.pcb {
+            self.stats.demux_hits += 1;
+            let payload = datagram.payload();
+            self.stats.bytes_delivered += payload.len() as u64;
+            if let Some(p) = self.arena.get_mut(id) {
+                p.note_segment_in(payload.len());
+            }
+            self.sockets.entry(id).or_default().deliver(payload);
+            return Ok(RxResult {
+                outcome: RxOutcome::Delivered {
+                    pcb: id,
+                    bytes: payload.len(),
+                },
+                replies: Vec::new(),
+                pcbs_examined: lookup.examined,
+            });
+        }
+        // Unconnected bound sockets: delivery without a PCB entry.
+        if self.udp_listeners.iter().any(|l| l.matches(&key)) {
+            self.stats.listener_hits += 1;
+            self.stats.bytes_delivered += datagram.payload().len() as u64;
+            return Ok(RxResult {
+                outcome: RxOutcome::DeliveredUnconnected {
+                    bytes: datagram.payload().len(),
+                },
+                replies: Vec::new(),
+                pcbs_examined: lookup.examined,
+            });
+        }
+        // RFC 1122: a datagram for a dead port provokes ICMP
+        // port-unreachable quoting the offender.
+        self.stats.resets_sent += 1;
+        let unreachable =
+            tcpdemux_wire::IcmpRepr::port_unreachable(full_packet, ip_header_len).emit();
+        let frame = self.emit_icmp(ip.src_addr, &unreachable);
+        Ok(RxResult {
+            outcome: RxOutcome::UdpUnreachable,
+            replies: vec![frame],
+            pcbs_examined: lookup.examined,
+        })
+    }
+
+    fn receive_tcp(&mut self, ip: &Ipv4Repr, segment: &[u8]) -> Result<RxResult, WireError> {
+        let segment = TcpSegment::new_checked(segment).inspect_err(|_e| {
+            self.stats.tcp_errors += 1;
+        })?;
+        let tcp = TcpRepr::parse(&segment, ip.src_addr, ip.dst_addr).inspect_err(|_e| {
+            self.stats.tcp_errors += 1;
+        })?;
+        let payload = segment.payload();
+        let key = ConnectionKey::from_incoming_tcp(ip, &tcp);
+
+        // The paper's subject: one instrumented lookup per segment. Pure
+        // ACKs probe send-side caches first (footnote 5).
+        let kind = if payload.is_empty()
+            && tcp.flags.contains(TcpFlags::ACK)
+            && !tcp
+                .flags
+                .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+        {
+            PacketKind::Ack
+        } else {
+            PacketKind::Data
+        };
+        let lookup = self.demux.lookup(&key, kind);
+        self.stats.pcbs_examined += u64::from(lookup.examined);
+
+        if let Some(id) = lookup.pcb {
+            self.stats.demux_hits += 1;
+            let result = self.process_segment(id, &key, &tcp, payload);
+            return Ok(RxResult {
+                pcbs_examined: lookup.examined,
+                ..result
+            });
+        }
+
+        // No connection: try the listeners for a SYN.
+        if tcp.flags.contains(TcpFlags::SYN) && !tcp.flags.contains(TcpFlags::ACK) {
+            let matched = self
+                .listeners
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.key.matches(&key))
+                .max_by_key(|(_, l)| l.key.specificity())
+                .map(|(i, _)| i);
+            if let Some(idx) = matched {
+                if self.listeners[idx].pending() >= self.listeners[idx].backlog {
+                    // Backlog full: drop the SYN silently; the client
+                    // will retransmit (BSD semantics).
+                    self.stats.syn_drops += 1;
+                    return Ok(RxResult {
+                        outcome: RxOutcome::SynDropped,
+                        replies: Vec::new(),
+                        pcbs_examined: lookup.examined,
+                    });
+                }
+                self.stats.listener_hits += 1;
+                let result = self.accept_syn(&key, &tcp, idx);
+                return Ok(RxResult {
+                    pcbs_examined: lookup.examined,
+                    ..result
+                });
+            }
+        }
+
+        // Nothing matched: RST (unless the offender is itself an RST).
+        if tcp.flags.contains(TcpFlags::RST) {
+            return Ok(RxResult {
+                outcome: RxOutcome::ResetSent, // nothing to do; no reply
+                replies: Vec::new(),
+                pcbs_examined: lookup.examined,
+            });
+        }
+        self.stats.resets_sent += 1;
+        let rst = self.make_rst(&key, &tcp, payload.len());
+        Ok(RxResult {
+            outcome: RxOutcome::ResetSent,
+            replies: vec![rst],
+            pcbs_examined: lookup.examined,
+        })
+    }
+
+    fn accept_syn(&mut self, key: &ConnectionKey, tcp: &TcpRepr, listener_idx: usize) -> RxResult {
+        let mut pcb = Pcb::new_in_state(*key, TcpState::Listen);
+        pcb.on_event(TcpEvent::RecvSyn).expect("LISTEN accepts SYN");
+        let iss = self.alloc_iss();
+        pcb.init_send(iss, self.config.window);
+        pcb.init_recv(SeqNum(tcp.seq), tcp.window);
+        pcb.mss = tcp.mss.unwrap_or(Pcb::DEFAULT_MSS).min(self.config.mss);
+        pcb.note_segment_in(0);
+        let id = self.arena.insert(pcb);
+        self.demux.insert(*key, id);
+        self.sockets.insert(id, SocketBuffer::new());
+        self.listeners[listener_idx].embryonic += 1;
+        self.listener_of.insert(id, listener_idx);
+
+        let synack = TcpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+            seq: iss.raw(),
+            ack: tcp.seq.wrapping_add(1),
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            window: self.config.window,
+            mss: Some(self.config.mss),
+            window_scale: None,
+        };
+        let frame = self.emit_tcp(key, &synack, b"");
+        RxResult {
+            outcome: RxOutcome::NewConnection { pcb: id },
+            replies: vec![frame],
+            pcbs_examined: 0,
+        }
+    }
+
+    fn make_rst(&mut self, key: &ConnectionKey, tcp: &TcpRepr, payload_len: usize) -> Vec<u8> {
+        // RFC 793: if the offending segment has ACK, the RST carries its
+        // ack as seq; otherwise seq 0 with ACK covering the segment.
+        let repr = if tcp.flags.contains(TcpFlags::ACK) {
+            TcpRepr {
+                src_port: key.local_port,
+                dst_port: key.remote_port,
+                seq: tcp.ack,
+                ack: 0,
+                flags: TcpFlags::RST,
+                window: 0,
+                ..TcpRepr::default()
+            }
+        } else {
+            TcpRepr {
+                src_port: key.local_port,
+                dst_port: key.remote_port,
+                seq: 0,
+                ack: tcp.seq.wrapping_add(tcp.segment_len(payload_len)),
+                flags: TcpFlags::RST | TcpFlags::ACK,
+                window: 0,
+                ..TcpRepr::default()
+            }
+        };
+        self.emit_tcp(key, &repr, b"")
+    }
+
+    fn make_ack(&mut self, key: &ConnectionKey, pcb: PcbId) -> Vec<u8> {
+        let (seq, ack, window) = {
+            let p = self.arena.get(pcb).expect("acking a live connection");
+            (p.snd.nxt, p.rcv.nxt, p.rcv.wnd)
+        };
+        let repr = TcpRepr {
+            src_port: key.local_port,
+            dst_port: key.remote_port,
+            seq: seq.raw(),
+            ack: ack.raw(),
+            flags: TcpFlags::ACK,
+            window,
+            ..TcpRepr::default()
+        };
+        self.emit_tcp(key, &repr, b"")
+    }
+
+    fn process_segment(
+        &mut self,
+        id: PcbId,
+        key: &ConnectionKey,
+        tcp: &TcpRepr,
+        payload: &[u8],
+    ) -> RxResult {
+        let no_reply = |outcome| RxResult {
+            outcome,
+            replies: Vec::new(),
+            pcbs_examined: 0,
+        };
+
+        // RST: tear down unconditionally (sequence validation of RSTs is
+        // out of scope for the lookup study).
+        if tcp.flags.contains(TcpFlags::RST) {
+            self.reclaim(id, key);
+            return no_reply(RxOutcome::ResetReceived);
+        }
+
+        let state = self
+            .arena
+            .get(id)
+            .expect("demux returned a live id")
+            .state();
+
+        // Handshake progress.
+        match state {
+            TcpState::SynSent => {
+                if tcp.flags.contains(TcpFlags::SYN) && tcp.flags.contains(TcpFlags::ACK) {
+                    {
+                        let p = self.arena.get_mut(id).unwrap();
+                        p.on_event(TcpEvent::RecvSynAck).expect("SYN-SENT");
+                        p.init_recv(SeqNum(tcp.seq), tcp.window);
+                        p.snd.una = SeqNum(tcp.ack);
+                        p.snd.wnd = tcp.window;
+                        if let Some(mss) = tcp.mss {
+                            p.mss = p.mss.min(mss);
+                        }
+                        p.note_segment_in(0);
+                    }
+                    let ack = self.make_ack(key, id);
+                    return RxResult {
+                        outcome: RxOutcome::Established { pcb: id },
+                        replies: vec![ack],
+                        pcbs_examined: 0,
+                    };
+                }
+                if tcp.flags.contains(TcpFlags::SYN) {
+                    // Simultaneous open.
+                    {
+                        let p = self.arena.get_mut(id).unwrap();
+                        p.on_event(TcpEvent::RecvSyn).expect("SYN-SENT");
+                        p.init_recv(SeqNum(tcp.seq), tcp.window);
+                        p.note_segment_in(0);
+                    }
+                    let ack = self.make_ack(key, id);
+                    return RxResult {
+                        outcome: RxOutcome::NewConnection { pcb: id },
+                        replies: vec![ack],
+                        pcbs_examined: 0,
+                    };
+                }
+                return no_reply(RxOutcome::Duplicate { pcb: id });
+            }
+            TcpState::SynReceived => {
+                if tcp.flags.contains(TcpFlags::ACK)
+                    && SeqNum(tcp.ack) == self.arena.get(id).unwrap().snd.nxt
+                {
+                    {
+                        let p = self.arena.get_mut(id).unwrap();
+                        p.on_event(TcpEvent::RecvAck).expect("SYN-RECEIVED");
+                        p.snd.una = SeqNum(tcp.ack);
+                        p.snd.wnd = tcp.window;
+                        p.note_segment_in(0);
+                    }
+                    // The handshake completed: from embryonic to the
+                    // listener's accept queue.
+                    if let Some(&idx) = self.listener_of.get(&id) {
+                        self.listeners[idx].embryonic -= 1;
+                        self.listeners[idx].accept_queue.push_back(id);
+                    }
+                    // Fall through: the ACK may carry data too.
+                    if payload.is_empty() && !tcp.flags.contains(TcpFlags::FIN) {
+                        return no_reply(RxOutcome::Established { pcb: id });
+                    }
+                } else if tcp.flags.contains(TcpFlags::SYN) {
+                    // Retransmitted SYN: re-send the SYN-ACK.
+                    let p = self.arena.get(id).unwrap();
+                    let synack = TcpRepr {
+                        src_port: key.local_port,
+                        dst_port: key.remote_port,
+                        seq: p.snd.iss.raw(),
+                        ack: p.rcv.nxt.raw(),
+                        flags: TcpFlags::SYN | TcpFlags::ACK,
+                        window: p.rcv.wnd,
+                        mss: Some(self.config.mss),
+                        window_scale: None,
+                    };
+                    let frame = self.emit_tcp(key, &synack, b"");
+                    return RxResult {
+                        outcome: RxOutcome::Duplicate { pcb: id },
+                        replies: vec![frame],
+                        pcbs_examined: 0,
+                    };
+                }
+            }
+            _ => {}
+        }
+
+        // In-order check for data/FIN segments.
+        let seg_len = payload.len() as u32 + u32::from(tcp.flags.contains(TcpFlags::FIN));
+        if seg_len > 0 {
+            let rcv_nxt = self.arena.get(id).unwrap().rcv.nxt;
+            if SeqNum(tcp.seq) != rcv_nxt {
+                self.stats.out_of_order_drops += 1;
+                let ack = self.make_ack(key, id);
+                return RxResult {
+                    outcome: RxOutcome::Duplicate { pcb: id },
+                    replies: vec![ack],
+                    pcbs_examined: 0,
+                };
+            }
+        }
+
+        // ACK bookkeeping (cumulative) and FIN-acknowledgement transitions.
+        let mut closed_now = false;
+        if tcp.flags.contains(TcpFlags::ACK) {
+            let p = self.arena.get_mut(id).unwrap();
+            let ack = SeqNum(tcp.ack);
+            if p.snd.una.lt(ack) && ack.le(p.snd.nxt) {
+                p.snd.una = ack;
+            }
+            p.snd.wnd = tcp.window;
+            // Does this acknowledge our FIN?
+            let fin_acked = ack == p.snd.nxt;
+            match p.state() {
+                TcpState::FinWait1 if fin_acked => {
+                    p.on_event(TcpEvent::RecvAck).expect("FIN-WAIT-1");
+                }
+                TcpState::Closing if fin_acked => {
+                    p.on_event(TcpEvent::RecvAck).expect("CLOSING");
+                    closed_now = true; // TIME-WAIT; we reclaim below via timer-less model
+                }
+                TcpState::LastAck if fin_acked => {
+                    p.on_event(TcpEvent::RecvAck).expect("LAST-ACK");
+                    closed_now = true;
+                }
+                _ => {}
+            }
+        }
+        if closed_now {
+            match self.arena.get(id).unwrap().state() {
+                TcpState::Closed => {
+                    self.reclaim(id, key);
+                    return no_reply(RxOutcome::Closed);
+                }
+                TcpState::TimeWait => {
+                    return if self.enter_time_wait(id, key) {
+                        no_reply(RxOutcome::Closed)
+                    } else {
+                        no_reply(RxOutcome::TimeWait { pcb: id })
+                    };
+                }
+                _ => {}
+            }
+        }
+
+        // Payload delivery.
+        let mut delivered = 0usize;
+        if !payload.is_empty() {
+            let p = self.arena.get_mut(id).unwrap();
+            if p.state().can_transfer_data() {
+                p.rcv.nxt += payload.len() as u32;
+                p.note_segment_in(payload.len());
+                delivered = payload.len();
+                self.stats.bytes_delivered += payload.len() as u64;
+                self.sockets.entry(id).or_default().deliver(payload);
+            }
+        }
+
+        // FIN processing.
+        let mut peer_closed = false;
+        if tcp.flags.contains(TcpFlags::FIN) {
+            let p = self.arena.get_mut(id).unwrap();
+            if p.on_event(TcpEvent::RecvFin).is_ok() {
+                p.rcv.nxt += 1;
+                peer_closed = true;
+                if let Some(sock) = self.sockets.get_mut(&id) {
+                    sock.mark_fin();
+                }
+            }
+        }
+
+        if delivered > 0 || peer_closed {
+            let ack = self.make_ack(key, id);
+            let outcome = if peer_closed {
+                if matches!(
+                    self.arena.get(id).map(|p| p.state()),
+                    Some(TcpState::TimeWait)
+                ) {
+                    if self.enter_time_wait(id, key) {
+                        RxOutcome::Closed
+                    } else {
+                        RxOutcome::TimeWait { pcb: id }
+                    }
+                } else {
+                    RxOutcome::PeerClosed { pcb: id }
+                }
+            } else {
+                RxOutcome::Delivered {
+                    pcb: id,
+                    bytes: delivered,
+                }
+            };
+            return RxResult {
+                outcome,
+                replies: vec![ack],
+                pcbs_examined: 0,
+            };
+        }
+
+        no_reply(RxOutcome::AckProcessed { pcb: id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpdemux_core::BsdDemux;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn pair() -> (Stack, Stack) {
+        let server = Stack::new(StackConfig::new(SERVER), Box::new(BsdDemux::new()));
+        let client = Stack::new(StackConfig::new(CLIENT), Box::new(BsdDemux::new()));
+        (server, client)
+    }
+
+    /// Run the three-way handshake; returns (client_pcb, server_pcb).
+    fn handshake(server: &mut Stack, client: &mut Stack, port: u16) -> (PcbId, PcbId) {
+        server.listen(port).unwrap();
+        let (client_pcb, syn) = client.connect(SERVER, port).unwrap();
+        let r1 = server.receive(&syn).unwrap();
+        let server_pcb = match r1.outcome {
+            RxOutcome::NewConnection { pcb } => pcb,
+            other => panic!("expected NewConnection, got {other:?}"),
+        };
+        let r2 = client.receive(&r1.replies[0]).unwrap();
+        assert!(matches!(r2.outcome, RxOutcome::Established { .. }));
+        let r3 = server.receive(&r2.replies[0]).unwrap();
+        assert!(matches!(r3.outcome, RxOutcome::Established { .. }));
+        (client_pcb, server_pcb)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 1521);
+        assert!(client.is_established(cp));
+        assert!(server.is_established(sp));
+        assert_eq!(server.connection_count(), 1);
+        assert_eq!(client.connection_count(), 1);
+        assert_eq!(server.stats().listener_hits, 1);
+    }
+
+    #[test]
+    fn data_transfer_both_directions() {
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 1521);
+
+        // Client -> server.
+        let frame = client.send(cp, b"BEGIN TRANSACTION").unwrap();
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 17, .. }));
+        assert_eq!(
+            server.socket_mut(sp).unwrap().read_all(),
+            b"BEGIN TRANSACTION"
+        );
+        // The ACK flows back.
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+
+        // Server -> client.
+        let frame = server.send(sp, b"OK").unwrap();
+        let r = client.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 2, .. }));
+        assert_eq!(client.socket_mut(cp).unwrap().read_all(), b"OK");
+        server.receive(&r.replies[0]).unwrap();
+
+        // Sequence spaces stayed consistent.
+        assert_eq!(server.stats().bytes_delivered, 17);
+        assert_eq!(client.stats().bytes_delivered, 2);
+        assert_eq!(server.stats().out_of_order_drops, 0);
+    }
+
+    #[test]
+    fn retransmitted_data_is_dropped_and_reacked() {
+        let (mut server, mut client) = pair();
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+        let frame = client.send(cp, b"hello").unwrap();
+        let r1 = server.receive(&frame).unwrap();
+        assert!(matches!(r1.outcome, RxOutcome::Delivered { .. }));
+        // Deliver the same frame again (a retransmission).
+        let r2 = server.receive(&frame).unwrap();
+        assert!(matches!(r2.outcome, RxOutcome::Duplicate { .. }));
+        assert_eq!(r2.replies.len(), 1, "duplicate is re-acked");
+        assert_eq!(server.stats().out_of_order_drops, 1);
+        assert_eq!(server.stats().bytes_delivered, 5, "no double delivery");
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+
+        // Client closes.
+        let fin = client.close(cp).unwrap();
+        assert_eq!(client.state(cp), Some(TcpState::FinWait1));
+        let r = server.receive(&fin).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::PeerClosed { .. }));
+        assert_eq!(server.state(sp), Some(TcpState::CloseWait));
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+        assert_eq!(client.state(cp), Some(TcpState::FinWait2));
+
+        // Server closes.
+        let fin2 = server.close(sp).unwrap();
+        assert_eq!(server.state(sp), Some(TcpState::LastAck));
+        let r = client.receive(&fin2).unwrap();
+        // Client reaches TIME-WAIT and (timer-free) reclaims immediately.
+        assert!(matches!(r.outcome, RxOutcome::Closed));
+        assert_eq!(client.connection_count(), 0);
+        let r = server.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Closed));
+        assert_eq!(server.connection_count(), 0);
+    }
+
+    #[test]
+    fn segment_to_unknown_connection_gets_rst() {
+        let (mut server, mut client) = pair();
+        // No listener, no connection: a data segment out of nowhere.
+        let (cp, _syn) = client.connect(SERVER, 9999).unwrap();
+        // Pretend established so we can fabricate a data segment.
+        let frame = {
+            let key = client.arena.get(cp).unwrap().key();
+            let repr = TcpRepr {
+                src_port: key.local_port,
+                dst_port: 9999,
+                seq: 1,
+                ack: 1,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: 100,
+                ..TcpRepr::default()
+            };
+            client.emit_tcp(&key, &repr, b"ghost")
+        };
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetSent));
+        assert_eq!(r.replies.len(), 1);
+        assert_eq!(server.stats().resets_sent, 1);
+
+        // The RST comes back and kills the half-open client connection.
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetReceived));
+        assert_eq!(client.connection_count(), 0);
+    }
+
+    #[test]
+    fn syn_to_closed_port_gets_rst() {
+        let (mut server, mut client) = pair();
+        let (_cp, syn) = client.connect(SERVER, 7).unwrap();
+        let r = server.receive(&syn).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetSent));
+    }
+
+    #[test]
+    fn frames_for_other_hosts_are_ignored() {
+        let (mut server, mut client) = pair();
+        let (_cp, syn) = client.connect(Ipv4Addr::new(10, 0, 0, 99), 80).unwrap();
+        let r = server.receive(&syn).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::NotForUs));
+        assert_eq!(server.stats().not_for_us, 1);
+        assert_eq!(server.stats().resets_sent, 0);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected_before_demux() {
+        let (mut server, mut client) = pair();
+        let (_cp, syn) = client.connect(SERVER, 80).unwrap();
+        server.listen(80).unwrap();
+        let mut bad = syn.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let lookups_before = server.demux_stats().lookups;
+        let err = server.receive(&bad).unwrap_err();
+        assert_eq!(err, WireError::BadChecksum);
+        assert_eq!(server.stats().tcp_errors, 1);
+        assert_eq!(
+            server.demux_stats().lookups,
+            lookups_before,
+            "corrupted frames must not reach the demultiplexer"
+        );
+    }
+
+    #[test]
+    fn truncated_frame_counted_as_ip_error() {
+        let (mut server, _client) = pair();
+        let err = server.receive(&[0x45, 0x00]).unwrap_err();
+        assert_eq!(err, WireError::Truncated);
+        assert_eq!(server.stats().ip_errors, 1);
+    }
+
+    #[test]
+    fn unknown_protocol_counted() {
+        let (mut server, _client) = pair();
+        // Hand-build an IPv4 header claiming protocol 89 (OSPF).
+        let ip = Ipv4Repr {
+            src_addr: CLIENT,
+            dst_addr: SERVER,
+            protocol: IpProtocol::Unknown(89),
+            payload_len: 0,
+            ttl: 64,
+        };
+        let mut buf = vec![0u8; 20];
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut packet).unwrap();
+        let r = server.receive(&buf).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::UnhandledProtocol));
+        assert_eq!(server.stats().bad_protocol, 1);
+    }
+
+    #[test]
+    fn connected_udp_demuxes_and_delivers() {
+        let (mut server, mut client) = pair();
+        let server_sock = server.udp_open(53, CLIENT, 5353).unwrap();
+        let client_sock = client.udp_open(5353, SERVER, 53).unwrap();
+        let frame = client.udp_send(client_sock, b"query").unwrap();
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 5, .. }));
+        assert!(r.pcbs_examined >= 1);
+        assert_eq!(server.socket_mut(server_sock).unwrap().read_all(), b"query");
+    }
+
+    #[test]
+    fn unconnected_udp_uses_wildcard_path() {
+        let (mut server, mut client) = pair();
+        server.udp_bind(514).unwrap();
+        let sock = client.udp_open(40_000, SERVER, 514).unwrap();
+        let frame = client.udp_send(sock, b"log line").unwrap();
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(
+            r.outcome,
+            RxOutcome::DeliveredUnconnected { bytes: 8 }
+        ));
+        assert_eq!(server.stats().listener_hits, 1);
+    }
+
+    #[test]
+    fn udp_to_unbound_port_is_unreachable() {
+        let (mut server, mut client) = pair();
+        let sock = client.udp_open(40_000, SERVER, 9).unwrap();
+        let frame = client.udp_send(sock, b"discard").unwrap();
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::UdpUnreachable));
+    }
+
+    #[test]
+    fn listen_twice_fails() {
+        let (mut server, _client) = pair();
+        server.listen(80).unwrap();
+        assert_eq!(server.listen(80), Err(StackError::PortInUse(80)));
+        server.udp_bind(80).unwrap(); // UDP namespace is separate
+        assert_eq!(server.udp_bind(80), Err(StackError::PortInUse(80)));
+    }
+
+    #[test]
+    fn ephemeral_ports_are_distinct() {
+        let (_server, mut client) = pair();
+        let (a, _) = client.connect(SERVER, 80).unwrap();
+        let (b, _) = client.connect(SERVER, 80).unwrap();
+        let ka = client.arena.get(a).unwrap().key();
+        let kb = client.arena.get(b).unwrap().key();
+        assert_ne!(ka.local_port, kb.local_port);
+    }
+
+    #[test]
+    fn send_on_unestablished_connection_fails() {
+        let (_server, mut client) = pair();
+        let (cp, _syn) = client.connect(SERVER, 80).unwrap();
+        assert_eq!(client.send(cp, b"x"), Err(StackError::NotEstablished));
+    }
+
+    #[test]
+    fn abort_sends_rst_and_reclaims() {
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+        let rst = client.abort(cp).unwrap();
+        assert_eq!(client.connection_count(), 0);
+        let r = server.receive(&rst).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetReceived));
+        assert_eq!(server.connection_count(), 0);
+        let _ = sp;
+    }
+
+    #[test]
+    fn retransmitted_syn_gets_synack_again() {
+        let (mut server, mut client) = pair();
+        server.listen(80).unwrap();
+        let (_cp, syn) = client.connect(SERVER, 80).unwrap();
+        let r1 = server.receive(&syn).unwrap();
+        assert!(matches!(r1.outcome, RxOutcome::NewConnection { .. }));
+        // The same SYN again (client timed out): a fresh SYN-ACK.
+        let r2 = server.receive(&syn).unwrap();
+        assert!(matches!(r2.outcome, RxOutcome::Duplicate { .. }));
+        assert_eq!(r2.replies.len(), 1);
+        // Both SYN-ACKs carry the same ISS.
+        let seg1 = TcpSegment::new_checked(
+            Ipv4Packet::new_checked(&r1.replies[0][..])
+                .unwrap()
+                .payload()
+                .to_vec(),
+        )
+        .unwrap();
+        let seg2 = TcpSegment::new_checked(
+            Ipv4Packet::new_checked(&r2.replies[0][..])
+                .unwrap()
+                .payload()
+                .to_vec(),
+        )
+        .unwrap();
+        assert_eq!(seg1.seq(), seg2.seq());
+    }
+
+    /// Pair with real TIME-WAIT enabled on the client side.
+    fn pair_with_time_wait(ticks: u64) -> (Stack, Stack) {
+        let server = Stack::new(StackConfig::new(SERVER), Box::new(BsdDemux::new()));
+        let client = Stack::new(
+            StackConfig::new(CLIENT).with_time_wait(ticks),
+            Box::new(BsdDemux::new()),
+        );
+        (server, client)
+    }
+
+    #[test]
+    fn time_wait_holds_connection_until_2msl() {
+        let (mut server, mut client) = pair_with_time_wait(120_000);
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+
+        // Active close from the client, then the server's FIN.
+        let fin = client.close(cp).unwrap();
+        let r = server.receive(&fin).unwrap();
+        client.receive(&r.replies[0]).unwrap();
+        let fin2 = server.close(sp).unwrap();
+        let r = client.receive(&fin2).unwrap();
+        // With timers on, the client parks in TIME-WAIT instead of
+        // reclaiming.
+        assert!(matches!(r.outcome, RxOutcome::TimeWait { .. }));
+        assert_eq!(client.state(cp), Some(TcpState::TimeWait));
+        assert_eq!(client.connection_count(), 1);
+        assert_eq!(client.time_wait_count(), 1);
+        server.receive(&r.replies[0]).unwrap();
+
+        // A retransmitted FIN during TIME-WAIT is re-acknowledged.
+        let r = client.receive(&fin2).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Duplicate { .. }));
+        assert_eq!(r.replies.len(), 1);
+
+        // Before 2MSL: still parked. After: reclaimed.
+        assert_eq!(client.advance_time(119_999), 0);
+        assert_eq!(client.connection_count(), 1);
+        assert_eq!(client.advance_time(120_000), 1);
+        assert_eq!(client.connection_count(), 0);
+        assert_eq!(client.time_wait_count(), 0);
+    }
+
+    #[test]
+    fn time_wait_timer_is_stale_safe_after_rst() {
+        let (mut server, mut client) = pair_with_time_wait(1000);
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+        // Drive the client into TIME-WAIT.
+        let fin = client.close(cp).unwrap();
+        let r = server.receive(&fin).unwrap();
+        client.receive(&r.replies[0]).unwrap();
+        let fin2 = server.close(sp).unwrap();
+        let r = client.receive(&fin2).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::TimeWait { .. }));
+        // An RST lands during TIME-WAIT and reclaims immediately.
+        let rst_frame = {
+            // Rebuild a valid RST from the server's (now closed) side by
+            // aborting a reconstructed connection is overkill: craft one.
+            let key = ConnectionKey::new(
+                CLIENT,
+                {
+                    // client's ephemeral port: recover from its PCB
+                    client.arena.get(cp).unwrap().key().local_port
+                },
+                SERVER,
+                80,
+            )
+            .reversed();
+            let repr = TcpRepr {
+                src_port: key.local_port,
+                dst_port: key.remote_port,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::RST,
+                window: 0,
+                ..TcpRepr::default()
+            };
+            server.emit_tcp(&key, &repr, b"")
+        };
+        let r = client.receive(&rst_frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetReceived));
+        assert_eq!(client.connection_count(), 0);
+        // The parked timer fires later against a recycled-or-dead slot;
+        // the generation check must make it a no-op, not a panic or a
+        // wrong-connection reclaim.
+        assert_eq!(client.advance_time(1000), 0);
+    }
+
+    #[test]
+    fn timer_free_mode_reclaims_immediately() {
+        // The default config (time_wait_ticks: None) must behave exactly
+        // as before: reaching TIME-WAIT reclaims at once.
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+        let fin = client.close(cp).unwrap();
+        let r = server.receive(&fin).unwrap();
+        client.receive(&r.replies[0]).unwrap();
+        let fin2 = server.close(sp).unwrap();
+        let r = client.receive(&fin2).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Closed));
+        assert_eq!(client.connection_count(), 0);
+    }
+
+    #[test]
+    fn ethernet_receive_path() {
+        let (mut server, mut client) = pair();
+        server.listen(80).unwrap();
+        let (_cp, syn) = client.connect(SERVER, 80).unwrap();
+
+        // Properly addressed frame: full handshake step works.
+        let framed = client.encapsulate(&syn, SERVER);
+        assert!(framed.len() >= 60, "minimum frame size honored");
+        let r = server.receive_ethernet(&framed).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::NewConnection { .. }));
+
+        // Frame for someone else's MAC: ignored at the link layer.
+        let mut wrong = framed.clone();
+        wrong[5] ^= 0x01; // dst MAC last byte
+        let r = server.receive_ethernet(&wrong).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::NotForUs));
+
+        // Broadcast is accepted.
+        let mut bcast = framed.clone();
+        bcast[..6].copy_from_slice(&[0xff; 6]);
+        let r = server.receive_ethernet(&bcast).unwrap();
+        // (Duplicate SYN: the connection exists now.)
+        assert!(matches!(r.outcome, RxOutcome::Duplicate { .. }));
+
+        // IPv4 bytes relabeled as ARP fail ARP validation.
+        let mut arp = framed.clone();
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(server.receive_ethernet(&arp).is_err());
+
+        // A genuinely unknown EtherType is counted and dropped.
+        let mut ipx = framed.clone();
+        ipx[12] = 0x81;
+        ipx[13] = 0x37;
+        let r = server.receive_ethernet(&ipx).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::UnhandledProtocol));
+        assert_eq!(server.stats().bad_protocol, 1);
+
+        // Runt frame.
+        assert!(server.receive_ethernet(&framed[..10]).is_err());
+    }
+
+    #[test]
+    fn ethernet_padding_does_not_confuse_ipv4() {
+        // A 40-byte pure ACK gets padded to 46 payload bytes; the IPv4
+        // total-length field must bound parsing.
+        let (mut server, mut client) = pair();
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+        let frame = client.send(cp, b"").unwrap_or_else(|_| panic!());
+        assert_eq!(frame.len(), 40);
+        let framed = client.encapsulate(&frame, SERVER);
+        let r = server.receive_ethernet(&framed).unwrap();
+        assert!(
+            matches!(r.outcome, RxOutcome::AckProcessed { .. })
+                || matches!(r.outcome, RxOutcome::Duplicate { .. }),
+            "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn stack_answers_pings() {
+        use tcpdemux_wire::IcmpRepr;
+        let (mut server, mut client) = pair();
+        // Client pings the server.
+        let ping = IcmpRepr::EchoRequest {
+            ident: 0xbeef,
+            seq: 1,
+            payload: b"are you there?",
+        }
+        .emit();
+        let frame = client.emit_icmp(SERVER, &ping);
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::EchoReplied));
+        assert_eq!(server.stats().icmp_in, 1);
+        assert_eq!(server.stats().icmp_echo_replies, 1);
+
+        // The reply makes it back with the payload intact.
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::IcmpProcessed));
+        let reply_packet = Ipv4Packet::new_checked(&frame[..]).unwrap();
+        let _ = reply_packet;
+    }
+
+    #[test]
+    fn ping_payload_is_echoed_exactly() {
+        use tcpdemux_wire::IcmpRepr;
+        let (mut server, mut client) = pair();
+        let payload = b"0123456789abcdef";
+        let ping = IcmpRepr::EchoRequest {
+            ident: 7,
+            seq: 42,
+            payload,
+        }
+        .emit();
+        let frame = client.emit_icmp(SERVER, &ping);
+        let r = server.receive(&frame).unwrap();
+        let reply = Ipv4Packet::new_checked(&r.replies[0][..]).unwrap();
+        match IcmpRepr::parse(reply.payload()).unwrap() {
+            IcmpRepr::EchoReply {
+                ident,
+                seq,
+                payload: echoed,
+            } => {
+                assert_eq!(ident, 7);
+                assert_eq!(seq, 42);
+                assert_eq!(echoed, payload);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn udp_unreachable_sends_icmp_quote() {
+        use tcpdemux_wire::IcmpRepr;
+        let (mut server, mut client) = pair();
+        let sock = client.udp_open(40_000, SERVER, 9).unwrap();
+        let datagram = client.udp_send(sock, b"discard-me").unwrap();
+        let r = server.receive(&datagram).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::UdpUnreachable));
+        assert_eq!(r.replies.len(), 1, "port-unreachable must be emitted");
+
+        // The ICMP message quotes the offending packet's header + 8 bytes.
+        let icmp_packet = Ipv4Packet::new_checked(&r.replies[0][..]).unwrap();
+        assert_eq!(icmp_packet.protocol(), IpProtocol::Icmp);
+        match IcmpRepr::parse(icmp_packet.payload()).unwrap() {
+            IcmpRepr::DestinationUnreachable { code, original } => {
+                assert_eq!(code, tcpdemux_wire::icmp::CODE_PORT_UNREACHABLE);
+                assert_eq!(original.len(), 28);
+                assert_eq!(original[..20], datagram[..20], "quotes the IP header");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The client recognizes the unreachable as ICMP traffic.
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::IcmpProcessed));
+    }
+
+    #[test]
+    fn corrupt_icmp_rejected() {
+        use tcpdemux_wire::IcmpRepr;
+        let (mut server, mut client) = pair();
+        let ping = IcmpRepr::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: b"x",
+        }
+        .emit();
+        let mut frame = client.emit_icmp(SERVER, &ping);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        assert_eq!(server.receive(&frame).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(server.stats().icmp_in, 0);
+    }
+
+    #[test]
+    fn arp_request_gets_answered_and_learned() {
+        use tcpdemux_wire::{ArpRepr, EtherType, EthernetFrame, EthernetRepr};
+        let (mut server, client) = pair();
+
+        // The client broadcasts who-has for the server's address.
+        let request = ArpRepr::request(client.mac(), CLIENT, SERVER);
+        let bytes = request.emit();
+        let mut framed = vec![0u8; 14 + bytes.len().max(46)];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut framed[..]);
+            EthernetRepr {
+                src_addr: client.mac(),
+                dst_addr: tcpdemux_wire::EthernetAddress::BROADCAST,
+                ethertype: EtherType::Arp,
+            }
+            .emit(&mut eth)
+            .unwrap();
+            eth.payload_mut()[..bytes.len()].copy_from_slice(&bytes);
+        }
+
+        let r = server.receive_ethernet(&framed).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ArpReplied));
+        assert_eq!(r.replies.len(), 1);
+
+        // The reply is a valid is-at for the server, unicast to the client.
+        let reply_frame = EthernetFrame::new_checked(&r.replies[0][..]).unwrap();
+        assert_eq!(reply_frame.ethertype(), EtherType::Arp);
+        assert_eq!(reply_frame.dst_addr(), client.mac());
+        let reply = ArpRepr::parse(&reply_frame.payload()[..28]).unwrap();
+        assert_eq!(reply.src_ip, SERVER);
+        assert_eq!(reply.src_mac, server.mac());
+        assert_eq!(reply.dst_ip, CLIENT);
+
+        // The server learned the requester's mapping as a side effect.
+        assert_eq!(server.resolve(CLIENT), client.mac());
+    }
+
+    #[test]
+    fn arp_for_someone_else_learns_but_does_not_reply() {
+        use tcpdemux_wire::{ArpRepr, EtherType, EthernetFrame, EthernetRepr};
+        let (mut server, client) = pair();
+        let other = Ipv4Addr::new(10, 0, 0, 250);
+        let request = ArpRepr::request(client.mac(), CLIENT, other);
+        let bytes = request.emit();
+        let mut framed = vec![0u8; 14 + 46];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut framed[..]);
+            EthernetRepr {
+                src_addr: client.mac(),
+                dst_addr: tcpdemux_wire::EthernetAddress::BROADCAST,
+                ethertype: EtherType::Arp,
+            }
+            .emit(&mut eth)
+            .unwrap();
+            eth.payload_mut()[..bytes.len()].copy_from_slice(&bytes);
+        }
+        let r = server.receive_ethernet(&framed).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ArpProcessed));
+        assert!(r.replies.is_empty());
+        assert_eq!(server.resolve(CLIENT), client.mac(), "still learned");
+    }
+
+    #[test]
+    fn neighbor_entries_expire_with_time() {
+        use tcpdemux_wire::{ArpRepr, EtherType, EthernetFrame, EthernetRepr};
+        let (mut server, client) = pair();
+        let request = ArpRepr::request(client.mac(), CLIENT, SERVER);
+        let bytes = request.emit();
+        let mut framed = vec![0u8; 14 + 46];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut framed[..]);
+            EthernetRepr {
+                src_addr: client.mac(),
+                dst_addr: tcpdemux_wire::EthernetAddress::BROADCAST,
+                ethertype: EtherType::Arp,
+            }
+            .emit(&mut eth)
+            .unwrap();
+            eth.payload_mut()[..bytes.len()].copy_from_slice(&bytes);
+        }
+        server.receive_ethernet(&framed).unwrap();
+        assert_eq!(server.resolve(CLIENT), client.mac());
+        // Past the one-minute lifetime the mapping falls back to the
+        // derived MAC (same value here — check via the cache directly).
+        server.advance_time(crate::neighbor::DEFAULT_LIFETIME + 1);
+        assert_eq!(
+            server.resolve(CLIENT),
+            tcpdemux_wire::EthernetAddress::from_ipv4(CLIENT),
+            "expired: falls back to derived MAC"
+        );
+    }
+
+    /// Connect `n` clients through full handshakes; returns the clients.
+    fn connect_n(server: &mut Stack, n: u16, port: u16) -> Vec<(Stack, PcbId)> {
+        (0..n)
+            .map(|i| {
+                let addr = Ipv4Addr::new(10, 9, (i >> 8) as u8, (i & 0xff) as u8);
+                let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+                let (cp, syn) = c.connect(SERVER, port).unwrap();
+                let synack = server.receive(&syn).unwrap().replies;
+                let ack = c.receive(&synack[0]).unwrap().replies;
+                server.receive(&ack[0]).unwrap();
+                (c, cp)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accept_queue_dequeues_in_order() {
+        let (mut server, _client) = pair();
+        server.listen_with_backlog(80, 16).unwrap();
+        let _clients = connect_n(&mut server, 3, 80);
+        assert_eq!(server.accept_queue_len(80), 3);
+        let first = server.accept(80).unwrap();
+        let second = server.accept(80).unwrap();
+        let third = server.accept(80).unwrap();
+        assert!(server.accept(80).is_none());
+        // FIFO: the client addresses ascend with connection order.
+        let addr = |id: PcbId, s: &Stack| s.arena.get(id).unwrap().key().remote_addr;
+        assert!(addr(first, &server) < addr(second, &server));
+        assert!(addr(second, &server) < addr(third, &server));
+        assert_eq!(server.accept_queue_len(80), 0);
+    }
+
+    #[test]
+    fn backlog_full_drops_syn() {
+        let (mut server, _client) = pair();
+        server.listen_with_backlog(80, 2).unwrap();
+        // Two connections fill the backlog (established, unaccepted).
+        let _clients = connect_n(&mut server, 2, 80);
+        // A third SYN is dropped silently.
+        let addr = Ipv4Addr::new(10, 9, 9, 9);
+        let mut extra = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let (_cp, syn) = extra.connect(SERVER, 80).unwrap();
+        let r = server.receive(&syn).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::SynDropped));
+        assert!(r.replies.is_empty(), "silent drop, no SYN-ACK, no RST");
+        assert_eq!(server.stats().syn_drops, 1);
+        assert_eq!(server.connection_count(), 2);
+
+        // Accepting one frees a slot; the retransmitted SYN now succeeds.
+        server.accept(80).unwrap();
+        let r = server.receive(&syn).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::NewConnection { .. }));
+    }
+
+    #[test]
+    fn embryonic_connections_count_against_backlog() {
+        let (mut server, _client) = pair();
+        server.listen_with_backlog(80, 2).unwrap();
+        // Two half-open connections (SYN sent, handshake never finished).
+        for i in 0..2u8 {
+            let addr = Ipv4Addr::new(10, 9, 0, i);
+            let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+            let (_cp, syn) = c.connect(SERVER, 80).unwrap();
+            let r = server.receive(&syn).unwrap();
+            assert!(matches!(r.outcome, RxOutcome::NewConnection { .. }));
+        }
+        assert_eq!(server.accept_queue_len(80), 0, "nothing established yet");
+        // Third SYN: dropped, the backlog is consumed by embryos.
+        let addr = Ipv4Addr::new(10, 9, 0, 99);
+        let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let (_cp, syn) = c.connect(SERVER, 80).unwrap();
+        let r = server.receive(&syn).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::SynDropped));
+    }
+
+    #[test]
+    fn dying_embryo_releases_backlog_slot() {
+        let (mut server, _client) = pair();
+        server.listen_with_backlog(80, 1).unwrap();
+        let addr = Ipv4Addr::new(10, 9, 0, 1);
+        let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let (cp, syn) = c.connect(SERVER, 80).unwrap();
+        server.receive(&syn).unwrap();
+        // The client gives up: RST kills the embryo.
+        let rst = c.abort(cp).unwrap();
+        let r = server.receive(&rst).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetReceived));
+        // The slot is free again.
+        let addr2 = Ipv4Addr::new(10, 9, 0, 2);
+        let mut c2 = Stack::new(StackConfig::new(addr2), Box::new(BsdDemux::new()));
+        let (_cp2, syn2) = c2.connect(SERVER, 80).unwrap();
+        let r = server.receive(&syn2).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::NewConnection { .. }));
+    }
+
+    #[test]
+    fn data_before_accept_is_buffered() {
+        let (mut server, _client) = pair();
+        server.listen_with_backlog(80, 4).unwrap();
+        let mut clients = connect_n(&mut server, 1, 80);
+        let (client, cp) = &mut clients[0];
+        let frame = client.send(*cp, b"early data").unwrap();
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { .. }));
+        // The application accepts afterwards and finds the bytes waiting.
+        let sp = server.accept(80).unwrap();
+        assert_eq!(server.socket_mut(sp).unwrap().read_all(), b"early data");
+    }
+
+    #[test]
+    fn zero_backlog_rejected() {
+        let (mut server, _client) = pair();
+        assert!(server.listen_with_backlog(80, 0).is_err());
+    }
+
+    #[test]
+    fn netstat_dump_shows_listeners_and_connections() {
+        let (mut server, mut client) = pair();
+        server.listen_with_backlog(1521, 8).unwrap();
+        server.udp_bind(514).unwrap();
+        let (_cp, syn) = client.connect(SERVER, 1521).unwrap();
+        server.receive(&syn).unwrap();
+
+        let dump = server.netstat();
+        assert!(dump.contains("Active connections on 10.0.0.1"), "{dump}");
+        assert!(dump.contains("*:1521 (listen)"), "{dump}");
+        assert!(dump.contains("backlog 1/8"), "{dump}");
+        assert!(dump.contains("*:514 (listen)"), "{dump}");
+        assert!(dump.contains("SYN-RECEIVED"), "{dump}");
+        assert!(dump.contains("10.0.0.2:"), "{dump}");
+
+        let conns = server.connections();
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].1, TcpState::SynReceived);
+    }
+
+    #[test]
+    fn demux_cost_is_reported_per_frame() {
+        let (mut server, mut client) = pair();
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+        let frame = client.send(cp, b"x").unwrap();
+        let r = server.receive(&frame).unwrap();
+        assert!(r.pcbs_examined >= 1);
+        assert!(server.stats().pcbs_examined >= 1);
+        // The SYN's lookup scanned an empty structure (0 examined), so the
+        // mean sits below 1 here; it must still be positive.
+        assert!(server.stats().mean_pcbs_examined() > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Receive-path accounting.
+
+use core::fmt;
+
+/// Counters for everything that can happen to an arriving frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Frames handed to [`Stack::receive`](crate::Stack::receive).
+    pub frames_in: u64,
+    /// Frames rejected by IPv4 validation (length/version/checksum).
+    pub ip_errors: u64,
+    /// Frames rejected because the destination address is not ours.
+    pub not_for_us: u64,
+    /// Frames carrying a protocol the stack does not handle.
+    pub bad_protocol: u64,
+    /// Segments rejected by TCP validation (length/checksum/options).
+    pub tcp_errors: u64,
+    /// Segments that matched an established connection.
+    pub demux_hits: u64,
+    /// Segments that matched only a listener (new connections).
+    pub listener_hits: u64,
+    /// Segments that matched nothing and provoked an RST.
+    pub resets_sent: u64,
+    /// Out-of-order segments dropped (re-ACKed, not queued).
+    pub out_of_order_drops: u64,
+    /// Payload bytes delivered to sockets.
+    pub bytes_delivered: u64,
+    /// Frames the stack emitted (replies and sends).
+    pub frames_out: u64,
+    /// Total PCBs examined by demultiplexing (the paper's cost metric).
+    pub pcbs_examined: u64,
+    /// ICMP messages received and parsed.
+    pub icmp_in: u64,
+    /// ICMP echo replies sent (pings answered).
+    pub icmp_echo_replies: u64,
+    /// SYNs dropped because the listener's backlog was full.
+    pub syn_drops: u64,
+}
+
+impl StackStats {
+    /// Frames that failed validation for any reason.
+    pub fn total_rejected(&self) -> u64 {
+        self.ip_errors + self.not_for_us + self.bad_protocol + self.tcp_errors
+    }
+
+    /// Mean PCBs examined per demultiplexed segment.
+    pub fn mean_pcbs_examined(&self) -> f64 {
+        let lookups = self.demux_hits + self.listener_hits + self.resets_sent;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.pcbs_examined as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for StackStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in={} rejected={} hits={} new={} rst={} delivered={}B mean_pcbs={:.2}",
+            self.frames_in,
+            self.total_rejected(),
+            self.demux_hits,
+            self.listener_hits,
+            self.resets_sent,
+            self.bytes_delivered,
+            self.mean_pcbs_examined(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let stats = StackStats {
+            ip_errors: 2,
+            not_for_us: 3,
+            bad_protocol: 1,
+            tcp_errors: 4,
+            ..StackStats::default()
+        };
+        assert_eq!(stats.total_rejected(), 10);
+    }
+
+    #[test]
+    fn mean_examined() {
+        let stats = StackStats {
+            demux_hits: 3,
+            listener_hits: 1,
+            pcbs_examined: 20,
+            ..StackStats::default()
+        };
+        assert!((stats.mean_pcbs_examined() - 5.0).abs() < 1e-12);
+        assert_eq!(StackStats::default().mean_pcbs_examined(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = StackStats {
+            frames_in: 7,
+            ..StackStats::default()
+        }
+        .to_string();
+        assert!(s.contains("in=7"), "{s}");
+    }
+}

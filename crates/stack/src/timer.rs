@@ -1,0 +1,245 @@
+//! A hashed timing wheel (Varghese & Lauck, SOSP 1987) — the timer
+//! substrate a TCP stack of the paper's era actually used.
+//!
+//! TCP needs per-connection timers (TIME-WAIT's 2·MSL drain, SYN-RCVD
+//! abort, retransmission). A timing wheel makes `schedule`, `cancel`, and
+//! per-tick expiry O(1) amortized: time is divided into ticks, the wheel
+//! has `S` slots, and a timer due at tick `t` lives in slot `t mod S`
+//! carrying its absolute due tick (so timers farther than one rotation
+//! simply stay in their slot until their rotation comes around).
+
+use core::fmt;
+
+/// Handle to a scheduled timer, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    id: u64,
+    due_tick: u64,
+    payload: T,
+}
+
+/// A hashed timing wheel over payloads `T`.
+///
+/// Ticks are abstract; the caller decides what a tick means (the stack
+/// uses 1 ms). `advance_to` must be called with nondecreasing tick
+/// values.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    current_tick: u64,
+    next_id: u64,
+    live: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// Create a wheel with `slots` slots (more slots = fewer stale
+    /// entries touched per tick for long timers). Must be nonzero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "wheel needs at least one slot");
+        Self {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            current_tick: 0,
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    /// The wheel's current tick.
+    pub fn now(&self) -> u64 {
+        self.current_tick
+    }
+
+    /// Number of scheduled (uncancelled, unexpired) timers.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no timers are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` to expire `after` ticks from now (an `after`
+    /// of 0 expires on the next `advance_to` past the current tick).
+    pub fn schedule(&mut self, after: u64, payload: T) -> TimerId {
+        let due_tick = self.current_tick + after;
+        let id = self.next_id;
+        self.next_id += 1;
+        let slot = (due_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            id,
+            due_tick,
+            payload,
+        });
+        self.live += 1;
+        TimerId(id)
+    }
+
+    /// Cancel a timer; returns its payload if it had not yet expired.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        for slot in &mut self.slots {
+            if let Some(pos) = slot.iter().position(|e| e.id == id.0) {
+                self.live -= 1;
+                return Some(slot.swap_remove(pos).payload);
+            }
+        }
+        None
+    }
+
+    /// Advance the wheel to `tick`, collecting every expired payload in
+    /// due order. `tick` must be ≥ the current tick.
+    pub fn advance_to(&mut self, tick: u64) -> Vec<T> {
+        assert!(
+            tick >= self.current_tick,
+            "time went backwards: {} < {}",
+            tick,
+            self.current_tick
+        );
+        let slots = self.slots.len() as u64;
+        let mut expired: Vec<(u64, u64, T)> = Vec::new();
+        // Visit each slot at most once even if the jump spans rotations.
+        let span = (tick - self.current_tick + 1).min(slots);
+        for offset in 0..span {
+            let slot_idx = ((self.current_tick + offset) % slots) as usize;
+            let slot = &mut self.slots[slot_idx];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].due_tick <= tick {
+                    let entry = slot.swap_remove(i);
+                    expired.push((entry.due_tick, entry.id, entry.payload));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.current_tick = tick;
+        self.live -= expired.len();
+        // Due order, then schedule order for ties.
+        expired.sort_by_key(|&(due, id, _)| (due, id));
+        expired.into_iter().map(|(_, _, payload)| payload).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_expiry() {
+        let mut wheel = TimerWheel::new(8);
+        wheel.schedule(3, "a");
+        wheel.schedule(5, "b");
+        assert_eq!(wheel.len(), 2);
+        assert!(wheel.advance_to(2).is_empty());
+        assert_eq!(wheel.advance_to(3), vec!["a"]);
+        assert_eq!(wheel.advance_to(10), vec!["b"]);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.now(), 10);
+    }
+
+    #[test]
+    fn expiry_is_due_ordered() {
+        let mut wheel = TimerWheel::new(4);
+        wheel.schedule(9, "later");
+        wheel.schedule(2, "sooner");
+        wheel.schedule(2, "sooner-second");
+        let fired = wheel.advance_to(20);
+        assert_eq!(fired, vec!["sooner", "sooner-second", "later"]);
+    }
+
+    #[test]
+    fn timers_beyond_one_rotation_wait() {
+        let mut wheel = TimerWheel::new(4);
+        // Due at tick 9; slot 9 % 4 = 1. Advancing to 1 must NOT fire it.
+        wheel.schedule(9, "far");
+        assert!(wheel.advance_to(1).is_empty());
+        assert_eq!(wheel.len(), 1);
+        assert!(wheel.advance_to(8).is_empty());
+        assert_eq!(wheel.advance_to(9), vec!["far"]);
+    }
+
+    #[test]
+    fn cancel_prevents_expiry() {
+        let mut wheel = TimerWheel::new(8);
+        let id = wheel.schedule(4, 42);
+        let other = wheel.schedule(4, 7);
+        assert_eq!(wheel.cancel(id), Some(42));
+        assert_eq!(wheel.cancel(id), None, "double-cancel is None");
+        assert_eq!(wheel.advance_to(4), vec![7]);
+        let _ = other;
+    }
+
+    #[test]
+    fn cancel_after_expiry_is_none() {
+        let mut wheel = TimerWheel::new(8);
+        let id = wheel.schedule(1, ());
+        wheel.advance_to(1);
+        assert_eq!(wheel.cancel(id), None);
+    }
+
+    #[test]
+    fn zero_delay_fires_on_next_advance() {
+        let mut wheel = TimerWheel::new(8);
+        wheel.advance_to(5);
+        wheel.schedule(0, "now");
+        assert_eq!(wheel.advance_to(5), vec!["now"]);
+    }
+
+    #[test]
+    fn large_jump_spanning_many_rotations() {
+        let mut wheel = TimerWheel::new(4);
+        for i in 0..20u64 {
+            wheel.schedule(i, i);
+        }
+        let fired = wheel.advance_to(1000);
+        assert_eq!(fired, (0..20).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_advance_panics() {
+        let mut wheel: TimerWheel<()> = TimerWheel::new(4);
+        wheel.advance_to(10);
+        wheel.advance_to(9);
+    }
+
+    #[test]
+    fn single_slot_wheel_still_correct() {
+        let mut wheel = TimerWheel::new(1);
+        wheel.schedule(2, "a");
+        wheel.schedule(7, "b");
+        assert!(wheel.advance_to(1).is_empty());
+        assert_eq!(wheel.advance_to(2), vec!["a"]);
+        assert_eq!(wheel.advance_to(7), vec!["b"]);
+    }
+
+    #[test]
+    fn heavy_churn() {
+        let mut wheel = TimerWheel::new(32);
+        let mut ids = Vec::new();
+        for round in 0u64..50 {
+            for i in 0..100u64 {
+                ids.push(wheel.schedule(i % 37, (round, i)));
+            }
+            // Cancel every third timer scheduled this round.
+            for chunk in ids.chunks(3) {
+                let _ = wheel.cancel(chunk[0]);
+            }
+            let _ = wheel.advance_to(wheel.now() + 10);
+            ids.clear();
+        }
+        // Drain completely.
+        let _ = wheel.advance_to(wheel.now() + 100);
+        assert!(wheel.is_empty());
+    }
+}

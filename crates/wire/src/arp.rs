@@ -1,0 +1,184 @@
+//! ARP (RFC 826) for Ethernet/IPv4.
+//!
+//! The LAN substrate's address-resolution side: hosts broadcast "who has
+//! 10.0.0.1?" and the owner answers with its MAC. Only the
+//! Ethernet+IPv4 flavor is implemented (htype 1, ptype 0x0800) — the
+//! only one the paper's environment used.
+
+use crate::ethernet::EthernetAddress;
+use crate::{Result, WireError};
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// Wire size of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOperation {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+}
+
+/// A parsed Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    /// Request or reply.
+    pub operation: ArpOperation,
+    /// Sender hardware address.
+    pub src_mac: EthernetAddress,
+    /// Sender protocol address.
+    pub src_ip: Ipv4Addr,
+    /// Target hardware address (all-zero in requests).
+    pub dst_mac: EthernetAddress,
+    /// Target protocol address.
+    pub dst_ip: Ipv4Addr,
+}
+
+impl fmt::Display for ArpRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.operation {
+            ArpOperation::Request => write!(f, "who-has {} tell {}", self.dst_ip, self.src_ip),
+            ArpOperation::Reply => write!(f, "{} is-at {}", self.src_ip, self.src_mac),
+        }
+    }
+}
+
+impl ArpRepr {
+    /// Build a who-has request.
+    pub fn request(src_mac: EthernetAddress, src_ip: Ipv4Addr, dst_ip: Ipv4Addr) -> Self {
+        Self {
+            operation: ArpOperation::Request,
+            src_mac,
+            src_ip,
+            dst_mac: EthernetAddress([0; 6]),
+            dst_ip,
+        }
+    }
+
+    /// Build the reply answering `request` on behalf of `our_mac`.
+    pub fn reply_to(&self, our_mac: EthernetAddress) -> Self {
+        Self {
+            operation: ArpOperation::Reply,
+            src_mac: our_mac,
+            src_ip: self.dst_ip,
+            dst_mac: self.src_mac,
+            dst_ip: self.src_ip,
+        }
+    }
+
+    /// Parse an ARP packet, rejecting non-Ethernet/IPv4 flavors.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < PACKET_LEN {
+            return Err(WireError::Truncated);
+        }
+        let word = |i: usize| u16::from_be_bytes([data[i], data[i + 1]]);
+        if word(0) != 1 || word(2) != 0x0800 || data[4] != 6 || data[5] != 4 {
+            return Err(WireError::BadHeaderLen);
+        }
+        let operation = match word(6) {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            _ => return Err(WireError::BadOption),
+        };
+        let mac = |i: usize| {
+            EthernetAddress([
+                data[i],
+                data[i + 1],
+                data[i + 2],
+                data[i + 3],
+                data[i + 4],
+                data[i + 5],
+            ])
+        };
+        let ip = |i: usize| Ipv4Addr::new(data[i], data[i + 1], data[i + 2], data[i + 3]);
+        Ok(Self {
+            operation,
+            src_mac: mac(8),
+            src_ip: ip(14),
+            dst_mac: mac(18),
+            dst_ip: ip(24),
+        })
+    }
+
+    /// Serialize to the 28-byte wire form.
+    pub fn emit(&self) -> [u8; PACKET_LEN] {
+        let mut out = [0u8; PACKET_LEN];
+        out[0..2].copy_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        out[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        out[4] = 6;
+        out[5] = 4;
+        let oper: u16 = match self.operation {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+        };
+        out[6..8].copy_from_slice(&oper.to_be_bytes());
+        out[8..14].copy_from_slice(&self.src_mac.0);
+        out[14..18].copy_from_slice(&self.src_ip.octets());
+        out[18..24].copy_from_slice(&self.dst_mac.0);
+        out[24..28].copy_from_slice(&self.dst_ip.octets());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = ArpRepr::request(
+            mac(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let bytes = req.emit();
+        assert_eq!(ArpRepr::parse(&bytes).unwrap(), req);
+        assert_eq!(req.to_string(), "who-has 10.0.0.1 tell 10.0.0.2");
+    }
+
+    #[test]
+    fn reply_answers_request() {
+        let req = ArpRepr::request(
+            mac(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let reply = req.reply_to(mac(9));
+        assert_eq!(reply.operation, ArpOperation::Reply);
+        assert_eq!(reply.src_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(reply.src_mac, mac(9));
+        assert_eq!(reply.dst_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(reply.dst_mac, mac(1));
+        let bytes = reply.emit();
+        assert_eq!(ArpRepr::parse(&bytes).unwrap(), reply);
+        assert!(reply.to_string().contains("is-at"));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let req = ArpRepr::request(mac(1), Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2));
+        let bytes = req.emit();
+        assert_eq!(
+            ArpRepr::parse(&bytes[..20]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn wrong_flavor_rejected() {
+        let req = ArpRepr::request(mac(1), Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2));
+        let mut bytes = req.emit();
+        bytes[1] = 6; // htype: IEEE 802
+        assert_eq!(ArpRepr::parse(&bytes).err(), Some(WireError::BadHeaderLen));
+        let mut bytes2 = req.emit();
+        bytes2[7] = 9; // bogus operation
+        assert_eq!(ArpRepr::parse(&bytes2).err(), Some(WireError::BadOption));
+    }
+}

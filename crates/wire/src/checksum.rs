@@ -1,0 +1,256 @@
+//! RFC 1071 Internet checksum.
+//!
+//! The Internet checksum is the ones'-complement of the ones'-complement sum
+//! of the data interpreted as big-endian 16-bit words, with a trailing odd
+//! byte padded on the right with zero. TCP and UDP additionally sum a
+//! *pseudo-header* containing the IP source/destination addresses, the
+//! protocol number, and the transport-layer length.
+//!
+//! The functions here operate on raw accumulators (`u32` partial sums) so a
+//! checksum can be composed from several discontiguous pieces — exactly what
+//! the pseudo-header requires — without copying.
+
+use std::net::Ipv4Addr;
+
+/// A running ones'-complement sum.
+///
+/// Accumulate pieces with [`Accumulator::add_bytes`] and friends, then
+/// [`finish`](Accumulator::finish) to obtain the complemented 16-bit
+/// checksum.
+///
+/// ```
+/// use tcpdemux_wire::checksum::Accumulator;
+/// let mut acc = Accumulator::new();
+/// acc.add_bytes(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+/// // Classic RFC 1071 worked example: sum is 0xddf2, checksum 0x220d.
+/// assert_eq!(acc.finish(), 0x220d);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    sum: u32,
+}
+
+impl Accumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self { sum: 0 }
+    }
+
+    /// Add a byte slice to the sum. A trailing odd byte is padded with zero,
+    /// so this must only be used for the *final* piece of data or for pieces
+    /// with even length (the pseudo-header and all fixed headers are even).
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Add one big-endian 16-bit word.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Add a 32-bit quantity as two 16-bit words (used for IPv4 addresses).
+    pub fn add_u32(&mut self, word: u32) {
+        self.add_u16((word >> 16) as u16);
+        self.add_u16(word as u16);
+    }
+
+    /// Add the TCP/UDP pseudo-header for the given addresses, protocol
+    /// number, and transport-layer length (header + payload, in bytes).
+    pub fn add_pseudo_header(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: u8,
+        transport_len: u16,
+    ) {
+        self.add_u32(u32::from(src));
+        self.add_u32(u32::from(dst));
+        self.add_u16(u16::from(protocol));
+        self.add_u16(transport_len);
+    }
+
+    /// Fold the carries and return the ones'-complement checksum.
+    pub fn finish(mut self) -> u16 {
+        while self.sum > 0xffff {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
+
+/// Compute the Internet checksum of a single contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut acc = Accumulator::new();
+    acc.add_bytes(data);
+    acc.finish()
+}
+
+/// Verify a buffer whose checksum field is *included* in the data.
+///
+/// Per RFC 1071, summing data that already contains a correct checksum
+/// yields `0xffff`, so the complemented result is zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// Compute the TCP or UDP checksum over `transport` (header + payload, with
+/// the checksum field zeroed or skipped by the caller) plus the pseudo-header.
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, transport: &[u8]) -> u16 {
+    let mut acc = Accumulator::new();
+    acc.add_pseudo_header(src, dst, protocol, transport.len() as u16);
+    acc.add_bytes(transport);
+    acc.finish()
+}
+
+/// Verify a transport segment whose checksum field is included in the data.
+pub fn verify_transport(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, transport: &[u8]) -> bool {
+    transport_checksum(src, dst, protocol, transport) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // From RFC 1071 section 3: bytes 00 01 f2 03 f4 f5 f6 f7
+        // one's complement sum = ddf2, checksum = ~ddf2 = 220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // [ab] is summed as the word 0xab00.
+        assert_eq!(checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn empty_buffer_sums_to_zero() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn verify_accepts_self_checksummed_data() {
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0,
+        ];
+        let sum = checksum(&data);
+        data[10] = (sum >> 8) as u8;
+        data[11] = sum as u8;
+        assert!(verify(&data));
+    }
+
+    #[test]
+    fn all_ones_data() {
+        // Sum of 0xffff + 0xffff folds to 0xffff; complement is 0.
+        assert_eq!(checksum(&[0xff, 0xff, 0xff, 0xff]), 0);
+    }
+
+    #[test]
+    fn accumulator_piecewise_equals_contiguous() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let whole = checksum(&data);
+        let mut acc = Accumulator::new();
+        acc.add_bytes(&data[..10]);
+        acc.add_bytes(&data[10..32]);
+        acc.add_bytes(&data[32..]);
+        assert_eq!(acc.finish(), whole);
+    }
+
+    #[test]
+    fn pseudo_header_matches_manual_layout() {
+        let src = Ipv4Addr::new(192, 0, 2, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 99);
+        let mut via_helper = Accumulator::new();
+        via_helper.add_pseudo_header(src, dst, 6, 20);
+
+        let mut manual = Accumulator::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&src.octets());
+        bytes.extend_from_slice(&dst.octets());
+        bytes.extend_from_slice(&[0, 6]); // zero + protocol
+        bytes.extend_from_slice(&20u16.to_be_bytes());
+        manual.add_bytes(&bytes);
+
+        assert_eq!(via_helper.finish(), manual.finish());
+    }
+
+    #[test]
+    fn transport_checksum_roundtrip() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut seg = vec![0u8; 24];
+        seg[0] = 0x12;
+        seg[23] = 0x99;
+        let sum = transport_checksum(src, dst, 6, &seg);
+        seg[16] = (sum >> 8) as u8; // TCP checksum offset
+        seg[17] = sum as u8;
+        assert!(verify_transport(src, dst, 6, &seg));
+    }
+
+    proptest! {
+        /// Checksumming is invariant under where the buffer is split
+        /// (for even-length prefixes, as required by the contract).
+        #[test]
+        fn prop_split_invariant(data in proptest::collection::vec(any::<u8>(), 0..256), split in 0usize..128) {
+            let split = (split * 2).min(data.len());
+            let whole = checksum(&data);
+            let mut acc = Accumulator::new();
+            acc.add_bytes(&data[..split]);
+            acc.add_bytes(&data[split..]);
+            prop_assert_eq!(acc.finish(), whole);
+        }
+
+        /// Writing the computed checksum into any aligned position makes the
+        /// buffer verify.
+        #[test]
+        fn prop_self_verifies(mut data in proptest::collection::vec(any::<u8>(), 2..128), pos in 0usize..63) {
+            // The checksum slot must be word-aligned (even offset).
+            let pos = (pos * 2).min((data.len() - 2) & !1);
+            data[pos] = 0;
+            data[pos + 1] = 0;
+            let sum = checksum(&data);
+            data[pos] = (sum >> 8) as u8;
+            data[pos + 1] = sum as u8;
+            prop_assert!(verify(&data));
+        }
+
+        /// Flipping a single bit in a verifying buffer breaks verification.
+        /// (True for the Internet checksum: a one-bit change alters the
+        /// ones'-complement sum.)
+        #[test]
+        fn prop_detects_single_bit_flip(
+            mut data in proptest::collection::vec(any::<u8>(), 2..128),
+            flip_byte in 0usize..128,
+            flip_bit in 0u8..8,
+        ) {
+            // Make the buffer self-verifying first.
+            data[0] = 0;
+            data[1] = 0;
+            let sum = checksum(&data);
+            data[0] = (sum >> 8) as u8;
+            data[1] = sum as u8;
+            prop_assume!(verify(&data));
+
+            let idx = flip_byte % data.len();
+            data[idx] ^= 1 << flip_bit;
+            prop_assert!(!verify(&data));
+        }
+
+        /// The accumulator's u32 cannot overflow for any realistic packet:
+        /// even 2^16 bytes of 0xff only reach ~2^31. Check the sum is stable
+        /// for large inputs.
+        #[test]
+        fn prop_large_input_no_panic(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let _ = checksum(&data);
+        }
+    }
+}

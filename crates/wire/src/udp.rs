@@ -1,0 +1,324 @@
+//! UDP datagram parsing and emission.
+//!
+//! Included because the paper's companion proposal (Partridge & Pink,
+//! "A Faster UDP") applies the same last-sent/last-received caching idea to
+//! UDP PCB lookup; the `tcpdemux-stack` crate demultiplexes UDP datagrams
+//! through the same algorithms.
+
+use crate::checksum;
+use crate::{Result, WireError};
+use std::net::Ipv4Addr;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram buffer (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const LENGTH: Range<usize> = 4..6;
+    pub const CHECKSUM: Range<usize> = 6..8;
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap a buffer, validating the length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let datagram = Self::new_unchecked(buffer);
+        datagram.check_len()?;
+        Ok(datagram)
+    }
+
+    /// Validate that the buffer holds a header and that the declared length
+    /// lies within `[8, buffer len]`.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = self.len() as usize;
+        if len < HEADER_LEN || len > data.len() {
+            return Err(WireError::BadTotalLen);
+        }
+        Ok(())
+    }
+
+    /// Source port (may be zero for UDP: "no reply expected").
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::SRC_PORT.start], d[field::SRC_PORT.start + 1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::DST_PORT.start], d[field::DST_PORT.start + 1]])
+    }
+
+    /// Declared datagram length (header + payload).
+    pub fn len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::LENGTH.start], d[field::LENGTH.start + 1]])
+    }
+
+    /// Whether the datagram is empty (header only).
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == HEADER_LEN
+    }
+
+    /// Stored checksum field (zero means "no checksum" in IPv4 UDP).
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::CHECKSUM.start], d[field::CHECKSUM.start + 1]])
+    }
+
+    /// Payload bytes, bounded by the declared length.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len() as usize]
+    }
+
+    /// Verify the checksum including the pseudo-header. A stored checksum of
+    /// zero means the sender did not compute one and is accepted (RFC 768).
+    pub fn verify_checksum(&self, src_addr: Ipv4Addr, dst_addr: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let data = &self.buffer.as_ref()[..self.len() as usize];
+        checksum::verify_transport(src_addr, dst_addr, 17, data)
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len(&mut self, len: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Compute and store the checksum (always generated, as smoltcp does).
+    /// If the computed checksum is zero it is stored as `0xffff` per RFC 768.
+    pub fn fill_checksum(&mut self, src_addr: Ipv4Addr, dst_addr: Ipv4Addr) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let len = self.len() as usize;
+        let sum =
+            checksum::transport_checksum(src_addr, dst_addr, 17, &self.buffer.as_ref()[..len]);
+        let stored = if sum == 0 { 0xffff } else { sum };
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&stored.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+}
+
+/// Parsed, validated representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpRepr {
+    /// Parse and validate a datagram view.
+    pub fn parse<T: AsRef<[u8]>>(
+        datagram: &UdpDatagram<T>,
+        src_addr: Ipv4Addr,
+        dst_addr: Ipv4Addr,
+    ) -> Result<Self> {
+        datagram.check_len()?;
+        if datagram.dst_port() == 0 {
+            return Err(WireError::BadPort);
+        }
+        if !datagram.verify_checksum(src_addr, dst_addr) {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Self {
+            src_port: datagram.src_port(),
+            dst_port: datagram.dst_port(),
+        })
+    }
+
+    /// Emit the header for `payload_len` bytes of payload and fill the
+    /// checksum. The caller must have already placed the payload.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        datagram: &mut UdpDatagram<T>,
+        src_addr: Ipv4Addr,
+        dst_addr: Ipv4Addr,
+        payload_len: usize,
+    ) -> Result<()> {
+        if self.dst_port == 0 {
+            return Err(WireError::BadPort);
+        }
+        let total = HEADER_LEN + payload_len;
+        if total > u16::MAX as usize || datagram.buffer.as_ref().len() < total {
+            return Err(WireError::PayloadTooLong);
+        }
+        datagram.set_src_port(self.src_port);
+        datagram.set_dst_port(self.dst_port);
+        datagram.set_len(total as u16);
+        datagram.fill_checksum(src_addr, dst_addr);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 2);
+
+    fn emit_to_vec(repr: &UdpRepr, payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let mut datagram = UdpDatagram::new_unchecked(&mut buf[..]);
+        repr.emit(&mut datagram, SRC, DST, payload.len()).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = UdpRepr {
+            src_port: 5000,
+            dst_port: 53,
+        };
+        let buf = emit_to_vec(&repr, b"query");
+        let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        let parsed = UdpRepr::parse(&datagram, SRC, DST).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(datagram.payload(), b"query");
+        assert!(!datagram.is_empty());
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut buf = emit_to_vec(&repr, b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(UdpRepr::parse(&datagram, SRC, DST).is_ok());
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let repr = UdpRepr {
+            src_port: 9,
+            dst_port: 10,
+        };
+        let mut buf = emit_to_vec(&repr, b"important");
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(
+            UdpRepr::parse(&datagram, SRC, DST).err(),
+            Some(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn zero_dst_port_rejected() {
+        let repr = UdpRepr {
+            src_port: 5,
+            dst_port: 7,
+        };
+        let mut buf = emit_to_vec(&repr, b"");
+        buf[2] = 0;
+        buf[3] = 0;
+        let mut datagram = UdpDatagram::new_unchecked(&mut buf[..]);
+        datagram.fill_checksum(SRC, DST);
+        let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(
+            UdpRepr::parse(&datagram, SRC, DST).err(),
+            Some(WireError::BadPort)
+        );
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let repr = UdpRepr {
+            src_port: 5,
+            dst_port: 7,
+        };
+        let mut buf = emit_to_vec(&repr, b"abc");
+        buf[4] = 0xff;
+        buf[5] = 0xff;
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::BadTotalLen)
+        );
+        buf[4] = 0;
+        buf[5] = 4; // < header
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::BadTotalLen)
+        );
+    }
+
+    #[test]
+    fn length_bounds_payload() {
+        // Declared length shorter than buffer: payload must stop early.
+        let repr = UdpRepr {
+            src_port: 5,
+            dst_port: 7,
+        };
+        let mut buf = emit_to_vec(&repr, b"abcdef");
+        buf[4] = 0;
+        buf[5] = (HEADER_LEN + 3) as u8;
+        let mut datagram = UdpDatagram::new_unchecked(&mut buf[..]);
+        datagram.fill_checksum(SRC, DST);
+        let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(datagram.payload(), b"abc");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            src_port in any::<u16>(),
+            dst_port in 1u16..=u16::MAX,
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let repr = UdpRepr { src_port, dst_port };
+            let buf = emit_to_vec(&repr, &payload);
+            let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
+            let parsed = UdpRepr::parse(&datagram, SRC, DST).unwrap();
+            prop_assert_eq!(parsed, repr);
+            prop_assert_eq!(datagram.payload(), &payload[..]);
+        }
+
+        #[test]
+        fn prop_no_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            if let Ok(datagram) = UdpDatagram::new_checked(&data[..]) {
+                let _ = UdpRepr::parse(&datagram, SRC, DST);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! A simulated LAN segment: ARP resolution, ping, then a TCP
+//! transaction — every byte crossing a broadcast Ethernet fabric, the
+//! environment the paper's OLTP systems actually lived in ("thousands of
+//! concurrent users connected by local-area networks", §1).
+//!
+//! Run with: `cargo run --example lan_fabric`
+
+use std::net::Ipv4Addr;
+use tcpdemux::demux::SequentDemux;
+use tcpdemux::hash::Multiplicative;
+use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
+use tcpdemux::wire::{ArpRepr, EtherType, EthernetAddress, EthernetFrame, EthernetRepr, IcmpRepr};
+
+/// Deliver a frame to every stack on the segment (it's a broadcast
+/// medium); collect replies for the next round.
+fn broadcast(frame: &[u8], hosts: &mut [&mut Stack]) -> Vec<Vec<u8>> {
+    let mut replies = Vec::new();
+    for host in hosts.iter_mut() {
+        if let Ok(result) = host.receive_ethernet(frame) {
+            replies.extend(result.replies);
+        }
+    }
+    replies
+}
+
+fn eth_frame(
+    src: EthernetAddress,
+    dst: EthernetAddress,
+    ethertype: EtherType,
+    payload: &[u8],
+) -> Vec<u8> {
+    let len = payload.len().max(46);
+    let mut out = vec![0u8; 14 + len];
+    let mut eth = EthernetFrame::new_unchecked(&mut out[..]);
+    EthernetRepr {
+        src_addr: src,
+        dst_addr: dst,
+        ethertype,
+    }
+    .emit(&mut eth)
+    .expect("sized");
+    eth.payload_mut()[..payload.len()].copy_from_slice(payload);
+    out
+}
+
+fn main() {
+    let server_ip = Ipv4Addr::new(192, 168, 1, 1);
+    let client_ip = Ipv4Addr::new(192, 168, 1, 77);
+    let bystander_ip = Ipv4Addr::new(192, 168, 1, 200);
+
+    let mut server = Stack::new(
+        StackConfig::new(server_ip),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+    );
+    let mut client = Stack::new(
+        StackConfig::new(client_ip),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+    );
+    let mut bystander = Stack::new(
+        StackConfig::new(bystander_ip),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+    );
+    server.listen(1521).expect("fresh port");
+
+    // 1. ARP: the client broadcasts who-has for the server.
+    println!("[arp ] client broadcasts: who-has {server_ip} tell {client_ip}");
+    let request = ArpRepr::request(client.mac(), client_ip, server_ip);
+    let frame = eth_frame(
+        client.mac(),
+        EthernetAddress::BROADCAST,
+        EtherType::Arp,
+        &request.emit(),
+    );
+    let replies = broadcast(&frame, &mut [&mut server, &mut bystander]);
+    assert_eq!(replies.len(), 1, "only the owner answers");
+    let reply_eth = EthernetFrame::new_checked(&replies[0][..]).unwrap();
+    let reply = ArpRepr::parse(&reply_eth.payload()[..28]).unwrap();
+    println!("[arp ] server answers: {reply}");
+    let r = client.receive_ethernet(&replies[0]).unwrap();
+    assert!(matches!(r.outcome, RxOutcome::ArpProcessed));
+    assert_eq!(client.resolve(server_ip), server.mac());
+    println!("[arp ] client cached {} -> {}", server_ip, server.mac());
+
+    // 2. Ping the server through the fabric.
+    let ping = IcmpRepr::EchoRequest {
+        ident: 1,
+        seq: 1,
+        payload: b"hello?",
+    }
+    .emit();
+    let mut ping_packet = vec![0u8; 20 + ping.len()];
+    {
+        use tcpdemux::wire::{IpProtocol, Ipv4Packet, Ipv4Repr};
+        let ip = Ipv4Repr {
+            payload_len: ping.len(),
+            ..Ipv4Repr::new(client_ip, server_ip, IpProtocol::Icmp)
+        };
+        ping_packet[20..].copy_from_slice(&ping);
+        let mut packet = Ipv4Packet::new_unchecked(&mut ping_packet[..]);
+        ip.emit(&mut packet).unwrap();
+    }
+    let framed = client.encapsulate(&ping_packet, server_ip);
+    let r = server.receive_ethernet(&framed).unwrap();
+    assert!(matches!(r.outcome, RxOutcome::EchoReplied));
+    println!("[ping] {server_ip} answered the echo request");
+    // (The reply from receive() is a bare IP packet; the server's caller
+    // would encapsulate it — deliver directly for brevity.)
+    let reply = client.receive(&r.replies[0]).unwrap();
+    assert!(matches!(reply.outcome, RxOutcome::IcmpProcessed));
+
+    // 3. A TCP transaction over the fabric, every frame Ethernet-framed.
+    let (cp, syn) = client.connect(server_ip, 1521).unwrap();
+    let syn_framed = client.encapsulate(&syn, server_ip);
+    let r = server.receive_ethernet(&syn_framed).unwrap();
+    let RxOutcome::NewConnection { pcb: sp } = r.outcome else {
+        panic!("{:?}", r.outcome)
+    };
+    let synack_framed = server.encapsulate(&r.replies[0], client_ip);
+    let r = client.receive_ethernet(&synack_framed).unwrap();
+    let ack_framed = client.encapsulate(&r.replies[0], server_ip);
+    server.receive_ethernet(&ack_framed).unwrap();
+    println!("[tcp ] handshake complete: {client_ip} <-> {server_ip}:1521");
+
+    let query = client.send(cp, b"SELECT balance FROM accounts").unwrap();
+    println!("[wire] {}", tcpdemux::wire::pretty::format_packet(&query));
+    let r = server
+        .receive_ethernet(&client.encapsulate(&query, server_ip))
+        .unwrap();
+    let RxOutcome::Delivered { bytes, .. } = r.outcome else {
+        panic!("{:?}", r.outcome)
+    };
+    println!("[tcp ] server received a {bytes}-byte query");
+    let response = server.send(sp, b"balance=1984.00").unwrap();
+    let r = client
+        .receive_ethernet(&server.encapsulate(&response, client_ip))
+        .unwrap();
+    let RxOutcome::Delivered { .. } = r.outcome else {
+        panic!("{:?}", r.outcome)
+    };
+    println!(
+        "[tcp ] client received: {:?}",
+        String::from_utf8_lossy(&client.socket_mut(cp).unwrap().read_all())
+    );
+
+    // The bystander heard the broadcast ARP but none of the unicast TCP.
+    assert_eq!(bystander.stats().not_for_us, 0, "unicast never reached it");
+    assert_eq!(bystander.connection_count(), 0);
+    println!(
+        "\nframes: server in={} out={}, demux mean = {:.2} PCBs examined",
+        server.stats().frames_in,
+        server.stats().frames_out,
+        server.demux_stats().mean_examined()
+    );
+}

@@ -1,0 +1,95 @@
+//! The paper's headline scenario, end to end: a TPC/A-style OLTP server
+//! with 2,000 terminal connections. Runs the discrete-event simulation of
+//! §2's traffic model against every lookup algorithm and prints the
+//! measured cost next to the paper's analytic prediction.
+//!
+//! Run with: `cargo run --release --example oltp_server`
+//! (debug builds work but simulate fewer transactions).
+
+use tcpdemux::analytic::{bsd, mtf, sequent, srcache};
+use tcpdemux::sim::tpca::{TpcaSim, TpcaSimConfig};
+
+fn main() {
+    let (users, transactions) = if cfg!(debug_assertions) {
+        (500u32, 10_000u64)
+    } else {
+        (2000, 60_000)
+    };
+    let config = TpcaSimConfig {
+        users,
+        transactions,
+        warmup_transactions: transactions / 5,
+        response_time: 0.2,
+        round_trip: 0.01,
+        ..TpcaSimConfig::default()
+    };
+    println!(
+        "TPC/A simulation: {} users ({} TPS), R = {} s, D = {} s, {} measured transactions",
+        config.users,
+        f64::from(config.users) / 10.0,
+        config.response_time,
+        config.round_trip,
+        config.transactions
+    );
+    println!("running...\n");
+
+    let reports = TpcaSim::new(config, 0x5EED).run_standard_suite();
+
+    let n = f64::from(users);
+    let r = config.response_time;
+    let d = config.round_trip;
+    let predict = |name: &str| -> Option<f64> {
+        match name {
+            "bsd" => Some(bsd::cost(n)),
+            "mtf" => Some(mtf::average_cost(n, r) + 1.0),
+            "send-recv" => Some(srcache::cost(n, r, d)),
+            "sequent(19)" => Some(sequent::cost(n, 19.0, r)),
+            "sequent(51)" => Some(sequent::cost(n, 51.0, r)),
+            "sequent(100)" => Some(sequent::cost(n, 100.0, r)),
+            "direct-index" => Some(1.0),
+            _ => None,
+        }
+    };
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>7} {:>7} {:>7}",
+        "algorithm", "simulated", "analytic", "hit rate", "p50", "p99", "max"
+    );
+    for report in &reports {
+        let predicted = predict(&report.name)
+            .map(|p| format!("{p:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<16} {:>10.1} {:>10} {:>8.1}% {:>7} {:>7} {:>7}",
+            report.name,
+            report.stats.mean_examined(),
+            predicted,
+            report.stats.hit_rate() * 100.0,
+            report.histogram.quantile(0.50),
+            report.histogram.quantile(0.99),
+            report.histogram.max()
+        );
+        assert_eq!(report.lost_packets, 0, "a lost packet is a demux bug");
+    }
+    println!("\n(p50/p99/max resolve to power-of-two bucket floors; note how the");
+    println!("one-entry caches' p50 of 1 hides tail scans of the whole list —");
+    println!("'the hit ratio is only part of the story', §3.4.)");
+
+    let bsd_cost = reports
+        .iter()
+        .find(|r| r.name == "bsd")
+        .unwrap()
+        .stats
+        .mean_examined();
+    let seq_cost = reports
+        .iter()
+        .find(|r| r.name == "sequent(19)")
+        .unwrap()
+        .stats
+        .mean_examined();
+    println!(
+        "\nSequent(19) vs BSD: {:.1}x fewer PCBs examined per packet",
+        bsd_cost / seq_cost
+    );
+    println!("Paper: \"roughly an order of magnitude better than the other algorithms\".");
+}

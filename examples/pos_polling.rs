@@ -1,0 +1,70 @@
+//! The point-of-sale polling adversary (paper §3.2): deterministic
+//! round-robin traffic is the worst case for move-to-front — it scans the
+//! entire list on every lookup, *worse* than plain BSD — while the
+//! send/receive cache and the hashed scheme stay cheap.
+//!
+//! Run with: `cargo run --example pos_polling`
+
+use tcpdemux::demux::standard_suite;
+use tcpdemux::sim::polling::{trace, PollingConfig};
+use tcpdemux::sim::run_trace;
+
+fn main() {
+    let config = PollingConfig {
+        terminals: 500,
+        cycles: 21,
+        poll_interval_micros: 2000,
+    };
+    println!(
+        "point-of-sale polling: {} terminals polled round-robin, {} cycles\n",
+        config.terminals, config.cycles
+    );
+
+    let mut suite = standard_suite();
+    let events = trace(config);
+
+    // Warm up one full cycle so every structure reaches steady state.
+    let opens = config.terminals as usize;
+    let cycle_events = 2 * config.terminals as usize;
+    let _ = run_trace(events[..opens + cycle_events].to_vec(), &mut suite);
+    let reports = run_trace(events[opens + cycle_events..].to_vec(), &mut suite);
+
+    println!(
+        "{:<16} {:>14} {:>10} {:>8}",
+        "algorithm", "mean examined", "hit rate", "worst"
+    );
+    for report in &reports {
+        println!(
+            "{:<16} {:>14.1} {:>9.1}% {:>8}",
+            report.name,
+            report.stats.mean_examined(),
+            report.stats.hit_rate() * 100.0,
+            report.stats.worst_case
+        );
+    }
+
+    let get = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .stats
+            .mean_examined()
+    };
+    println!("\nobservations (paper §3.2 / §3.3):");
+    println!(
+        " - MTF scans all {} PCBs every time ({:.0} mean) — worse than BSD ({:.0})",
+        config.terminals,
+        get("mtf"),
+        get("bsd")
+    );
+    println!(
+        " - the send/receive cache is nearly free here ({:.1}): the poll just",
+        get("send-recv")
+    );
+    println!("   went out when the answer comes back — Mogul-style locality");
+    println!(
+        " - hashing still wins without relying on locality: sequent(19) = {:.1}",
+        get("sequent(19)")
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: install connections into each lookup structure, replay a
+//! small OLTP-style packet sequence, and print the paper's figure of
+//! merit (PCBs examined per packet) for each algorithm.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::net::Ipv4Addr;
+use tcpdemux::demux::{
+    BsdDemux, Demux, DirectDemux, MtfDemux, PacketKind, SendRecvDemux, SequentDemux,
+};
+use tcpdemux::hash::Multiplicative;
+use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena};
+
+fn main() {
+    // 500 OLTP clients connected to one database server port.
+    let server = Ipv4Addr::new(10, 0, 0, 1);
+    let keys: Vec<ConnectionKey> = (0..500u32)
+        .map(|i| {
+            ConnectionKey::new(
+                server,
+                1521,
+                Ipv4Addr::from(0x0a01_0000 + i),
+                40_000 + (i % 1000) as u16,
+            )
+        })
+        .collect();
+
+    let mut algorithms: Vec<Box<dyn Demux>> = vec![
+        Box::new(BsdDemux::new()),
+        Box::new(MtfDemux::new()),
+        Box::new(SendRecvDemux::new()),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+        Box::new(SequentDemux::new(Multiplicative, 100)),
+        Box::new(DirectDemux::new()),
+    ];
+
+    // One shared arena owns the PCBs; every structure stores handles.
+    let mut arena = PcbArena::with_capacity(keys.len());
+    for &key in &keys {
+        let id = arena.insert(Pcb::new(key));
+        for demux in algorithms.iter_mut() {
+            demux.insert(key, id);
+        }
+    }
+
+    // OLTP traffic has no packet trains: visit connections in a rotating
+    // pattern so consecutive packets are always for different clients.
+    println!("replaying 50,000 train-free lookups over 500 connections...\n");
+    for demux in algorithms.iter_mut() {
+        for round in 0..100u32 {
+            for i in 0..keys.len() as u32 {
+                let key = &keys[((i * 7 + round) % 500) as usize];
+                let result = demux.lookup(key, PacketKind::Data);
+                assert!(result.pcb.is_some(), "no connection may be lost");
+            }
+        }
+    }
+
+    println!(
+        "{:<16} {:>14} {:>10} {:>8}",
+        "algorithm", "mean examined", "hit rate", "worst"
+    );
+    for demux in &algorithms {
+        let stats = demux.stats();
+        println!(
+            "{:<16} {:>14.1} {:>9.1}% {:>8}",
+            demux.name(),
+            stats.mean_examined(),
+            stats.hit_rate() * 100.0,
+            stats.worst_case
+        );
+    }
+    println!("\nThe hashed structure beats the one-list schemes by ~N/H — the");
+    println!("order-of-magnitude result of McKenney & Dove (SIGCOMM 1992).");
+}

@@ -1,0 +1,164 @@
+//! End-to-end integration: a database server stack with hundreds of
+//! clients, speaking real IPv4/TCP bytes through real handshakes, running
+//! query/response transactions. The demultiplexer under test is swapped
+//! per run, and the measured lookup costs must reproduce the paper's
+//! ordering on actual packets (not pre-parsed keys).
+
+use std::net::Ipv4Addr;
+use tcpdemux::demux::{BsdDemux, Demux, MtfDemux, SendRecvDemux, SequentDemux};
+use tcpdemux::hash::Multiplicative;
+use tcpdemux::pcb::PcbId;
+use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const PORT: u16 = 1521;
+
+struct Client {
+    stack: Stack,
+    pcb: PcbId,
+}
+
+/// Connect `n` clients to a fresh server running `demux`.
+fn setup(demux: Box<dyn Demux>, n: u16) -> (Stack, Vec<Client>) {
+    let mut server = Stack::new(StackConfig::new(SERVER), demux);
+    server.listen(PORT).unwrap();
+    let clients: Vec<Client> = (0..n)
+        .map(|i| {
+            let addr = Ipv4Addr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8);
+            let mut stack = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+            let (pcb, syn) = stack.connect(SERVER, PORT).unwrap();
+            let synack = server.receive(&syn).unwrap().replies;
+            let ack = stack.receive(&synack[0]).unwrap().replies;
+            server.receive(&ack[0]).unwrap();
+            assert!(stack.is_established(pcb));
+            Client { stack, pcb }
+        })
+        .collect();
+    assert_eq!(server.connection_count(), usize::from(n));
+    (server, clients)
+}
+
+/// One full transaction for client `i`: query in, query-ack out,
+/// response out, response-ack in.
+fn transaction(server: &mut Stack, client: &mut Client, server_pcb: PcbId) {
+    let query = client.stack.send(client.pcb, b"SELECT balance").unwrap();
+    let r = server.receive(&query).unwrap();
+    let RxOutcome::Delivered { pcb, .. } = r.outcome else {
+        panic!("query must deliver, got {:?}", r.outcome);
+    };
+    assert_eq!(pcb, server_pcb);
+    // Query ack reaches the client.
+    client.stack.receive(&r.replies[0]).unwrap();
+    // Response.
+    let response = server.send(pcb, b"balance=42").unwrap();
+    let r = client.stack.receive(&response).unwrap();
+    assert!(matches!(r.outcome, RxOutcome::Delivered { .. }));
+    // Response ack reaches the server — the packet the paper's §3
+    // analysis spends most of its time on.
+    let r = server.receive(&r.replies[0]).unwrap();
+    assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+}
+
+/// Run `rounds` of round-robin transactions; return mean PCBs examined.
+fn run_oltp(demux: Box<dyn Demux>, n: u16, rounds: usize) -> f64 {
+    let (mut server, mut clients) = setup(demux, n);
+    // Map each client to its server-side PCB by sending one probe byte.
+    let server_pcbs: Vec<PcbId> = clients
+        .iter_mut()
+        .map(|c| {
+            let frame = c.stack.send(c.pcb, b"!").unwrap();
+            let r = server.receive(&frame).unwrap();
+            let RxOutcome::Delivered { pcb, .. } = r.outcome else {
+                panic!();
+            };
+            c.stack.receive(&r.replies[0]).unwrap();
+            pcb
+        })
+        .collect();
+
+    // Measure from here on.
+    let baseline = *server.demux_stats();
+    for _round in 0..rounds {
+        for (i, client) in clients.iter_mut().enumerate() {
+            transaction(&mut server, client, server_pcbs[i]);
+        }
+    }
+    let stats = server.demux_stats();
+    let lookups = stats.lookups - baseline.lookups;
+    let examined = stats.pcbs_examined - baseline.pcbs_examined;
+    examined as f64 / lookups as f64
+}
+
+#[test]
+fn paper_ordering_holds_on_real_packets() {
+    // This harness serializes transactions completely (client i finishes
+    // before client i+1 starts), so each query and its response-ack form
+    // a 2-packet train at the server — unlike the TPC/A simulation, where
+    // think times interleave users. The expectations below are for *this*
+    // regime:
+    //   BSD:  query misses (≈ 1 + (N+1)/2), ack hits the cache (1)
+    //   MTF:  query scans all N (deterministic rotation), ack costs 1
+    //   SR:   like BSD with one extra cache probe on query misses
+    //   SEQ:  query ≈ 1 + (N/H+1)/2 within its chain, ack hits (1)
+    let n = 120u16;
+    let nf = f64::from(n);
+    let rounds = 4;
+    let bsd = run_oltp(Box::new(BsdDemux::new()), n, rounds);
+    let mtf = run_oltp(Box::new(MtfDemux::new()), n, rounds);
+    let sr = run_oltp(Box::new(SendRecvDemux::new()), n, rounds);
+    let seq = run_oltp(Box::new(SequentDemux::new(Multiplicative, 19)), n, rounds);
+
+    // BSD ≈ (miss + hit)/2 ≈ N/4.
+    assert!((bsd - nf / 4.0).abs() < nf / 10.0, "bsd {bsd}");
+    // MTF's deterministic rotation is its worst case: ≈ (N + 1)/2, and
+    // *worse* than BSD here — the paper's point-of-sale observation.
+    assert!((mtf - nf / 2.0).abs() < nf / 10.0, "mtf {mtf}");
+    assert!(mtf > bsd, "mtf {mtf} must exceed bsd {bsd} in this regime");
+    // SR tracks BSD (its extra cache cannot help a serialized rotation
+    // beyond what the ack train already gives BSD).
+    assert!((sr - bsd).abs() < 3.0, "sr {sr} vs bsd {bsd}");
+    // Hashing is still an order of magnitude better than the list scans.
+    assert!(seq * 5.0 < bsd, "seq {seq} vs bsd {bsd}");
+    assert!(seq < mtf && seq < sr, "seq {seq}, mtf {mtf}, sr {sr}");
+}
+
+#[test]
+fn connections_survive_churn() {
+    // Clients disconnect and reconnect; the demux must stay coherent.
+    let (mut server, mut clients) = setup(Box::new(SequentDemux::new(Multiplicative, 19)), 40);
+    // Tear down half the clients: both directions close, and the server
+    // reclaims the connection completely.
+    for client in clients.iter_mut().take(20) {
+        let fin = client.stack.close(client.pcb).unwrap();
+        let r = server.receive(&fin).unwrap();
+        let RxOutcome::PeerClosed { pcb: server_pcb } = r.outcome else {
+            panic!("expected PeerClosed, got {:?}", r.outcome);
+        };
+        let r = client.stack.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+        // Server closes its side; client (TIME-WAIT, timer-free) reclaims
+        // and acks; the ack closes the server side.
+        let fin2 = server.close(server_pcb).unwrap();
+        let r = client.stack.receive(&fin2).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Closed));
+        let r = server.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Closed));
+    }
+    assert_eq!(server.connection_count(), 20);
+    // New clients connect into the recycled space.
+    for i in 200..220u16 {
+        let addr = Ipv4Addr::new(10, 2, 0, (i & 0xff) as u8);
+        let mut stack = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let (pcb, syn) = stack.connect(SERVER, PORT).unwrap();
+        let synack = server.receive(&syn).unwrap().replies;
+        let ack = stack.receive(&synack[0]).unwrap().replies;
+        server.receive(&ack[0]).unwrap();
+        assert!(stack.is_established(pcb));
+    }
+    assert_eq!(server.connection_count(), 40);
+    // Established clients still work.
+    let c = &mut clients[30];
+    let frame = c.stack.send(c.pcb, b"still here").unwrap();
+    let r = server.receive(&frame).unwrap();
+    assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 10, .. }));
+}

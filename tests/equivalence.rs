@@ -1,0 +1,102 @@
+//! Cross-algorithm equivalence: under arbitrary operation sequences,
+//! every demultiplexer must return exactly the same PCB as a reference
+//! map — they are allowed to differ only in cost. Property-based, through
+//! the umbrella crate.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tcpdemux::demux::{standard_suite, PacketKind};
+use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena, PcbId};
+
+fn key(n: u8) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::new(10, 3, 0, n),
+        41_000,
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Remove(u8),
+    Lookup(u8, bool), // key, is_ack
+    NoteSend(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>()).prop_map(Op::Insert),
+        (any::<u8>()).prop_map(Op::Remove),
+        (any::<u8>(), any::<bool>()).prop_map(|(k, a)| Op::Lookup(k, a)),
+        (any::<u8>()).prop_map(Op::NoteSend),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_agree_with_reference(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        let mut arena = PcbArena::new();
+        let mut suite = standard_suite();
+        let mut reference: HashMap<ConnectionKey, PcbId> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let ck = key(k);
+                    let id = *reference
+                        .entry(ck)
+                        .or_insert_with(|| arena.insert(Pcb::new(ck)));
+                    for demux in suite.iter_mut() {
+                        demux.insert(ck, id);
+                    }
+                }
+                Op::Remove(k) => {
+                    let ck = key(k);
+                    let expected = reference.remove(&ck);
+                    for demux in suite.iter_mut() {
+                        prop_assert_eq!(
+                            demux.remove(&ck),
+                            expected,
+                            "{} disagrees on remove",
+                            demux.name()
+                        );
+                    }
+                    if let Some(id) = expected {
+                        arena.remove(id);
+                    }
+                }
+                Op::Lookup(k, is_ack) => {
+                    let ck = key(k);
+                    let kind = if is_ack { PacketKind::Ack } else { PacketKind::Data };
+                    let expected = reference.get(&ck).copied();
+                    for demux in suite.iter_mut() {
+                        let got = demux.lookup(&ck, kind);
+                        prop_assert_eq!(
+                            got.pcb,
+                            expected,
+                            "{} disagrees on lookup",
+                            demux.name()
+                        );
+                        // Cost sanity: bounded by structure size + caches.
+                        prop_assert!(got.examined as usize <= reference.len() + 3);
+                    }
+                }
+                Op::NoteSend(k) => {
+                    let ck = key(k);
+                    for demux in suite.iter_mut() {
+                        demux.note_send(&ck);
+                    }
+                }
+            }
+            // Sizes always agree.
+            for demux in suite.iter() {
+                prop_assert_eq!(demux.len(), reference.len(), "{} size", demux.name());
+            }
+        }
+    }
+}

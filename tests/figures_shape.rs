@@ -1,0 +1,121 @@
+//! Shape regression for the paper's comparison figures, plus simulation
+//! agreement: who wins, by roughly what factor, and where the crossovers
+//! fall — the properties the reproduction is required to preserve even
+//! where absolute numbers shift.
+
+use tcpdemux::analytic::figures::{figure_13, figure_14, Series};
+use tcpdemux::sim::tpca::{TpcaSim, TpcaSimConfig};
+
+fn by_label<'a>(series: &'a [Series], label: &str) -> &'a Series {
+    series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("missing {label}"))
+}
+
+#[test]
+fn figure_13_who_wins() {
+    let series = figure_13(101);
+    let bsd = by_label(&series, "BSD");
+    let seq = by_label(&series, "SEQUENT");
+    // Sequent wins at every sampled N, by ≥ 8x beyond trivial scale.
+    for (i, &(n, bsd_cost)) in bsd.points.iter().enumerate() {
+        let seq_cost = seq.points[i].1;
+        assert!(seq_cost <= bsd_cost + 1e-9, "N={n}");
+        if n >= 500.0 {
+            assert!(
+                bsd_cost / seq_cost > 8.0,
+                "N={n}: ratio {}",
+                bsd_cost / seq_cost
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_13_slopes_are_linear() {
+    // All the list schemes grow linearly in N; check the second half of
+    // each curve doubles roughly as N doubles.
+    let series = figure_13(101);
+    for label in ["BSD", "MTF 1.0", "MTF 0.5", "MTF 0.2", "SEQUENT"] {
+        let points = &by_label(&series, label).points;
+        let mid = points[50].1;
+        let end = points[100].1;
+        let n_mid = points[50].0;
+        let n_end = points[100].0;
+        let growth = end / mid;
+        let n_growth = n_end / n_mid;
+        assert!(
+            (growth / n_growth - 1.0).abs() < 0.15,
+            "{label}: cost grew {growth:.2}x while N grew {n_growth:.2}x"
+        );
+    }
+}
+
+#[test]
+fn figure_14_band_ordering() {
+    // In the detail range the paper's legend, top to bottom, is:
+    // BSD, SR 10, MTF 1.0, MTF 0.5, SR 1, MTF 0.2, SEQUENT.
+    // Check that ordering at N = 700 (index 70 of 101 samples on [2,1000]).
+    let series = figure_14(101);
+    let at = |label: &str| by_label(&series, label).points[70].1;
+    let order = [
+        at("BSD"),
+        at("SR 10"),
+        at("MTF 1.0"),
+        at("MTF 0.5"),
+        at("SR 1"),
+        at("MTF 0.2"),
+        at("SEQUENT"),
+    ];
+    for (i, w) in order.windows(2).enumerate() {
+        assert!(w[0] >= w[1] * 0.95, "band {i} out of order: {order:?}");
+    }
+}
+
+#[test]
+fn simulation_reproduces_figure_13_at_two_scales() {
+    // Sample Figure 13 by simulation at two user counts and check each
+    // algorithm lands within a factor band of its analytic curve.
+    for users in [100u32, 400] {
+        let sim = TpcaSim::new(
+            TpcaSimConfig {
+                users,
+                transactions: u64::from(users) * 25,
+                warmup_transactions: u64::from(users) * 5,
+                response_time: 0.2,
+                round_trip: 0.001,
+                ..TpcaSimConfig::default()
+            },
+            987,
+        );
+        let reports = sim.run_standard_suite();
+        let get = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .stats
+                .mean_examined()
+        };
+        let n = f64::from(users);
+        let bsd_pred = tcpdemux::analytic::bsd::cost(n);
+        assert!(
+            (get("bsd") - bsd_pred).abs() / bsd_pred < 0.10,
+            "users={users}: bsd {} vs {}",
+            get("bsd"),
+            bsd_pred
+        );
+        let mtf_pred = tcpdemux::analytic::mtf::average_cost(n, 0.2) + 1.0;
+        assert!(
+            (get("mtf") - mtf_pred).abs() / mtf_pred < 0.15,
+            "users={users}: mtf {} vs {}",
+            get("mtf"),
+            mtf_pred
+        );
+        // Ordering (the figure's message).
+        assert!(get("sequent(19)") < get("mtf"));
+        assert!(get("mtf") < get("bsd"));
+        assert!(get("direct-index") <= get("sequent(100)"));
+    }
+}

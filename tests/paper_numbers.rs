@@ -1,0 +1,74 @@
+//! Integration regression suite: every number the paper reports, checked
+//! through the umbrella crate's public API.
+//!
+//! These duplicate (deliberately, at a different level) the unit pins in
+//! `tcpdemux-analytic`: a refactor that broke the re-exports or the
+//! model wiring would be caught here even if the inner crates still pass.
+
+use tcpdemux::analytic::{bsd, mtf, sequent, srcache, tpca};
+
+const N: f64 = 2000.0;
+
+#[test]
+fn section_2_tpca_scaling() {
+    let cfg = tpca::TpcaConfig::from_tps(200.0, 0.2, 0.01);
+    assert_eq!(cfg.users, 2000, "10 users per TPS");
+    assert!(cfg.is_valid());
+    assert!(tpca::neglected_fraction() < 1e-4);
+    assert!(tpca::neglected_time_fraction() < 0.004);
+}
+
+#[test]
+fn section_3_1_bsd_1001() {
+    assert!((bsd::cost(N) - 1001.0).abs() < 0.01);
+    assert!((bsd::hit_rate(N) - 0.0005).abs() < 1e-12);
+}
+
+#[test]
+fn section_3_2_mtf_rows() {
+    let rows: [(f64, f64, f64, f64); 4] = [
+        (0.2, 1019.0, 78.0, 549.0),
+        (0.5, 1045.0, 190.0, 618.0),
+        (1.0, 1086.0, 362.0, 724.0),
+        (2.0, 1150.0, 659.0, 904.0),
+    ];
+    for (r, entry, ack, avg) in rows {
+        assert!(
+            (mtf::entry_search_length(N, r) - entry).abs() < 1.0,
+            "R={r}"
+        );
+        assert!((mtf::ack_search_length(N, r) - ack).abs() < 1.0, "R={r}");
+        assert!((mtf::average_cost(N, r) - avg).abs() < 1.0, "R={r}");
+    }
+}
+
+#[test]
+fn section_3_3_srcache_row() {
+    for (d, expected) in [(0.001, 667.0), (0.01, 993.0), (0.1, 1002.0)] {
+        assert!((srcache::cost(N, 0.2, d) - expected).abs() < 1.0, "D={d}");
+    }
+}
+
+#[test]
+fn section_3_4_sequent_numbers() {
+    assert!((sequent::naive_cost(N, 19.0) - 53.6).abs() < 0.1);
+    assert!((sequent::cost(N, 19.0, 0.2) - 53.0).abs() < 0.1);
+    assert!((sequent::hit_rate(N, 19.0) - 0.0095).abs() < 1e-4);
+    assert!((sequent::quiet_probability(N, 19.0, 0.2) - 0.015).abs() < 0.001);
+    assert!((sequent::quiet_probability(N, 51.0, 0.2) - 0.21).abs() < 0.01);
+}
+
+#[test]
+fn section_3_5_verdicts() {
+    // 19 -> 100 chains: 53 -> under 9.
+    assert!(sequent::cost(N, 100.0, 0.2) < 9.0);
+    // Order of magnitude over every alternative.
+    let seq = sequent::cost(N, 19.0, 0.2);
+    assert!(bsd::cost(N) / seq > 10.0);
+    assert!(mtf::average_cost(N, 0.2) / seq > 10.0);
+    assert!(srcache::cost(N, 0.2, 0.001) / seq > 10.0);
+    // MTF-within-chains is bounded by the best-case factor of two, so
+    // raising H from 19 to 100 (factor ~5, per the paper) dominates it.
+    let factor_from_chains = sequent::cost(N, 19.0, 0.2) / sequent::cost(N, 100.0, 0.2);
+    assert!(factor_from_chains > 2.0, "{factor_from_chains}");
+}

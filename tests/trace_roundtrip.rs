@@ -1,0 +1,54 @@
+//! Trace archival round trip through a real file: a TPC/A workload is
+//! generated, written to disk, read back, and replayed — statistics must
+//! be bit-identical to running the in-memory trace.
+
+use std::fs;
+use tcpdemux::demux::standard_suite;
+use tcpdemux::sim::run_trace;
+use tcpdemux::sim::tpca::{TpcaSim, TpcaSimConfig};
+use tcpdemux::sim::trace_io::{parse_trace, write_trace};
+
+#[test]
+fn archived_trace_replays_identically() {
+    let sim = TpcaSim::new(
+        TpcaSimConfig {
+            users: 50,
+            transactions: 500,
+            warmup_transactions: 100,
+            ..TpcaSimConfig::default()
+        },
+        0xF11E,
+    );
+    let (warmup, measured) = sim.trace();
+
+    // Archive both segments to a file, as an experiment run would.
+    let path = std::env::temp_dir().join("tcpdemux_trace_roundtrip.trace");
+    let mut text = String::from("# tcpdemux archived trace (warmup, then measured)\n");
+    text.push_str(&write_trace(warmup.iter()));
+    text.push_str("# --- measurement begins ---\n");
+    text.push_str(&write_trace(measured.iter()));
+    fs::write(&path, &text).expect("write trace file");
+
+    // Read it back; comments separate nothing semantically, so the
+    // concatenation equals warmup ++ measured.
+    let read_back = fs::read_to_string(&path).expect("read trace file");
+    let replayed = parse_trace(&read_back).expect("parse archived trace");
+    assert_eq!(replayed.len(), warmup.len() + measured.len());
+
+    // Replay and compare to the direct run.
+    let mut direct_suite = standard_suite();
+    let _ = run_trace(warmup.clone(), &mut direct_suite);
+    let direct = run_trace(measured.clone(), &mut direct_suite);
+
+    let mut replay_suite = standard_suite();
+    let _ = run_trace(replayed[..warmup.len()].to_vec(), &mut replay_suite);
+    let replay = run_trace(replayed[warmup.len()..].to_vec(), &mut replay_suite);
+
+    for (a, b) in direct.iter().zip(replay.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.stats, b.stats, "{}", a.name);
+        assert_eq!(a.data_stats, b.data_stats, "{}", a.name);
+        assert_eq!(a.ack_stats, b.ack_stats, "{}", a.name);
+    }
+    let _ = fs::remove_file(&path);
+}
