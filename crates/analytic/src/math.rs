@@ -155,7 +155,7 @@ pub fn integrate_exp_tail<G: Fn(f64) -> f64>(g: G, a: f64, lo: f64, tol: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     #[test]
     fn ln_gamma_known_values() {
@@ -263,27 +263,40 @@ mod tests {
         assert!((got - 10.0).abs() < 1e-5, "{got}");
     }
 
-    proptest! {
-        #[test]
-        fn prop_binomial_mean_equals_np(n in 0u64..3000, p in 0.0f64..1.0) {
+    #[test]
+    fn prop_binomial_mean_equals_np() {
+        check("math_prop_binomial_mean_equals_np", |rng| {
+            let n = rng.below(3000);
+            let p = rng.f64();
             let literal = binomial_mean_literal(n, p);
             let closed = n as f64 * p;
-            prop_assert!((literal - closed).abs() < 1e-7 * closed.max(1.0),
+            assert!((literal - closed).abs() < 1e-7 * closed.max(1.0),
                 "literal {} vs np {}", literal, closed);
-        }
+        });
+    }
 
-        #[test]
-        fn prop_pmf_nonnegative_and_bounded(n in 0u64..500, i in 0u64..500, p in 0.0f64..1.0) {
-            prop_assume!(i <= n);
+    #[test]
+    fn prop_pmf_nonnegative_and_bounded() {
+        check("math_prop_pmf_nonnegative_and_bounded", |rng| {
+            let n = rng.below(500);
+            let i = rng.below(500);
+            let p = rng.f64();
+            if i > n {
+                return; // analogue of prop_assume!
+            }
             let v = binomial_pmf(n, i, p);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}", v);
-        }
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "{}", v);
+        });
+    }
 
-        #[test]
-        fn prop_integral_linearity(c in -10.0f64..10.0, hi in 0.1f64..20.0) {
+    #[test]
+    fn prop_integral_linearity() {
+        check("math_prop_integral_linearity", |rng| {
+            let c = -10.0 + rng.f64() * 20.0;
+            let hi = 0.1 + rng.f64() * 19.9;
             let base = integrate(|x| x.cos(), 0.0, hi, 1e-10);
             let scaled = integrate(|x| c * x.cos(), 0.0, hi, 1e-10);
-            prop_assert!((scaled - c * base).abs() < 1e-6 * (1.0 + c.abs()));
-        }
+            assert!((scaled - c * base).abs() < 1e-6 * (1.0 + c.abs()));
+        });
     }
 }

@@ -122,7 +122,7 @@ pub fn deterministic_worst_case(n: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     /// The paper's table of results at N = 2,000 for
     /// R = 0.2, 0.5, 1.0, 2.0 seconds.
@@ -241,30 +241,40 @@ mod tests {
         assert_eq!(ack_search_length(2000.0, 0.0), 0.0);
     }
 
-    proptest! {
-        /// Entry cost increases with response time; ack cost too.
-        #[test]
-        fn prop_monotone_in_r(r1 in 0.0f64..2.0, dr in 0.001f64..1.0) {
+    /// Entry cost increases with response time; ack cost too.
+    #[test]
+    fn prop_monotone_in_r() {
+        check("mtf_prop_monotone_in_r", |rng| {
+            let r1 = rng.f64() * 2.0;
+            let dr = 0.001 + rng.f64() * 0.999;
             let n = 2000.0;
-            prop_assert!(entry_search_length(n, r1 + dr) > entry_search_length(n, r1));
-            prop_assert!(ack_search_length(n, r1 + dr) > ack_search_length(n, r1));
-        }
+            assert!(entry_search_length(n, r1 + dr) > entry_search_length(n, r1));
+            assert!(ack_search_length(n, r1 + dr) > ack_search_length(n, r1));
+        });
+    }
 
-        /// Costs scale linearly in N−1.
-        #[test]
-        fn prop_linear_in_n(n in 2.0f64..10_000.0, r in 0.0f64..2.0) {
+    /// Costs scale linearly in N−1.
+    #[test]
+    fn prop_linear_in_n() {
+        check("mtf_prop_linear_in_n", |rng| {
+            let n = 2.0 + rng.f64() * 9_998.0;
+            let r = rng.f64() * 2.0;
             let unit = average_cost(2.0, r); // N−1 = 1
             let got = average_cost(n, r);
-            prop_assert!((got - unit * (n - 1.0)).abs() < 1e-6 * got.max(1.0));
-        }
+            assert!((got - unit * (n - 1.0)).abs() < 1e-6 * got.max(1.0));
+        });
+    }
 
-        /// The average is always between the ack and entry costs.
-        #[test]
-        fn prop_average_bounded(n in 2.0f64..10_000.0, r in 0.001f64..2.0) {
+    /// The average is always between the ack and entry costs.
+    #[test]
+    fn prop_average_bounded() {
+        check("mtf_prop_average_bounded", |rng| {
+            let n = 2.0 + rng.f64() * 9_998.0;
+            let r = 0.001 + rng.f64() * 1.999;
             let avg = average_cost(n, r);
             let lo = ack_search_length(n, r).min(entry_search_length(n, r));
             let hi = ack_search_length(n, r).max(entry_search_length(n, r));
-            prop_assert!(avg >= lo && avg <= hi);
-        }
+            assert!(avg >= lo && avg <= hi);
+        });
     }
 }

@@ -76,7 +76,7 @@ pub fn cost(n: f64, h: f64, r: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     #[test]
     fn paper_number_53_0() {
@@ -174,26 +174,29 @@ mod tests {
         assert!((ack_cost(2000.0, 19.0, 0.0) - 1.0).abs() < 1e-9);
     }
 
-    proptest! {
-        /// More chains never cost more (for fixed N, R).
-        #[test]
-        fn prop_monotone_in_h(h in 1.0f64..999.0, dh in 1.0f64..100.0) {
+    /// More chains never cost more (for fixed N, R).
+    #[test]
+    fn prop_monotone_in_h() {
+        check("sequent_prop_monotone_in_h", |rng| {
+            let h = 1.0 + rng.f64() * 998.0;
+            let dh = 1.0 + rng.f64() * 99.0;
             let n = 2000.0;
-            prop_assert!(cost(n, h + dh, 0.2) <= cost(n, h, 0.2) + 1e-9);
-        }
+            assert!(cost(n, h + dh, 0.2) <= cost(n, h, 0.2) + 1e-9);
+        });
+    }
 
-        /// Refined cost never exceeds the naive cost (the quiet interval
-        /// can only help), and both are at least 1.
-        #[test]
-        fn prop_refined_bounded_by_naive(
-            n in 19.0f64..20_000.0,
-            r in 0.0f64..2.0,
-        ) {
+    /// Refined cost never exceeds the naive cost (the quiet interval
+    /// can only help), and both are at least 1.
+    #[test]
+    fn prop_refined_bounded_by_naive() {
+        check("sequent_prop_refined_bounded_by_naive", |rng| {
+            let n = 19.0 + rng.f64() * (20_000.0 - 19.0);
+            let r = rng.f64() * 2.0;
             let h = 19.0;
             let refined = cost(n, h, r);
             let naive = naive_cost(n, h);
-            prop_assert!(refined <= naive + 1e-9);
-            prop_assert!(refined >= 1.0 - 1e-9);
-        }
+            assert!(refined <= naive + 1e-9);
+            assert!(refined >= 1.0 - 1e-9);
+        });
     }
 }

@@ -116,7 +116,7 @@ pub fn cost(n: f64, r: f64, d: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     #[test]
     fn paper_row_667_993_1002() {
@@ -222,21 +222,28 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Cost increases with round-trip delay: more time for another
-        /// user's packets to flush the caches.
-        #[test]
-        fn prop_monotone_in_d(d in 0.0f64..0.2, dd in 1e-4f64..0.1) {
+    /// Cost increases with round-trip delay: more time for another
+    /// user's packets to flush the caches.
+    #[test]
+    fn prop_monotone_in_d() {
+        check("srcache_prop_monotone_in_d", |rng| {
+            let d = rng.f64() * 0.2;
+            let dd = 1e-4 + rng.f64() * (0.1 - 1e-4);
             let n = 2000.0;
-            prop_assert!(cost(n, 0.2, d + dd) >= cost(n, 0.2, d) - 1e-9);
-        }
+            assert!(cost(n, 0.2, d + dd) >= cost(n, 0.2, d) - 1e-9);
+        });
+    }
 
-        /// The average lies between 1 (all hits) and the miss penalty.
-        #[test]
-        fn prop_bounded(n in 2.0f64..20_000.0, r in 0.01f64..2.0, d in 0.0f64..0.5) {
+    /// The average lies between 1 (all hits) and the miss penalty.
+    #[test]
+    fn prop_bounded() {
+        check("srcache_prop_bounded", |rng| {
+            let n = 2.0 + rng.f64() * (20_000.0 - 2.0);
+            let r = 0.01 + rng.f64() * 1.99;
+            let d = rng.f64() * 0.5;
             let c = cost(n, r, d);
-            prop_assert!(c >= 1.0 - 1e-9, "{}", c);
-            prop_assert!(c <= miss_penalty(n) + 1e-9, "{}", c);
-        }
+            assert!(c >= 1.0 - 1e-9, "{}", c);
+            assert!(c <= miss_penalty(n) + 1e-9, "{}", c);
+        });
     }
 }

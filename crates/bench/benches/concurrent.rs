@@ -1,8 +1,11 @@
 //! A3 — scalability of the lock-per-chain demultiplexer versus a single
 //! global lock, the parallel-STREAMS context of [Dov90].
+//!
+//! Runs on the in-tree harness (no external deps); `--features bench-ext`
+//! lengthens sampling for lower variance.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
+use std::hint::black_box;
+use tcpdemux_bench::harness::{bench, group};
 use tcpdemux_core::concurrent::{ConcurrentDemux, GlobalLockDemux, RwShardedDemux, ShardedDemux};
 use tcpdemux_core::{PacketKind, SequentDemux};
 use tcpdemux_hash::{quality::tpca_key_population, Multiplicative};
@@ -24,55 +27,48 @@ fn populate(demux: &dyn ConcurrentDemux, keys: &[ConnectionKey]) {
     std::mem::forget(arena);
 }
 
-fn run_threads(demux: &Arc<dyn ConcurrentDemux>, keys: &Arc<Vec<ConnectionKey>>, threads: usize) {
+fn run_threads(demux: &dyn ConcurrentDemux, keys: &[ConnectionKey], threads: usize) {
     let per_thread = LOOKUPS_TOTAL / threads;
-    let handles: Vec<_> = (0..threads)
-        .map(|t| {
-            let demux = Arc::clone(demux);
-            let keys = Arc::clone(keys);
-            std::thread::spawn(move || {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
                 let n = keys.len();
                 for i in 0..per_thread {
                     let key = &keys[(t * 4099 + i * 7919) % n];
                     black_box(demux.lookup(key, PacketKind::Data));
                 }
-            })
-        })
-        .collect();
-    for h in handles {
-        h.join().unwrap();
-    }
+            });
+        }
+    });
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let keys = Arc::new(tpca_key_population(CONNECTIONS));
+fn bench_scaling() {
+    let keys = tpca_key_population(CONNECTIONS);
 
-    let sharded: Arc<dyn ConcurrentDemux> = Arc::new(ShardedDemux::new(Multiplicative, 64));
-    populate(sharded.as_ref(), &keys);
+    let sharded = ShardedDemux::new(Multiplicative, 64);
+    populate(&sharded, &keys);
 
-    let global: Arc<dyn ConcurrentDemux> =
-        Arc::new(GlobalLockDemux::new(SequentDemux::new(Multiplicative, 64)));
-    populate(global.as_ref(), &keys);
+    let global = GlobalLockDemux::new(SequentDemux::new(Multiplicative, 64));
+    populate(&global, &keys);
 
     // The cache-free reader-writer variant: lookups take shared locks.
-    let rw: Arc<dyn ConcurrentDemux> = Arc::new(RwShardedDemux::new(Multiplicative, 64));
-    populate(rw.as_ref(), &keys);
+    let rw = RwShardedDemux::new(Multiplicative, 64);
+    populate(&rw, &keys);
 
-    let mut group = c.benchmark_group("concurrent");
-    group.sample_size(10);
+    group("concurrent (time per full 400k-lookup batch)");
     for &threads in &[1usize, 2, 4, 8] {
-        group.bench_function(BenchmarkId::new("sharded", threads), |b| {
-            b.iter(|| run_threads(&sharded, &keys, threads))
+        bench(&format!("concurrent/sharded/{threads}"), || {
+            run_threads(&sharded, &keys, threads)
         });
-        group.bench_function(BenchmarkId::new("rw-sharded", threads), |b| {
-            b.iter(|| run_threads(&rw, &keys, threads))
+        bench(&format!("concurrent/rw-sharded/{threads}"), || {
+            run_threads(&rw, &keys, threads)
         });
-        group.bench_function(BenchmarkId::new("global-lock", threads), |b| {
-            b.iter(|| run_threads(&global, &keys, threads))
+        bench(&format!("concurrent/global-lock/{threads}"), || {
+            run_threads(&global, &keys, threads)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_scaling();
+}

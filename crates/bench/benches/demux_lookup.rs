@@ -2,8 +2,12 @@
 //! counts. The paper's metric (PCBs examined) is a surrogate for memory
 //! traffic; this bench closes the loop by measuring actual nanoseconds on
 //! the real data structures under OLTP-style (train-free) access patterns.
+//!
+//! Runs on the in-tree harness (no external deps); `--features bench-ext`
+//! lengthens sampling for lower variance.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcpdemux_bench::harness::{bench, group};
 use tcpdemux_core::{
     AdaptiveDemux, BsdDemux, Demux, DirectDemux, HashedMtfDemux, MtfDemux, PacketKind,
     SendRecvDemux, SequentDemux,
@@ -26,11 +30,11 @@ fn access_pattern(keys: &[ConnectionKey]) -> Vec<ConnectionKey> {
     (0..n).map(|i| keys[(i * 7919) % n]).collect()
 }
 
-fn bench_algorithms(c: &mut Criterion) {
+fn bench_algorithms() {
     for &n in &[100usize, 1000, 2000] {
         let keys = tpca_key_population(n);
         let pattern = access_pattern(&keys);
-        let mut group = c.benchmark_group(format!("lookup/oltp/n={n}"));
+        group(&format!("lookup/oltp/n={n}"));
 
         let algorithms: Vec<Box<dyn Demux>> = vec![
             Box::new(BsdDemux::new()),
@@ -47,22 +51,19 @@ fn bench_algorithms(c: &mut Criterion) {
             populate(demux.as_mut(), &keys);
             let name = demux.name();
             let mut cursor = 0usize;
-            group.bench_function(BenchmarkId::from_parameter(&name), |b| {
-                b.iter(|| {
-                    let key = &pattern[cursor];
-                    cursor = (cursor + 1) % pattern.len();
-                    black_box(demux.lookup(black_box(key), PacketKind::Data))
-                })
+            bench(&format!("lookup/oltp/n={n}/{name}"), || {
+                let key = &pattern[cursor];
+                cursor = (cursor + 1) % pattern.len();
+                black_box(demux.lookup(black_box(key), PacketKind::Data));
             });
         }
-        group.finish();
     }
 }
 
-fn bench_packet_trains(c: &mut Criterion) {
+fn bench_packet_trains() {
     // The cache-friendly regime: repeated lookups of one connection.
     let keys = tpca_key_population(2000);
-    let mut group = c.benchmark_group("lookup/train/n=2000");
+    group("lookup/train/n=2000");
     let algorithms: Vec<Box<dyn Demux>> = vec![
         Box::new(BsdDemux::new()),
         Box::new(SequentDemux::new(Multiplicative, 19)),
@@ -73,12 +74,13 @@ fn bench_packet_trains(c: &mut Criterion) {
         let name = demux.name();
         let hot = keys[1234];
         demux.lookup(&hot, PacketKind::Data); // prime the cache
-        group.bench_function(BenchmarkId::from_parameter(&name), |b| {
-            b.iter(|| black_box(demux.lookup(black_box(&hot), PacketKind::Data)))
+        bench(&format!("lookup/train/n=2000/{name}"), || {
+            black_box(demux.lookup(black_box(&hot), PacketKind::Data));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_packet_trains);
-criterion_main!(benches);
+fn main() {
+    bench_algorithms();
+    bench_packet_trains();
+}

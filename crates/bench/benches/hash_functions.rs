@@ -2,43 +2,43 @@
 //! The paper: "The only added cost of the Sequent algorithm over BSD is
 //! the memory required for the hash-chain headers and the computation of
 //! the hash function itself."
+//!
+//! Runs on the in-tree harness (no external deps); `--features bench-ext`
+//! lengthens sampling for lower variance.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcpdemux_bench::harness::{bench, group};
 use tcpdemux_hash::{all_hashers, quality::tpca_key_population};
 
-fn bench_hashers(c: &mut Criterion) {
+fn bench_hashers() {
     let keys = tpca_key_population(1024);
-    let mut group = c.benchmark_group("hash");
+    group("hash");
     for hasher in all_hashers() {
         let mut cursor = 0usize;
-        group.bench_function(BenchmarkId::from_parameter(hasher.name()), |b| {
-            b.iter(|| {
-                let key = &keys[cursor];
-                cursor = (cursor + 1) & 1023;
-                black_box(hasher.hash(black_box(key)))
-            })
+        bench(&format!("hash/{}", hasher.name()), || {
+            let key = &keys[cursor];
+            cursor = (cursor + 1) & 1023;
+            black_box(hasher.hash(black_box(key)));
         });
     }
-    group.finish();
 }
 
-fn bench_bucket_reduction(c: &mut Criterion) {
+fn bench_bucket_reduction() {
     let keys = tpca_key_population(1024);
     let hasher = tcpdemux_hash::Multiplicative;
-    let mut group = c.benchmark_group("hash/bucket");
+    group("hash/bucket");
     for &chains in &[19usize, 100, 499] {
         let mut cursor = 0usize;
-        group.bench_function(BenchmarkId::from_parameter(chains), |b| {
-            b.iter(|| {
-                use tcpdemux_hash::KeyHasher;
-                let key = &keys[cursor];
-                cursor = (cursor + 1) & 1023;
-                black_box(hasher.bucket(black_box(key), chains))
-            })
+        bench(&format!("hash/bucket/{chains}"), || {
+            use tcpdemux_hash::KeyHasher;
+            let key = &keys[cursor];
+            cursor = (cursor + 1) & 1023;
+            black_box(hasher.bucket(black_box(key), chains));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_hashers, bench_bucket_reduction);
-criterion_main!(benches);
+fn main() {
+    bench_hashers();
+    bench_bucket_reduction();
+}

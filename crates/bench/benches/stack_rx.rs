@@ -1,9 +1,13 @@
 //! End-to-end receive-path cost: raw frame in, demux, state update,
 //! delivery — with each lookup algorithm plugged in. This situates the
 //! paper's lookup saving inside the full per-packet budget [Fel90].
+//!
+//! Runs on the in-tree harness (no external deps); `--features bench-ext`
+//! lengthens sampling for lower variance.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 use std::net::Ipv4Addr;
+use tcpdemux_bench::harness::{bench, group};
 use tcpdemux_core::{BsdDemux, Demux, SequentDemux};
 use tcpdemux_hash::Multiplicative;
 use tcpdemux_stack::{Stack, StackConfig};
@@ -36,8 +40,8 @@ fn server_with_connections(demux: Box<dyn Demux>, n: u16) -> (Stack, Vec<Vec<u8>
     (server, frames)
 }
 
-fn bench_receive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stack/rx");
+fn bench_receive() {
+    group("stack/rx");
     for &n in &[64u16, 512, 2000] {
         let cases: Vec<(&str, Box<dyn Demux>)> = vec![
             ("bsd", Box::new(BsdDemux::new())),
@@ -46,19 +50,16 @@ fn bench_receive(c: &mut Criterion) {
         for (label, demux) in cases {
             let (mut server, frames) = server_with_connections(demux, n);
             let mut cursor = 0usize;
-            group.bench_function(BenchmarkId::new(label, n), |b| {
-                b.iter(|| {
-                    let frame = &frames[cursor];
-                    cursor = (cursor + 1) % frames.len();
-                    black_box(server.receive(black_box(frame)).unwrap().outcome)
-                })
+            bench(&format!("stack/rx/{label}/{n}"), || {
+                let frame = &frames[cursor];
+                cursor = (cursor + 1) % frames.len();
+                black_box(server.receive(black_box(frame)).unwrap().outcome);
             });
         }
     }
-    group.finish();
 }
 
-fn bench_parse_reject(c: &mut Criterion) {
+fn bench_parse_reject() {
     // Corrupted frames must be cheap to reject (checksum wall).
     let ip = Ipv4Repr::new(Ipv4Addr::new(10, 1, 0, 0), SERVER, IpProtocol::Tcp);
     let tcp = TcpRepr {
@@ -74,10 +75,13 @@ fn bench_parse_reject(c: &mut Criterion) {
         StackConfig::new(SERVER),
         Box::new(SequentDemux::new(Multiplicative, 19)),
     );
-    c.bench_function("stack/rx/reject-corrupt", |b| {
-        b.iter(|| black_box(server.receive(black_box(&frame)).unwrap_err()))
+    group("stack/rx/reject");
+    bench("stack/rx/reject-corrupt", || {
+        black_box(server.receive(black_box(&frame)).unwrap_err());
     });
 }
 
-criterion_group!(benches, bench_receive, bench_parse_reject);
-criterion_main!(benches);
+fn main() {
+    bench_receive();
+    bench_parse_reject();
+}

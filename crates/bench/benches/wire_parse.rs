@@ -1,9 +1,13 @@
 //! Wire-format throughput: parse and emit cost per frame. Demultiplexing
 //! happens once per received frame, so its cost must be judged relative
 //! to the rest of the receive path — this bench provides that baseline.
+//!
+//! Runs on the in-tree harness (no external deps); `--features bench-ext`
+//! lengthens sampling for lower variance.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use std::net::Ipv4Addr;
+use tcpdemux_bench::harness::{bench, group};
 use tcpdemux_wire::{
     build_tcp_frame, FrameBuilder, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags, TcpRepr, TcpSegment,
 };
@@ -25,24 +29,21 @@ fn sample_frame(payload: &[u8]) -> Vec<u8> {
     build_tcp_frame(&ip, &tcp, payload)
 }
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire/parse");
+fn bench_parse() {
+    group("wire/parse");
     for (label, payload) in [("ack-40B", &b""[..]), ("oltp-120B", &[0u8; 80][..])] {
         let frame = sample_frame(payload);
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let packet = Ipv4Packet::new_checked(black_box(&frame[..])).unwrap();
-                let ip = Ipv4Repr::parse(&packet).unwrap();
-                let segment = TcpSegment::new_checked(packet.payload()).unwrap();
-                let tcp = TcpRepr::parse(&segment, ip.src_addr, ip.dst_addr).unwrap();
-                black_box((ip, tcp));
-            })
+        bench(&format!("wire/parse/{label}"), || {
+            let packet = Ipv4Packet::new_checked(black_box(&frame[..])).unwrap();
+            let ip = Ipv4Repr::parse(&packet).unwrap();
+            let segment = TcpSegment::new_checked(packet.payload()).unwrap();
+            let tcp = TcpRepr::parse(&segment, ip.src_addr, ip.dst_addr).unwrap();
+            black_box((ip, tcp));
         });
     }
-    group.finish();
 }
 
-fn bench_emit(c: &mut Criterion) {
+fn bench_emit() {
     let ip = Ipv4Repr::new(
         Ipv4Addr::new(10, 0, 0, 1),
         Ipv4Addr::new(10, 0, 9, 9),
@@ -56,10 +57,13 @@ fn bench_emit(c: &mut Criterion) {
     };
     let payload = [0u8; 80];
     let mut builder = FrameBuilder::new();
-    c.bench_function("wire/emit/oltp-120B", |b| {
-        b.iter(|| black_box(builder.tcp(&ip, &tcp, &payload).len()))
+    group("wire/emit");
+    bench("wire/emit/oltp-120B", || {
+        black_box(builder.tcp(&ip, &tcp, &payload).len());
     });
 }
 
-criterion_group!(benches, bench_parse, bench_emit);
-criterion_main!(benches);
+fn main() {
+    bench_parse();
+    bench_emit();
+}

@@ -1,0 +1,111 @@
+//! A dependency-free wall-clock benchmark harness.
+//!
+//! This is the default measurement path for every `benches/*` target, so
+//! `cargo bench` works fully offline. It is deliberately simple: each
+//! benchmark is auto-calibrated so one sample runs long enough to be
+//! timeable, several samples are taken, and the **median** ns/op is
+//! reported (the median is robust to scheduler noise; criterion's
+//! bootstrap machinery refines the same idea).
+//!
+//! The `bench-ext` feature lengthens samples and takes more of them for
+//! lower-variance numbers (and is the hook under which an optional
+//! criterion integration can be restored on a networked machine — see
+//! the manifest comment in `crates/bench/Cargo.toml`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Nanoseconds one calibrated sample should occupy.
+#[cfg(not(feature = "bench-ext"))]
+const TARGET_SAMPLE_NS: u128 = 2_000_000; // 2 ms
+#[cfg(feature = "bench-ext")]
+const TARGET_SAMPLE_NS: u128 = 20_000_000; // 20 ms
+
+/// Number of timed samples per benchmark.
+#[cfg(not(feature = "bench-ext"))]
+const SAMPLES: usize = 9;
+#[cfg(feature = "bench-ext")]
+const SAMPLES: usize = 25;
+
+/// One benchmark's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full label, e.g. `lookup/oltp/n=2000/sequent(19)`.
+    pub label: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+impl Measurement {
+    fn print(&self) {
+        println!(
+            "{:<56} {:>12.1} ns/op   (min {:>10.1}, {} iters/sample, {} samples)",
+            self.label, self.median_ns, self.min_ns, self.iters, SAMPLES
+        );
+    }
+}
+
+/// Time `f`, auto-calibrated, and print one result row.
+///
+/// `f` is the body of one iteration; wrap inputs and outputs in
+/// [`black_box`] at the call site exactly as with criterion.
+pub fn bench(label: &str, mut f: impl FnMut()) -> Measurement {
+    // Calibrate: double the per-sample iteration count until one sample
+    // takes at least TARGET_SAMPLE_NS.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= TARGET_SAMPLE_NS || iters >= 1 << 40 {
+            break;
+        }
+        // Jump close to the target rather than strictly doubling once we
+        // have signal, to keep calibration cheap.
+        let factor = if elapsed == 0 {
+            8
+        } else {
+            ((TARGET_SAMPLE_NS / elapsed.max(1)) as u64 + 1).clamp(2, 8)
+        };
+        iters = iters.saturating_mul(factor);
+    }
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let m = Measurement {
+        label: label.to_string(),
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        iters,
+    };
+    m.print();
+    m
+}
+
+/// Print a section header, criterion-group style.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Re-export so benches need no direct `std::hint` import.
+pub use std::hint::black_box as bb;
+
+/// Consume a value exactly like `criterion::black_box`.
+pub fn sink<T>(value: T) -> T {
+    black_box(value)
+}

@@ -1,6 +1,7 @@
 //! Experiment harness: everything needed to regenerate the paper's tables
 //! and figures, shared between the reporting binaries (`src/bin/*`), the
-//! Criterion wall-clock benches (`benches/*`), and the regression tests.
+//! wall-clock benches (`benches/*`, built on the in-tree no-dependency
+//! [`harness`] so they run fully offline), and the regression tests.
 //!
 //! Experiment index (see DESIGN.md for the full mapping):
 //!
@@ -22,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use table::Table;

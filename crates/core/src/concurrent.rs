@@ -10,9 +10,29 @@
 
 use crate::stats::LookupStats;
 use crate::{Demux, LookupResult, PacketKind};
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tcpdemux_hash::KeyHasher;
 use tcpdemux_pcb::{ConnectionKey, PcbId};
+
+// `std::sync` locks (unlike the `parking_lot` ones they replaced) carry
+// lock poisoning. A panic while holding a shard lock can only leave the
+// shard in a state some *other* test's assertions then observe — the
+// data itself is never torn, because every critical section restores
+// the structure's invariants before any operation that can panic
+// (plain field stores and `Vec` ops don't). So poisoning is mapped away
+// rather than propagated, matching the old parking_lot semantics.
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A thread-safe demultiplexer: the concurrent analogue of [`Demux`].
 ///
@@ -84,7 +104,7 @@ impl<H: KeyHasher> ShardedDemux<H> {
 
 impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     fn insert(&self, key: ConnectionKey, id: PcbId) {
-        let mut shard = self.shard(&key).lock();
+        let mut shard = lock(self.shard(&key));
         if shard.list.replace(&key, id).is_none() {
             shard.list.push_front(key, id);
         } else if let Some((ck, cid)) = &mut shard.cache {
@@ -95,7 +115,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     }
 
     fn remove(&self, key: &ConnectionKey) -> Option<PcbId> {
-        let mut shard = self.shard(key).lock();
+        let mut shard = lock(self.shard(key));
         if shard.cache.map(|(ck, _)| ck == *key).unwrap_or(false) {
             shard.cache = None;
         }
@@ -103,7 +123,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     }
 
     fn lookup(&self, key: &ConnectionKey, _kind: PacketKind) -> LookupResult {
-        let mut shard = self.shard(key).lock();
+        let mut shard = lock(self.shard(key));
         if let Some((ck, id)) = shard.cache {
             if ck == *key {
                 shard.stats.record(1, true, true);
@@ -139,7 +159,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().list.len()).sum()
+        self.shards.iter().map(|s| lock(s).list.len()).sum()
     }
 
     fn name(&self) -> String {
@@ -149,7 +169,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     fn stats_snapshot(&self) -> LookupStats {
         let mut total = LookupStats::new();
         for shard in &self.shards {
-            total.merge(&shard.lock().stats);
+            total.merge(&lock(shard).stats);
         }
         total
     }
@@ -169,7 +189,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
 /// never upgrades its lock.
 pub struct RwShardedDemux<H> {
     hasher: H,
-    shards: Vec<parking_lot::RwLock<crate::list::PcbList>>,
+    shards: Vec<RwLock<crate::list::PcbList>>,
     lookups: AtomicU64,
     found: AtomicU64,
     not_found: AtomicU64,
@@ -186,7 +206,7 @@ impl<H: KeyHasher> RwShardedDemux<H> {
         Self {
             hasher,
             shards: (0..chains)
-                .map(|_| parking_lot::RwLock::new(crate::list::PcbList::new()))
+                .map(|_| RwLock::new(crate::list::PcbList::new()))
                 .collect(),
             lookups: AtomicU64::new(0),
             found: AtomicU64::new(0),
@@ -201,25 +221,25 @@ impl<H: KeyHasher> RwShardedDemux<H> {
         self.shards.len()
     }
 
-    fn shard(&self, key: &ConnectionKey) -> &parking_lot::RwLock<crate::list::PcbList> {
+    fn shard(&self, key: &ConnectionKey) -> &RwLock<crate::list::PcbList> {
         &self.shards[self.hasher.bucket(key, self.shards.len())]
     }
 }
 
 impl<H: KeyHasher + Sync + Send> ConcurrentDemux for RwShardedDemux<H> {
     fn insert(&self, key: ConnectionKey, id: PcbId) {
-        let mut list = self.shard(&key).write();
+        let mut list = write(self.shard(&key));
         if list.replace(&key, id).is_none() {
             list.push_front(key, id);
         }
     }
 
     fn remove(&self, key: &ConnectionKey) -> Option<PcbId> {
-        self.shard(key).write().remove(key)
+        write(self.shard(key)).remove(key)
     }
 
     fn lookup(&self, key: &ConnectionKey, _kind: PacketKind) -> LookupResult {
-        let (found, examined) = self.shard(key).read().find(key);
+        let (found, examined) = read(self.shard(key)).find(key);
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.examined
             .fetch_add(u64::from(examined), Ordering::Relaxed);
@@ -237,7 +257,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for RwShardedDemux<H> {
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| read(s).len()).sum()
     }
 
     fn name(&self) -> String {
@@ -273,27 +293,27 @@ impl<D: Demux> GlobalLockDemux<D> {
 
 impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
     fn insert(&self, key: ConnectionKey, id: PcbId) {
-        self.inner.lock().insert(key, id);
+        lock(&self.inner).insert(key, id);
     }
 
     fn remove(&self, key: &ConnectionKey) -> Option<PcbId> {
-        self.inner.lock().remove(key)
+        lock(&self.inner).remove(key)
     }
 
     fn lookup(&self, key: &ConnectionKey, kind: PacketKind) -> LookupResult {
-        self.inner.lock().lookup(key, kind)
+        lock(&self.inner).lookup(key, kind)
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().len()
+        lock(&self.inner).len()
     }
 
     fn name(&self) -> String {
-        format!("global-lock({})", self.inner.lock().name())
+        format!("global-lock({})", lock(&self.inner).name())
     }
 
     fn stats_snapshot(&self) -> LookupStats {
-        *self.inner.lock().stats()
+        *lock(&self.inner).stats()
     }
 }
 
@@ -302,7 +322,6 @@ mod tests {
     use super::*;
     use crate::test_util::key;
     use crate::SequentDemux;
-    use std::sync::Arc;
     use tcpdemux_hash::Multiplicative;
     use tcpdemux_pcb::{Pcb, PcbArena};
 
@@ -357,26 +376,23 @@ mod tests {
         // 8 threads hammer lookups on a fixed population; every result
         // must be the correct PCB, and totals must add up exactly.
         let mut arena = PcbArena::new();
-        let demux = Arc::new(ShardedDemux::new(Multiplicative, 19));
-        let ids = Arc::new(populate_concurrent(demux.as_ref(), &mut arena, 500));
+        let demux = ShardedDemux::new(Multiplicative, 19);
+        let ids = populate_concurrent(&demux, &mut arena, 500);
 
-        let threads: Vec<_> = (0..8)
-            .map(|t| {
-                let demux = Arc::clone(&demux);
-                let ids = Arc::clone(&ids);
-                std::thread::spawn(move || {
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let demux = &demux;
+                let ids = &ids;
+                s.spawn(move || {
                     for round in 0..200u32 {
                         let i = (t * 61 + round * 7) % 500;
                         let r = demux.lookup(&key(i), PacketKind::Data);
                         assert_eq!(r.pcb, Some(ids[i as usize]));
                         assert!(r.examined >= 1);
                     }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
+                });
+            }
+        });
         let stats = demux.stats_snapshot();
         assert_eq!(stats.lookups, 8 * 200);
         assert_eq!(stats.found, 8 * 200);
@@ -387,11 +403,11 @@ mod tests {
     fn concurrent_insert_remove_churn() {
         // Threads own disjoint key ranges and churn them; the structure
         // must end exactly at the expected population.
-        let demux = Arc::new(ShardedDemux::new(Multiplicative, 19));
-        let threads: Vec<_> = (0..4u32)
-            .map(|t| {
-                let demux = Arc::clone(&demux);
-                std::thread::spawn(move || {
+        let demux = ShardedDemux::new(Multiplicative, 19);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let demux = &demux;
+                s.spawn(move || {
                     let mut arena = PcbArena::new();
                     let base = 10_000 + t * 1000;
                     for i in 0..100 {
@@ -402,13 +418,80 @@ mod tests {
                     for i in 0..50 {
                         assert!(demux.remove(&key(base + i * 2)).is_some());
                     }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
+                });
+            }
+        });
         assert_eq!(demux.len(), 4 * 50);
+    }
+
+    #[test]
+    fn sharded_stats_equal_sum_of_per_thread_work() {
+        // The cross-thread accounting contract: after T threads each do
+        // a known amount of insert/remove/lookup work on disjoint key
+        // ranges, `stats_snapshot()` totals must equal the sum of the
+        // per-thread tallies exactly — no lost updates, no double
+        // counts, under real contention on the shard locks.
+        const THREADS: u32 = 8;
+        const KEYS_PER_THREAD: u32 = 200;
+        const LOOKUPS_PER_THREAD: u64 = 1_000;
+
+        let demux = ShardedDemux::new(Multiplicative, 7); // few shards → real contention
+        let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let demux = &demux;
+                    s.spawn(move || {
+                        let mut arena = PcbArena::new();
+                        let base = t * KEYS_PER_THREAD;
+                        let ids: Vec<PcbId> = (0..KEYS_PER_THREAD)
+                            .map(|i| {
+                                let k = key(base + i);
+                                let id = arena.insert(Pcb::new(k));
+                                demux.insert(k, id);
+                                id
+                            })
+                            .collect();
+                        let (mut found, mut missed) = (0u64, 0u64);
+                        for round in 0..LOOKUPS_PER_THREAD {
+                            // Mostly hits on our own range, plus misses on a
+                            // range no thread ever installs.
+                            if round % 5 == 4 {
+                                let k = key(1_000_000 + base + (round as u32 % KEYS_PER_THREAD));
+                                assert!(demux.lookup(&k, PacketKind::Data).pcb.is_none());
+                                missed += 1;
+                            } else {
+                                let i = (round as u32 * 13) % KEYS_PER_THREAD;
+                                let r = demux.lookup(&key(base + i), PacketKind::Data);
+                                assert_eq!(r.pcb, Some(ids[i as usize]));
+                                found += 1;
+                            }
+                        }
+                        // Remove half our keys while other threads still look up.
+                        for i in 0..KEYS_PER_THREAD / 2 {
+                            assert_eq!(demux.remove(&key(base + i * 2)), Some(ids[(i * 2) as usize]));
+                        }
+                        (found, missed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let total_found: u64 = per_thread.iter().map(|&(f, _)| f).sum();
+        let total_missed: u64 = per_thread.iter().map(|&(_, m)| m).sum();
+        let stats = demux.stats_snapshot();
+        assert_eq!(stats.lookups, total_found + total_missed);
+        assert_eq!(stats.found, total_found);
+        assert_eq!(stats.not_found, total_missed);
+        assert_eq!(
+            demux.len(),
+            (THREADS * KEYS_PER_THREAD / 2) as usize,
+            "each thread removed exactly half its keys"
+        );
+        // Examined counts are at least one PCB per lookup that found
+        // anything, and the worst case can't exceed the longest chain.
+        assert!(stats.pcbs_examined >= stats.found);
+        assert!(stats.worst_case >= 1);
     }
 
     #[test]
@@ -445,13 +528,13 @@ mod tests {
         // checks correctness under that contention pattern (the benches
         // measure the speedup).
         let mut arena = PcbArena::new();
-        let demux = Arc::new(RwShardedDemux::new(Multiplicative, 1));
-        let ids = Arc::new(populate_concurrent(demux.as_ref(), &mut arena, 64));
-        let threads: Vec<_> = (0..8)
-            .map(|t| {
-                let demux = Arc::clone(&demux);
-                let ids = Arc::clone(&ids);
-                std::thread::spawn(move || {
+        let demux = RwShardedDemux::new(Multiplicative, 1);
+        let ids = populate_concurrent(&demux, &mut arena, 64);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let demux = &demux;
+                let ids = &ids;
+                s.spawn(move || {
                     for i in 0..500u32 {
                         let k = (t * 17 + i) % 64;
                         assert_eq!(
@@ -459,12 +542,9 @@ mod tests {
                             Some(ids[k as usize])
                         );
                     }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
+                });
+            }
+        });
         let stats = demux.stats_snapshot();
         assert_eq!(stats.lookups, 8 * 500);
         assert_eq!(stats.not_found, 0);
@@ -472,31 +552,27 @@ mod tests {
 
     #[test]
     fn rw_sharded_concurrent_writers_and_readers() {
-        let demux = Arc::new(RwShardedDemux::new(Multiplicative, 19));
-        let writer = {
-            let demux = Arc::clone(&demux);
-            std::thread::spawn(move || {
+        let demux = RwShardedDemux::new(Multiplicative, 19);
+        std::thread::scope(|s| {
+            let writer = &demux;
+            s.spawn(move || {
                 let mut arena = PcbArena::new();
                 for i in 0..500u32 {
                     let k = key(50_000 + i);
                     let id = arena.insert(Pcb::new(k));
-                    demux.insert(k, id);
+                    writer.insert(k, id);
                     if i % 2 == 0 {
-                        demux.remove(&k);
+                        writer.remove(&k);
                     }
                 }
-            })
-        };
-        let reader = {
-            let demux = Arc::clone(&demux);
-            std::thread::spawn(move || {
+            });
+            let reader = &demux;
+            s.spawn(move || {
                 for i in 0..2000u32 {
-                    let _ = demux.lookup(&key(50_000 + (i % 500)), PacketKind::Data);
+                    let _ = reader.lookup(&key(50_000 + (i % 500)), PacketKind::Data);
                 }
-            })
-        };
-        writer.join().unwrap();
-        reader.join().unwrap();
+            });
+        });
         assert_eq!(demux.len(), 250);
     }
 }

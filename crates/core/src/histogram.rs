@@ -130,7 +130,7 @@ impl fmt::Display for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     #[test]
     fn empty_histogram() {
@@ -227,22 +227,27 @@ mod tests {
         assert!(s.contains("max=7"), "{s}");
     }
 
-    proptest! {
-        /// The quantile at any q is never above the max and never below
-        /// the min's bucket floor.
-        #[test]
-        fn prop_quantile_bounded(values in proptest::collection::vec(0u32..100_000, 1..200), q in 0.0f64..=1.0) {
+    /// The quantile at any q is never above the max and never below
+    /// the min's bucket floor.
+    #[test]
+    fn prop_quantile_bounded() {
+        check("histogram_prop_quantile_bounded", |rng| {
+            let values = rng.vec_of(1, 200, |r| r.u32_below(100_000));
+            let q = rng.f64();
             let mut h = Histogram::new();
             for &v in &values {
                 h.record(v);
             }
             let got = h.quantile(q);
-            prop_assert!(got <= h.max());
-        }
+            assert!(got <= h.max());
+        });
+    }
 
-        /// Mean is exact regardless of bucketing.
-        #[test]
-        fn prop_mean_exact(values in proptest::collection::vec(0u32..100_000, 1..200)) {
+    /// Mean is exact regardless of bucketing.
+    #[test]
+    fn prop_mean_exact() {
+        check("histogram_prop_mean_exact", |rng| {
+            let values = rng.vec_of(1, 200, |r| r.u32_below(100_000));
             let mut h = Histogram::new();
             let mut sum = 0u64;
             for &v in &values {
@@ -250,7 +255,7 @@ mod tests {
                 sum += u64::from(v);
             }
             let expect = sum as f64 / values.len() as f64;
-            prop_assert!((h.mean() - expect).abs() < 1e-9);
-        }
+            assert!((h.mean() - expect).abs() < 1e-9);
+        });
     }
 }

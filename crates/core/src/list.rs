@@ -250,7 +250,7 @@ impl Iterator for ListIter<'_> {
 mod tests {
     use super::*;
     use crate::test_util::key;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
     use tcpdemux_pcb::{Pcb, PcbArena};
 
     fn ids(n: u32, arena: &mut PcbArena) -> Vec<PcbId> {
@@ -384,11 +384,12 @@ mod tests {
         assert_eq!(list.replace(&key(42), replacement), None);
     }
 
-    proptest! {
-        /// Model-based test: a sequence of operations on PcbList agrees
-        /// with a Vec-based reference model, including scan positions.
-        #[test]
-        fn prop_matches_vec_model(ops in proptest::collection::vec((0u8..4, 0u32..24), 0..200)) {
+    /// Model-based test: a sequence of operations on PcbList agrees
+    /// with a Vec-based reference model, including scan positions.
+    #[test]
+    fn prop_matches_vec_model() {
+        check("list_prop_matches_vec_model", |rng| {
+            let ops = rng.vec_of(0, 200, |r| (r.u8_in(0, 4), r.u32_below(24)));
             let mut arena = PcbArena::new();
             let mut list = PcbList::new();
             let mut model: Vec<(ConnectionKey, PcbId)> = Vec::new();
@@ -408,12 +409,12 @@ mod tests {
                         let (got, examined) = list.find(&k);
                         match model.iter().position(|(mk, _)| *mk == k) {
                             Some(pos) => {
-                                prop_assert_eq!(got, Some(model[pos].1));
-                                prop_assert_eq!(examined as usize, pos + 1);
+                                assert_eq!(got, Some(model[pos].1));
+                                assert_eq!(examined as usize, pos + 1);
                             }
                             None => {
-                                prop_assert_eq!(got, None);
-                                prop_assert_eq!(examined as usize, model.len());
+                                assert_eq!(got, None);
+                                assert_eq!(examined as usize, model.len());
                             }
                         }
                     }
@@ -421,14 +422,14 @@ mod tests {
                         let (got, examined) = list.find_move_to_front(&k);
                         match model.iter().position(|(mk, _)| *mk == k) {
                             Some(pos) => {
-                                prop_assert_eq!(got, Some(model[pos].1));
-                                prop_assert_eq!(examined as usize, pos + 1);
+                                assert_eq!(got, Some(model[pos].1));
+                                assert_eq!(examined as usize, pos + 1);
                                 let entry = model.remove(pos);
                                 model.insert(0, entry);
                             }
                             None => {
-                                prop_assert_eq!(got, None);
-                                prop_assert_eq!(examined as usize, model.len());
+                                assert_eq!(got, None);
+                                assert_eq!(examined as usize, model.len());
                             }
                         }
                     }
@@ -436,16 +437,16 @@ mod tests {
                         let got = list.remove(&k);
                         match model.iter().position(|(mk, _)| *mk == k) {
                             Some(pos) => {
-                                prop_assert_eq!(got, Some(model.remove(pos).1));
+                                assert_eq!(got, Some(model.remove(pos).1));
                             }
-                            None => prop_assert_eq!(got, None),
+                            None => assert_eq!(got, None),
                         }
                     }
                 }
-                prop_assert_eq!(list.len(), model.len());
+                assert_eq!(list.len(), model.len());
                 let order: Vec<_> = list.iter().collect();
-                prop_assert_eq!(order, model.clone());
+                assert_eq!(order, model.clone());
             }
-        }
+        });
     }
 }

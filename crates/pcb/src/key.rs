@@ -171,7 +171,7 @@ impl fmt::Display for ListenKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
     use tcpdemux_wire::IpProtocol;
 
     fn key() -> ConnectionKey {
@@ -264,24 +264,37 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_distinct_tuples_distinct_keys(
-            a in any::<(u32, u32, u16, u16)>(),
-            b in any::<(u32, u32, u16, u16)>(),
-        ) {
+    #[test]
+    fn prop_distinct_tuples_distinct_keys() {
+        check("key_prop_distinct_tuples_distinct_keys", |rng| {
+            // Draw from a small space so collisions (a == b) actually occur.
+            let tuple = |r: &mut tcpdemux_testprop::TestRng| {
+                (r.u32_below(4), r.u32_below(4), r.u16_in(0, 4), r.u16_in(0, 4))
+            };
+            let a = tuple(rng);
+            let b = tuple(rng);
             let ka = ConnectionKey::new(Ipv4Addr::from(a.0), a.2, Ipv4Addr::from(a.1), a.3);
             let kb = ConnectionKey::new(Ipv4Addr::from(b.0), b.2, Ipv4Addr::from(b.1), b.3);
-            prop_assert_eq!(ka == kb, a == b);
+            assert_eq!(ka == kb, a == b);
             // The packed forms must be injective as well.
-            prop_assert_eq!(ka.as_words() == kb.as_words(), a == b);
-            prop_assert_eq!(ka.as_bytes() == kb.as_bytes(), a == b);
-        }
+            assert_eq!(ka.as_words() == kb.as_words(), a == b);
+            assert_eq!(ka.as_bytes() == kb.as_bytes(), a == b);
+        });
+        check("key_prop_distinct_tuples_distinct_keys_wide", |rng| {
+            let a = (rng.u32(), rng.u32(), rng.u16(), rng.u16());
+            let b = (rng.u32(), rng.u32(), rng.u16(), rng.u16());
+            let ka = ConnectionKey::new(Ipv4Addr::from(a.0), a.2, Ipv4Addr::from(a.1), a.3);
+            let kb = ConnectionKey::new(Ipv4Addr::from(b.0), b.2, Ipv4Addr::from(b.1), b.3);
+            assert_eq!(ka == kb, a == b);
+        });
+    }
 
-        #[test]
-        fn prop_reversed_involutive(a in any::<(u32, u32, u16, u16)>()) {
+    #[test]
+    fn prop_reversed_involutive() {
+        check("key_prop_reversed_involutive", |rng| {
+            let a = (rng.u32(), rng.u32(), rng.u16(), rng.u16());
             let k = ConnectionKey::new(Ipv4Addr::from(a.0), a.2, Ipv4Addr::from(a.1), a.3);
-            prop_assert_eq!(k.reversed().reversed(), k);
-        }
+            assert_eq!(k.reversed().reversed(), k);
+        });
     }
 }

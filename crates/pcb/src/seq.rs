@@ -96,7 +96,7 @@ impl fmt::Display for SeqNum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     #[test]
     fn ordering_near_zero() {
@@ -145,32 +145,39 @@ mod tests {
         assert_eq!(SeqNum::ZERO.raw(), 0);
     }
 
-    proptest! {
-        /// lt is a strict order on any pair closer than 2^31.
-        #[test]
-        fn prop_lt_antisymmetric(a in any::<u32>(), delta in 1u32..0x7fff_ffff) {
-            let x = SeqNum(a);
+    /// lt is a strict order on any pair closer than 2^31.
+    #[test]
+    fn prop_lt_antisymmetric() {
+        check("seq_prop_lt_antisymmetric", |rng| {
+            let x = SeqNum(rng.u32());
+            let delta = rng.u32_in(1, 0x7fff_ffff);
             let y = x + delta;
-            prop_assert!(x.lt(y));
-            prop_assert!(!y.lt(x));
-            prop_assert!(y.gt(x));
-        }
+            assert!(x.lt(y));
+            assert!(!y.lt(x));
+            assert!(y.gt(x));
+        });
+    }
 
-        /// Adding then measuring distance is the identity.
-        #[test]
-        fn prop_distance_roundtrip(a in any::<u32>(), delta in any::<u32>()) {
-            let x = SeqNum(a);
+    /// Adding then measuring distance is the identity.
+    #[test]
+    fn prop_distance_roundtrip() {
+        check("seq_prop_distance_roundtrip", |rng| {
+            let x = SeqNum(rng.u32());
+            let delta = rng.u32();
             let y = x + delta;
-            prop_assert_eq!(y.distance_from(x), delta);
-            prop_assert_eq!(y - x, delta);
-        }
+            assert_eq!(y.distance_from(x), delta);
+            assert_eq!(y - x, delta);
+        });
+    }
 
-        /// in_window agrees with the definition via distance.
-        #[test]
-        fn prop_window_definition(a in any::<u32>(), start in any::<u32>(), len in any::<u32>()) {
-            let s = SeqNum(a);
-            let w = SeqNum(start);
-            prop_assert_eq!(s.in_window(w, len), s.distance_from(w) < len);
-        }
+    /// in_window agrees with the definition via distance.
+    #[test]
+    fn prop_window_definition() {
+        check("seq_prop_window_definition", |rng| {
+            let s = SeqNum(rng.u32());
+            let w = SeqNum(rng.u32());
+            let len = rng.u32();
+            assert_eq!(s.in_window(w, len), s.distance_from(w) < len);
+        });
     }
 }

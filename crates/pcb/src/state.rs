@@ -192,7 +192,7 @@ impl TcpState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
     use TcpEvent::*;
     use TcpState::*;
 
@@ -315,11 +315,12 @@ mod tests {
         assert_eq!(SynReceived.on_event(RecvFin).unwrap(), CloseWait);
     }
 
-    proptest! {
-        /// The machine never panics and always either transitions or
-        /// reports an InvalidTransition for arbitrary event sequences.
-        #[test]
-        fn prop_total_over_event_sequences(events in proptest::collection::vec(0u8..9, 0..64)) {
+    /// The machine never panics and always either transitions or
+    /// reports an InvalidTransition for arbitrary event sequences.
+    #[test]
+    fn prop_total_over_event_sequences() {
+        check("state_prop_total_over_event_sequences", |rng| {
+            let events = rng.vec_of(0, 64, |r| r.u8_in(0, 9));
             let decode = |b: u8| match b {
                 0 => AppListen,
                 1 => AppConnect,
@@ -339,20 +340,22 @@ mod tests {
             }
             // Invariant: whatever happened, the state is one of the 11.
             let _ = state.to_string();
-        }
+        });
+    }
 
-        /// From any state, RST or Timeout eventually leads to Closed within
-        /// two steps (RST always, Timeout where defined).
-        #[test]
-        fn prop_rst_converges(start_idx in 0usize..11) {
+    /// From any state, RST or Timeout eventually leads to Closed within
+    /// two steps (RST always, Timeout where defined).
+    #[test]
+    fn prop_rst_converges() {
+        check("state_prop_rst_converges", |rng| {
             let states = [
                 Closed, Listen, SynSent, SynReceived, Established, FinWait1,
                 FinWait2, CloseWait, Closing, LastAck, TimeWait,
             ];
-            let state = states[start_idx];
+            let state = *rng.choose(&states);
             if let Ok(next) = state.on_event(RecvRst) {
-                prop_assert!(next == Closed || next == Listen);
+                assert!(next == Closed || next == Listen);
             }
-        }
+        });
     }
 }

@@ -1,45 +1,66 @@
 //! Random variates for the workload generators.
 //!
-//! Everything derives from a seeded [`rand::rngs::StdRng`], so every
-//! simulation run is exactly reproducible from its seed. The exponential
-//! and truncated-exponential samplers are implemented by inverse
-//! transform; the truncated variant matches TPC/A's think-time rule (a
+//! Everything derives from a seeded xoshiro256++ generator (seed
+//! expanded by SplitMix64) provided in-tree by [`tcpdemux_testprop`],
+//! so every simulation run is exactly reproducible from its seed on any
+//! machine with **no external crates**. The exponential and
+//! truncated-exponential samplers are implemented by inverse transform;
+//! the truncated variant matches TPC/A's think-time rule (a
 //! negative-exponential *conditioned* on not exceeding the truncation
 //! point, realized by rejection).
+//!
+//! # Canonical seeds
+//!
+//! The RNG algorithm changed in the hermetic-workspace refactor (from
+//! `rand::StdRng`, which is ChaCha12-based, to the in-tree
+//! xoshiro256++), so *streams changed* and every golden number pinned
+//! against the old byte streams was re-derived. The canonical seeds
+//! used by the pinned tests and by `EXPERIMENTS.md` are:
+//!
+//! | seed | used by |
+//! |------|---------|
+//! | `1..=5`          | TPC/A replication experiments (`replicate.rs`) |
+//! | `1..=8`, `1992`  | distribution/stream tests in this module |
+//! | `0`, `1`, `31`, `42` | sim engine / runner / TPC/A smoke tests |
+//!
+//! Two runs with the same seed produce byte-identical stats — this is
+//! asserted by `tests/` and `scripts/verify.sh`. Re-pinning a golden
+//! number is only legitimate when the *stream* changes (an RNG or
+//! sampler change), never to paper over a model regression; cite the
+//! paper equation in a comment when you do.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tcpdemux_testprop::Xoshiro256pp;
 
 /// A seeded source of the workload generators' random variates.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl SimRng {
     /// Create from a seed; equal seeds give equal streams.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        self.rng.next_f64()
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0);
-        self.rng.gen_range(0..n)
+        self.rng.below(n)
     }
 
     /// Exponential with the given mean, by inverse transform:
     /// `−mean·ln(1−U)`.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0);
-        let u: f64 = self.rng.gen();
+        let u = self.rng.next_f64();
         -mean * (-u).ln_1p()
     }
 
@@ -61,7 +82,7 @@ impl SimRng {
     /// Jain & Routhier (mean `1/p`).
     pub fn geometric(&mut self, p: f64) -> u64 {
         assert!((0.0..=1.0).contains(&p) && p > 0.0);
-        let u: f64 = self.rng.gen();
+        let u = self.rng.next_f64();
         // Inverse transform: ceil(ln(1−u)/ln(1−p)).
         if p >= 1.0 {
             return 1;
@@ -86,6 +107,18 @@ mod tests {
         let same: Vec<f64> = (0..10).map(|_| SimRng::new(7).uniform()).collect();
         assert!(same.iter().all(|&x| x == same[0]));
         assert_ne!(a.uniform(), c.uniform());
+    }
+
+    #[test]
+    fn matches_testprop_stream() {
+        // SimRng and the property harness must draw from the SAME
+        // generator family: seed k here equals raw xoshiro256++ seeded
+        // with k. This pins the determinism contract across crates.
+        let mut sim = SimRng::new(1992);
+        let mut raw = Xoshiro256pp::seed_from_u64(1992);
+        for _ in 0..32 {
+            assert_eq!(sim.uniform(), raw.next_f64());
+        }
     }
 
     #[test]

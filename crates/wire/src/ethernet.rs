@@ -219,7 +219,7 @@ pub fn encapsulate_ipv4(src: EthernetAddress, dst: EthernetAddress, ip_packet: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
     use std::net::Ipv4Addr;
 
     fn addr(last: u8) -> EthernetAddress {
@@ -295,14 +295,13 @@ mod tests {
         assert_eq!(big.len(), HEADER_LEN + 500);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(
-            src in any::<[u8; 6]>(),
-            dst in any::<[u8; 6]>(),
-            ethertype in any::<u16>(),
-            payload in proptest::collection::vec(any::<u8>(), 0..128),
-        ) {
+    #[test]
+    fn prop_roundtrip() {
+        check("ethernet_prop_roundtrip", |rng| {
+            let src: [u8; 6] = std::array::from_fn(|_| rng.u8());
+            let dst: [u8; 6] = std::array::from_fn(|_| rng.u8());
+            let ethertype = rng.u16();
+            let payload = rng.bytes(0, 128);
             let repr = EthernetRepr {
                 src_addr: EthernetAddress(src),
                 dst_addr: EthernetAddress(dst),
@@ -313,8 +312,8 @@ mod tests {
             repr.emit(&mut frame).unwrap();
             frame.payload_mut().copy_from_slice(&payload);
             let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
-            prop_assert_eq!(EthernetRepr::parse(&frame).unwrap(), repr);
-            prop_assert_eq!(frame.payload(), &payload[..]);
-        }
+            assert_eq!(EthernetRepr::parse(&frame).unwrap(), repr);
+            assert_eq!(frame.payload(), &payload[..]);
+        });
     }
 }

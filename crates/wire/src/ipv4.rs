@@ -372,7 +372,7 @@ impl Ipv4Repr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     fn sample_repr() -> Ipv4Repr {
         Ipv4Repr {
@@ -524,41 +524,42 @@ mod tests {
         assert_eq!(packet.payload().len(), 4);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(
-            src in any::<u32>(),
-            dst in any::<u32>(),
-            proto in any::<u8>(),
-            payload_len in 0usize..1480,
-            ttl in 1u8..=255,
-        ) {
+    #[test]
+    fn prop_roundtrip() {
+        check("ipv4_prop_roundtrip", |rng| {
             let repr = Ipv4Repr {
-                src_addr: Ipv4Addr::from(src),
-                dst_addr: Ipv4Addr::from(dst),
-                protocol: IpProtocol::from(proto),
-                payload_len,
-                ttl,
+                src_addr: Ipv4Addr::from(rng.u32()),
+                dst_addr: Ipv4Addr::from(rng.u32()),
+                protocol: IpProtocol::from(rng.u8()),
+                payload_len: rng.usize_in(0, 1480),
+                ttl: 1 + rng.u8_in(0, 255), // [1, 255]
             };
             let buf = emit_to_vec(&repr);
             let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
             let parsed = Ipv4Repr::parse(&packet).unwrap();
-            prop_assert_eq!(parsed, repr);
-        }
+            assert_eq!(parsed, repr);
+        });
+    }
 
-        /// Arbitrary bytes never panic the parser: they either parse or
-        /// produce a structured error.
-        #[test]
-        fn prop_no_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+    /// Arbitrary bytes never panic the parser: they either parse or
+    /// produce a structured error.
+    #[test]
+    fn prop_no_panic_on_garbage() {
+        check("ipv4_prop_no_panic_on_garbage", |rng| {
+            let data = rng.bytes(0, 128);
             if let Ok(packet) = Ipv4Packet::new_checked(&data[..]) {
                 let _ = Ipv4Repr::parse(&packet);
             }
-        }
+        });
+    }
 
-        /// A corrupted byte anywhere in the emitted header is detected by
-        /// length checks or the checksum.
-        #[test]
-        fn prop_header_corruption_detected(corrupt_at in 0usize..HEADER_LEN, xor in 1u8..=255) {
+    /// A corrupted byte anywhere in the emitted header is detected by
+    /// length checks or the checksum.
+    #[test]
+    fn prop_header_corruption_detected() {
+        check("ipv4_prop_header_corruption_detected", |rng| {
+            let corrupt_at = rng.usize_in(0, HEADER_LEN);
+            let xor = 1 + rng.u8_in(0, 255); // [1, 255]
             let repr = sample_repr();
             let mut buf = emit_to_vec(&repr);
             buf[corrupt_at] ^= xor;
@@ -566,12 +567,12 @@ mod tests {
                 Ipv4Packet::new_checked(&buf[..]).and_then(|p| Ipv4Repr::parse(&p));
             // Corruption of TOS/ident/flags/ttl/protocol/addresses is caught
             // by the checksum; corruption of version/IHL/length by check_len.
-            prop_assert!(parse_result.is_err() || parse_result.unwrap() == repr);
+            assert!(parse_result.is_err() || parse_result.unwrap() == repr);
             // The only way to "survive" is if the corruption produced an
             // equally-valid header describing identical fields, which a
             // single XOR cannot do — assert strictly:
             let reparsed = Ipv4Packet::new_checked(&buf[..]).and_then(|p| Ipv4Repr::parse(&p));
-            prop_assert!(reparsed.is_err());
-        }
+            assert!(reparsed.is_err());
+        });
     }
 }

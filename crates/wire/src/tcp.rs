@@ -517,7 +517,7 @@ impl TcpRepr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -703,59 +703,54 @@ mod tests {
         assert_eq!(repr.segment_len(0), 2);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(
-            src_port in 1u16..=u16::MAX,
-            dst_port in 1u16..=u16::MAX,
-            seq in any::<u32>(),
-            ack in any::<u32>(),
-            raw_flags in 0u16..0x200,
-            window in any::<u16>(),
-            mss in proptest::option::of(536u16..9000),
-            ws in proptest::option::of(0u8..15),
-            payload in proptest::collection::vec(any::<u8>(), 0..256),
-        ) {
+    #[test]
+    fn prop_roundtrip() {
+        check("tcp_prop_roundtrip", |rng| {
             let repr = TcpRepr {
-                src_port,
-                dst_port,
-                seq,
-                ack,
-                flags: TcpFlags::from_bits(raw_flags),
-                window,
-                mss,
-                window_scale: ws,
+                src_port: rng.u64_in(1, 65_536) as u16,
+                dst_port: rng.u64_in(1, 65_536) as u16,
+                seq: rng.u32(),
+                ack: rng.u32(),
+                flags: TcpFlags::from_bits(rng.u16_in(0, 0x200)),
+                window: rng.u16(),
+                mss: rng.option(|r| r.u16_in(536, 9000)),
+                window_scale: rng.option(|r| r.u8_in(0, 15)),
             };
+            let payload = rng.bytes(0, 256);
             let buf = emit_to_vec(&repr, &payload);
             let segment = TcpSegment::new_checked(&buf[..]).unwrap();
             let parsed = TcpRepr::parse(&segment, SRC, DST).unwrap();
-            prop_assert_eq!(parsed, repr);
-            prop_assert_eq!(segment.payload(), &payload[..]);
-        }
+            assert_eq!(parsed, repr);
+            assert_eq!(segment.payload(), &payload[..]);
+        });
+    }
 
-        #[test]
-        fn prop_no_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+    #[test]
+    fn prop_no_panic_on_garbage() {
+        check("tcp_prop_no_panic_on_garbage", |rng| {
+            let data = rng.bytes(0, 128);
             if let Ok(segment) = TcpSegment::new_checked(&data[..]) {
                 let _ = TcpRepr::parse(&segment, SRC, DST);
                 // Option iteration must terminate and never panic.
                 for _ in segment.options().take(64) {}
             }
-        }
+        });
+    }
 
-        /// Any single-bit corruption of an emitted segment is rejected.
-        #[test]
-        fn prop_bit_flip_detected(
-            payload in proptest::collection::vec(any::<u8>(), 0..64),
-            byte in 0usize..64,
-            bit in 0u8..8,
-        ) {
+    /// Any single-bit corruption of an emitted segment is rejected.
+    #[test]
+    fn prop_bit_flip_detected() {
+        check("tcp_prop_bit_flip_detected", |rng| {
+            let payload = rng.bytes(0, 64);
+            let byte = rng.usize_in(0, 64);
+            let bit = rng.u8_in(0, 8);
             let repr = sample_repr();
             let mut buf = emit_to_vec(&repr, &payload);
             let idx = byte % buf.len();
             buf[idx] ^= 1 << bit;
             let result = TcpSegment::new_checked(&buf[..])
                 .and_then(|s| TcpRepr::parse(&s, SRC, DST));
-            prop_assert!(result.is_err());
-        }
+            assert!(result.is_err());
+        });
     }
 }

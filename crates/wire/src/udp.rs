@@ -188,7 +188,7 @@ impl UdpRepr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcpdemux_testprop::check;
 
     const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
     const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 2);
@@ -299,26 +299,28 @@ mod tests {
         assert_eq!(datagram.payload(), b"abc");
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(
-            src_port in any::<u16>(),
-            dst_port in 1u16..=u16::MAX,
-            payload in proptest::collection::vec(any::<u8>(), 0..512),
-        ) {
+    #[test]
+    fn prop_roundtrip() {
+        check("udp_prop_roundtrip", |rng| {
+            let src_port = rng.u16();
+            let dst_port = rng.u64_in(1, 65_536) as u16; // [1, 65535]
+            let payload = rng.bytes(0, 512);
             let repr = UdpRepr { src_port, dst_port };
             let buf = emit_to_vec(&repr, &payload);
             let datagram = UdpDatagram::new_checked(&buf[..]).unwrap();
             let parsed = UdpRepr::parse(&datagram, SRC, DST).unwrap();
-            prop_assert_eq!(parsed, repr);
-            prop_assert_eq!(datagram.payload(), &payload[..]);
-        }
+            assert_eq!(parsed, repr);
+            assert_eq!(datagram.payload(), &payload[..]);
+        });
+    }
 
-        #[test]
-        fn prop_no_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+    #[test]
+    fn prop_no_panic_on_garbage() {
+        check("udp_prop_no_panic_on_garbage", |rng| {
+            let data = rng.bytes(0, 64);
             if let Ok(datagram) = UdpDatagram::new_checked(&data[..]) {
                 let _ = UdpRepr::parse(&datagram, SRC, DST);
             }
-        }
+        });
     }
 }

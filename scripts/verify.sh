@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Hermeticity + determinism gate for the tcpdemux workspace.
+#
+# Verifies, with the network assumed absent:
+#   1. the workspace declares no registry dependencies anywhere
+#      (path/workspace deps only — the hermeticity contract in
+#      Cargo.toml and DESIGN.md §7);
+#   2. tier-1 passes fully offline: release build + full test suite;
+#   3. the TPC/A simulation is deterministic: two runs with the same
+#      seed produce byte-identical output.
+#
+# Run from anywhere inside the repo. Exits non-zero on first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== 1/3 dependency audit (cargo metadata) =="
+# --no-deps still lists every workspace member's declared dependencies.
+# Any dependency whose `source` is non-null comes from a registry or
+# git — both are forbidden; in-tree path deps have `"source": null`.
+cargo metadata --no-deps --offline --format-version 1 | python3 -c '
+import json, sys
+
+meta = json.load(sys.stdin)
+bad = []
+for pkg in meta["packages"]:
+    for dep in pkg["dependencies"]:
+        if dep["source"] is not None:
+            bad.append("%s -> %s (%s)" % (pkg["name"], dep["name"], dep["source"]))
+if bad:
+    print("FORBIDDEN non-path dependencies declared:")
+    print("\n".join("  " + b for b in bad))
+    sys.exit(1)
+print("ok: %d workspace crates, all dependencies in-tree" % len(meta["packages"]))
+'
+
+echo "== 2/3 offline tier-1 (release build + tests) =="
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "== 3/3 same-seed determinism (byte-identical sim output) =="
+run_a=$(mktemp)
+run_b=$(mktemp)
+trap 'rm -f "$run_a" "$run_b"' EXIT
+cargo run -q --release --offline -p tcpdemux-bench --bin sim_vs_analytic >"$run_a"
+cargo run -q --release --offline -p tcpdemux-bench --bin sim_vs_analytic >"$run_b"
+if ! cmp -s "$run_a" "$run_b"; then
+  echo "FAIL: two same-seed simulation runs differ:"
+  diff "$run_a" "$run_b" | head -20
+  exit 1
+fi
+echo "ok: two same-seed runs are byte-identical ($(wc -c <"$run_a") bytes)"
+
+echo "verify.sh: all checks passed"

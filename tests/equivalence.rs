@@ -3,11 +3,11 @@
 //! map — they are allowed to differ only in cost. Property-based, through
 //! the umbrella crate.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use tcpdemux::demux::{standard_suite, PacketKind};
 use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena, PcbId};
+use tcpdemux_testprop::{check_cases, TestRng};
 
 fn key(n: u8) -> ConnectionKey {
     ConnectionKey::new(
@@ -26,20 +26,19 @@ enum Op {
     NoteSend(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>()).prop_map(Op::Insert),
-        (any::<u8>()).prop_map(Op::Remove),
-        (any::<u8>(), any::<bool>()).prop_map(|(k, a)| Op::Lookup(k, a)),
-        (any::<u8>()).prop_map(Op::NoteSend),
-    ]
+fn gen_op(rng: &mut TestRng) -> Op {
+    match rng.u8_in(0, 4) {
+        0 => Op::Insert(rng.u8()),
+        1 => Op::Remove(rng.u8()),
+        2 => Op::Lookup(rng.u8(), rng.bool()),
+        _ => Op::NoteSend(rng.u8()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_algorithms_agree_with_reference(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+#[test]
+fn all_algorithms_agree_with_reference() {
+    check_cases("all_algorithms_agree_with_reference", 64, |rng| {
+        let ops = rng.vec_of(0, 300, gen_op);
         let mut arena = PcbArena::new();
         let mut suite = standard_suite();
         let mut reference: HashMap<ConnectionKey, PcbId> = HashMap::new();
@@ -59,7 +58,7 @@ proptest! {
                     let ck = key(k);
                     let expected = reference.remove(&ck);
                     for demux in suite.iter_mut() {
-                        prop_assert_eq!(
+                        assert_eq!(
                             demux.remove(&ck),
                             expected,
                             "{} disagrees on remove",
@@ -76,14 +75,9 @@ proptest! {
                     let expected = reference.get(&ck).copied();
                     for demux in suite.iter_mut() {
                         let got = demux.lookup(&ck, kind);
-                        prop_assert_eq!(
-                            got.pcb,
-                            expected,
-                            "{} disagrees on lookup",
-                            demux.name()
-                        );
+                        assert_eq!(got.pcb, expected, "{} disagrees on lookup", demux.name());
                         // Cost sanity: bounded by structure size + caches.
-                        prop_assert!(got.examined as usize <= reference.len() + 3);
+                        assert!(got.examined as usize <= reference.len() + 3);
                     }
                 }
                 Op::NoteSend(k) => {
@@ -95,8 +89,8 @@ proptest! {
             }
             // Sizes always agree.
             for demux in suite.iter() {
-                prop_assert_eq!(demux.len(), reference.len(), "{} size", demux.name());
+                assert_eq!(demux.len(), reference.len(), "{} size", demux.name());
             }
         }
-    }
+    });
 }

@@ -2,12 +2,12 @@
 //! frames — valid, mutated, reordered, or duplicated — may panic the
 //! stack or corrupt delivery.
 
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 use tcpdemux::demux::SequentDemux;
 use tcpdemux::hash::Multiplicative;
 use tcpdemux::pcb::PcbId;
 use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
+use tcpdemux_testprop::check_cases;
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 5, 0, 1);
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 5, 0, 2);
@@ -32,16 +32,13 @@ fn connected_pair() -> (Stack, Stack, PcbId, PcbId) {
     (server, client, cp, sp)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Chunked transfer: however the payload is split into segments, the
-    /// receiver reassembles it exactly.
-    #[test]
-    fn chunked_transfer_is_exact(
-        payload in proptest::collection::vec(any::<u8>(), 1..4096),
-        chunk_sizes in proptest::collection::vec(1usize..512, 1..64),
-    ) {
+/// Chunked transfer: however the payload is split into segments, the
+/// receiver reassembles it exactly.
+#[test]
+fn chunked_transfer_is_exact() {
+    check_cases("chunked_transfer_is_exact", 48, |rng| {
+        let payload = rng.bytes(1, 4096);
+        let chunk_sizes = rng.vec_of(1, 64, |r| r.usize_in(1, 512));
         let (mut server, mut client, cp, sp) = connected_pair();
         let mut sent = 0;
         let mut chunks = chunk_sizes.iter().cycle();
@@ -50,23 +47,23 @@ proptest! {
             let frame = client.send(cp, &payload[sent..sent + chunk]).unwrap();
             let r = server.receive(&frame).unwrap();
             let delivered = matches!(r.outcome, RxOutcome::Delivered { .. });
-            prop_assert!(delivered, "{:?}", r.outcome);
+            assert!(delivered, "{:?}", r.outcome);
             // The ack flows back (keeps client snd state honest).
             client.receive(&r.replies[0]).unwrap();
             sent += chunk;
         }
         let received = server.socket_mut(sp).unwrap().read_all();
-        prop_assert_eq!(received, payload);
-    }
+        assert_eq!(received, payload);
+    });
+}
 
-    /// Duplicating and reordering valid frames never panics, never
-    /// delivers bytes twice, and never desynchronizes the connection.
-    #[test]
-    fn duplication_and_reordering_are_safe(
-        payloads in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 1..64), 2..12),
-        order in proptest::collection::vec((0usize..24, 0u8..3), 0..48),
-    ) {
+/// Duplicating and reordering valid frames never panics, never
+/// delivers bytes twice, and never desynchronizes the connection.
+#[test]
+fn duplication_and_reordering_are_safe() {
+    check_cases("duplication_and_reordering_are_safe", 48, |rng| {
+        let payloads = rng.vec_of(2, 12, |r| r.bytes(1, 64));
+        let order = rng.vec_of(0, 48, |r| (r.usize_in(0, 24), r.u8_in(0, 3)));
         let (mut server, mut client, cp, sp) = connected_pair();
         // Pre-build all frames (sequence numbers fixed at build time).
         let frames: Vec<Vec<u8>> = payloads
@@ -75,7 +72,7 @@ proptest! {
             .collect();
         let total: usize = payloads.iter().map(Vec::len).sum();
 
-        // Deliver in proptest-chosen order with duplicates...
+        // Deliver in a generator-chosen order with duplicates...
         for (idx, _) in &order {
             let frame = &frames[idx % frames.len()];
             let _ = server.receive(frame).unwrap();
@@ -85,20 +82,21 @@ proptest! {
             let _ = server.receive(frame).unwrap();
         }
         let received = server.socket_mut(sp).unwrap().read_all();
-        prop_assert_eq!(received.len(), total, "no loss, no duplication");
+        assert_eq!(received.len(), total, "no loss, no duplication");
         let expected: Vec<u8> = payloads.concat();
-        prop_assert_eq!(received, expected, "in-order delivery");
-    }
+        assert_eq!(received, expected, "in-order delivery");
+    });
+}
 
-    /// Mutating any bytes of a valid frame must never panic; it must
-    /// either fail validation or (if it still parses) never deliver
-    /// corrupted bytes as valid payload of this connection's stream
-    /// position.
-    #[test]
-    fn mutated_frames_never_panic(
-        mutations in proptest::collection::vec((0usize..2048, any::<u8>()), 1..16),
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-    ) {
+/// Mutating any bytes of a valid frame must never panic; it must
+/// either fail validation or (if it still parses) never deliver
+/// corrupted bytes as valid payload of this connection's stream
+/// position.
+#[test]
+fn mutated_frames_never_panic() {
+    check_cases("mutated_frames_never_panic", 48, |rng| {
+        let mutations = rng.vec_of(1, 16, |r| (r.usize_in(0, 2048), r.u8()));
+        let payload = rng.bytes(1, 128);
         let (mut server, mut client, cp, _sp) = connected_pair();
         let frame = client.send(cp, &payload).unwrap();
         let mut mutated = frame.clone();
@@ -106,7 +104,9 @@ proptest! {
             let idx = pos % mutated.len();
             mutated[idx] = val;
         }
-        prop_assume!(mutated != frame);
+        if mutated == frame {
+            return; // analogue of prop_assume!
+        }
         // Must not panic; the Internet checksum catches essentially all
         // of these (multi-byte mutations can in principle cancel, in
         // which case the frame is simply a different valid frame).
@@ -116,16 +116,17 @@ proptest! {
         let r = server.receive(&good).unwrap();
         let ok = matches!(r.outcome, RxOutcome::Delivered { .. })
             || matches!(r.outcome, RxOutcome::Duplicate { .. });
-        prop_assert!(ok, "{:?}", r.outcome);
-    }
+        assert!(ok, "{:?}", r.outcome);
+    });
+}
 
-    /// Random binary blobs thrown at every entry point never panic.
-    #[test]
-    fn arbitrary_blobs_never_panic(
-        blob in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+/// Random binary blobs thrown at every entry point never panic.
+#[test]
+fn arbitrary_blobs_never_panic() {
+    check_cases("arbitrary_blobs_never_panic", 48, |rng| {
+        let blob = rng.bytes(0, 256);
         let (mut server, _client, _cp, _sp) = connected_pair();
         let _ = server.receive(&blob);
         let _ = server.receive_ethernet(&blob);
-    }
+    });
 }
