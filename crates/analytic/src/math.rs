@@ -270,8 +270,12 @@ mod tests {
             let p = rng.f64();
             let literal = binomial_mean_literal(n, p);
             let closed = n as f64 * p;
-            assert!((literal - closed).abs() < 1e-7 * closed.max(1.0),
-                "literal {} vs np {}", literal, closed);
+            assert!(
+                (literal - closed).abs() < 1e-7 * closed.max(1.0),
+                "literal {} vs np {}",
+                literal,
+                closed
+            );
         });
     }
 

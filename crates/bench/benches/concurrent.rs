@@ -1,17 +1,22 @@
 //! A3 — scalability of the lock-per-chain demultiplexer versus a single
 //! global lock, the parallel-STREAMS context of [Dov90].
 //!
+//! Every variant is driven generically through [`ConcurrentDemux`] and
+//! [`concurrent_suite`], so adding a locking strategy to the suite adds
+//! it to this benchmark (and the A3 ablation) with no bench changes.
+//!
 //! Runs on the in-tree harness (no external deps); `--features bench-ext`
 //! lengthens sampling for lower variance.
 
 use std::hint::black_box;
 use tcpdemux_bench::harness::{bench, group};
-use tcpdemux_core::concurrent::{ConcurrentDemux, GlobalLockDemux, RwShardedDemux, ShardedDemux};
-use tcpdemux_core::{PacketKind, SequentDemux};
-use tcpdemux_hash::{quality::tpca_key_population, Multiplicative};
+use tcpdemux_core::concurrent::{concurrent_suite, ConcurrentDemux};
+use tcpdemux_core::PacketKind;
+use tcpdemux_hash::quality::tpca_key_population;
 use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena};
 
 const CONNECTIONS: usize = 2000;
+const CHAINS: usize = 64;
 /// Fixed total work, divided among the threads: with perfect scaling the
 /// measured time *drops* as threads are added; a serializing lock keeps
 /// it flat. Large enough that thread-spawn overhead (~50 µs/thread) is
@@ -42,30 +47,56 @@ fn run_threads(demux: &dyn ConcurrentDemux, keys: &[ConnectionKey], threads: usi
     });
 }
 
+/// Same total work, but each thread presents its lookups in batches, the
+/// shape a per-CPU receive ring produces.
+fn run_threads_batched(demux: &dyn ConcurrentDemux, keys: &[ConnectionKey], threads: usize) {
+    const BATCH: usize = 32;
+    let per_thread = LOOKUPS_TOTAL / threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let n = keys.len();
+                let mut batch = Vec::with_capacity(BATCH);
+                let mut results = Vec::with_capacity(BATCH);
+                let mut i = 0;
+                while i < per_thread {
+                    batch.clear();
+                    while batch.len() < BATCH && i < per_thread {
+                        batch.push((keys[(t * 4099 + i * 7919) % n], PacketKind::Data));
+                        i += 1;
+                    }
+                    demux.lookup_batch(&batch, &mut results);
+                    black_box(&results);
+                }
+            });
+        }
+    });
+}
+
 fn bench_scaling() {
     let keys = tpca_key_population(CONNECTIONS);
-
-    let sharded = ShardedDemux::new(Multiplicative, 64);
-    populate(&sharded, &keys);
-
-    let global = GlobalLockDemux::new(SequentDemux::new(Multiplicative, 64));
-    populate(&global, &keys);
-
-    // The cache-free reader-writer variant: lookups take shared locks.
-    let rw = RwShardedDemux::new(Multiplicative, 64);
-    populate(&rw, &keys);
+    let suite = concurrent_suite(CHAINS);
+    for demux in &suite {
+        populate(demux.as_ref(), &keys);
+    }
 
     group("concurrent (time per full 400k-lookup batch)");
     for &threads in &[1usize, 2, 4, 8] {
-        bench(&format!("concurrent/sharded/{threads}"), || {
-            run_threads(&sharded, &keys, threads)
-        });
-        bench(&format!("concurrent/rw-sharded/{threads}"), || {
-            run_threads(&rw, &keys, threads)
-        });
-        bench(&format!("concurrent/global-lock/{threads}"), || {
-            run_threads(&global, &keys, threads)
-        });
+        for demux in &suite {
+            bench(&format!("concurrent/{}/{threads}", demux.name()), || {
+                run_threads(demux.as_ref(), &keys, threads)
+            });
+        }
+    }
+
+    group("concurrent, batched lookups (same total work, batches of 32)");
+    for &threads in &[1usize, 4] {
+        for demux in &suite {
+            bench(
+                &format!("concurrent-batch32/{}/{threads}", demux.name()),
+                || run_threads_batched(demux.as_ref(), &keys, threads),
+            );
+        }
     }
 }
 

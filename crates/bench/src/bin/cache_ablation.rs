@@ -2,7 +2,7 @@
 //! §3.4 hit-ratio pitfall (redundant packets inflate hit rate without
 //! reducing per-transaction work).
 
-use tcpdemux_core::{Demux, SequentDemux};
+use tcpdemux_core::{SequentDemux, SuiteEntry};
 use tcpdemux_hash::Multiplicative;
 use tcpdemux_sim::tpca::{TpcaSim, TpcaSimConfig};
 
@@ -17,9 +17,9 @@ fn main() {
         warmup_transactions: 4_000,
         ..TpcaSimConfig::default()
     };
-    let mut suite: Vec<Box<dyn Demux>> = vec![
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-        Box::new(SequentDemux::new(Multiplicative, 19).without_cache()),
+    let mut suite = vec![
+        SuiteEntry::from(SequentDemux::new(Multiplicative, 19)),
+        SuiteEntry::from(SequentDemux::new(Multiplicative, 19).without_cache()),
     ];
     let reports = TpcaSim::new(cfg, 0xAB1E).run(&mut suite);
     println!("{:<22} {:>10} {:>9}", "structure", "mean PCBs", "hit rate");
@@ -47,7 +47,7 @@ fn main() {
             queries_per_txn: queries,
             ..TpcaSimConfig::default()
         };
-        let mut suite: Vec<Box<dyn Demux>> = vec![Box::new(SequentDemux::new(Multiplicative, 19))];
+        let mut suite = vec![SuiteEntry::from(SequentDemux::new(Multiplicative, 19))];
         let reports = TpcaSim::new(cfg, 0xAB1F).run(&mut suite);
         let r = &reports[0];
         let txns = r.data_stats.lookups as f64 / f64::from(queries);

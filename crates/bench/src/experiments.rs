@@ -6,7 +6,7 @@
 
 use crate::table::{fmt_cost, Table};
 use tcpdemux_analytic::{bsd, figures, mtf, sequent, srcache, tpca};
-use tcpdemux_core::{standard_suite, Demux};
+use tcpdemux_core::{standard_suite, SuiteEntry};
 use tcpdemux_hash::{all_hashers, quality::tpca_key_population, quality::ChainStats};
 use tcpdemux_sim::runner::run_trace;
 use tcpdemux_sim::tpca::{TpcaSim, TpcaSimConfig};
@@ -148,7 +148,7 @@ pub fn sweep_chains(simulate: bool) -> Table {
     let mut t = Table::new(vec!["H", "Eq. 22", "simulated"]);
     for h in [1.0, 19.0, 51.0, 100.0, 200.0, 500.0] {
         let sim_cell = if simulate {
-            let mut suite: Vec<Box<dyn Demux>> = vec![Box::new(tcpdemux_core::SequentDemux::new(
+            let mut suite = vec![SuiteEntry::from(tcpdemux_core::SequentDemux::new(
                 tcpdemux_hash::Multiplicative,
                 h as usize,
             ))];

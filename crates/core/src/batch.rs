@@ -1,0 +1,134 @@
+//! Shared machinery for batched lookups over hash chains.
+//!
+//! The batched receive path hands the demultiplexer a whole burst of
+//! arriving keys at once ([`crate::Demux::lookup_batch`]). For the hashed
+//! structures the win comes from grouping the batch's keys by chain before
+//! scanning: each chain's headers are pulled into cache once and every key
+//! destined for that chain is resolved against the same walk, instead of
+//! re-scanning from the head per packet.
+//!
+//! Correctness requirement (pinned by the batch≡sequential property test):
+//! the results, the per-lookup `examined` counts, and the accumulated
+//! [`LookupStats`] must be *identical* to looking each key up sequentially
+//! in batch order. That holds because a lookup-only batch never reorders a
+//! Sequent chain — positions are stable — and chains are independent: a
+//! key's outcome depends only on earlier keys in the *same* chain, whose
+//! relative order the stable grouping preserves.
+
+use crate::list::PcbList;
+use crate::stats::LookupStats;
+use crate::{LookupResult, PacketKind};
+use tcpdemux_pcb::{ConnectionKey, PcbId};
+
+/// Reusable scratch space for grouping a batch by chain, owned by the
+/// hashed demultiplexers so steady-state batches allocate nothing once
+/// the buffers have grown to the working-set size.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// `(bucket, key index)` pairs, grouped by bucket.
+    pub order: Vec<(u32, u32)>,
+    /// The prefix of the current chain scanned so far.
+    pub scanned: Vec<(ConnectionKey, PcbId)>,
+}
+
+/// Fill `order` with `(bucket, index)` for every key and stably sort by
+/// bucket, preserving batch order within each chain's group.
+pub(crate) fn group_by_bucket(
+    order: &mut Vec<(u32, u32)>,
+    keys: &[(ConnectionKey, PacketKind)],
+    mut bucket: impl FnMut(&ConnectionKey) -> usize,
+) {
+    order.clear();
+    order.reserve(keys.len());
+    for (i, (key, _)) in keys.iter().enumerate() {
+        order.push((bucket(key) as u32, i as u32));
+    }
+    // Sorting the (bucket, index) pair makes the unstable sort behave
+    // stably (indices are unique) without the stable sort's scratch
+    // allocation — this runs per batch on the hot receive path.
+    order.sort_unstable();
+}
+
+/// Resolve one chain's group of keys against a single walk of the chain.
+///
+/// Replays the exact sequential semantics of the Sequent lookup: a cache
+/// probe costs 1 (hit ends the lookup), a scan's cost is the key's 1-based
+/// chain position (or the full chain length on a miss) plus the probe, and
+/// every successful scan refreshes the cache when `cache_enabled`. The
+/// chain itself is walked at most once per group; keys whose position was
+/// already passed are answered from the `scanned` prefix.
+///
+/// `group` yields indices into `keys`/`out` in batch order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn chain_group_lookup(
+    chain: &PcbList,
+    cache: &mut Option<(ConnectionKey, PcbId)>,
+    cache_enabled: bool,
+    scanned: &mut Vec<(ConnectionKey, PcbId)>,
+    group: impl Iterator<Item = usize>,
+    keys: &[(ConnectionKey, PacketKind)],
+    out: &mut [LookupResult],
+    stats: &mut LookupStats,
+) {
+    let mut walk = chain.iter();
+    let mut exhausted = false;
+    scanned.clear();
+    for idx in group {
+        let key = keys[idx].0;
+        if let Some((ck, id)) = *cache {
+            if ck == key {
+                stats.record(1, true, true);
+                out[idx] = LookupResult {
+                    pcb: Some(id),
+                    examined: 1,
+                    cache_hit: true,
+                };
+                continue;
+            }
+        }
+        let probe = u32::from(cache.is_some());
+        let mut found: Option<(PcbId, u32)> = None;
+        for (pos, (sk, sid)) in scanned.iter().enumerate() {
+            if *sk == key {
+                found = Some((*sid, pos as u32 + 1));
+                break;
+            }
+        }
+        if found.is_none() && !exhausted {
+            loop {
+                match walk.next() {
+                    Some((k, i)) => {
+                        scanned.push((k, i));
+                        if k == key {
+                            found = Some((i, scanned.len() as u32));
+                            break;
+                        }
+                    }
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        match found {
+            Some((id, pos)) => {
+                let examined = probe + pos;
+                if cache_enabled {
+                    *cache = Some((key, id));
+                }
+                stats.record(examined, true, false);
+                out[idx] = LookupResult {
+                    pcb: Some(id),
+                    examined,
+                    cache_hit: false,
+                };
+            }
+            None => {
+                let examined = probe + scanned.len() as u32;
+                stats.record(examined, false, false);
+                out[idx] = LookupResult::miss(examined);
+            }
+        }
+    }
+}

@@ -8,10 +8,11 @@
 //! chain; [`GlobalLockDemux`] wraps any single-threaded [`Demux`] in one
 //! big lock as the baseline the parallel design is measured against.
 
+use crate::batch;
 use crate::stats::LookupStats;
-use crate::{Demux, LookupResult, PacketKind};
+use crate::{Demux, LookupResult, PacketKind, SequentDemux};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use tcpdemux_hash::KeyHasher;
+use tcpdemux_hash::{KeyHasher, Multiplicative};
 use tcpdemux_pcb::{ConnectionKey, PcbId};
 
 // `std::sync` locks (unlike the `parking_lot` ones they replaced) carry
@@ -44,6 +45,20 @@ pub trait ConcurrentDemux: Sync + Send {
     fn remove(&self, key: &ConnectionKey) -> Option<PcbId>;
     /// Find the PCB for an arriving packet.
     fn lookup(&self, key: &ConnectionKey, kind: PacketKind) -> LookupResult;
+    /// Resolve a whole batch of arriving packets in one call.
+    ///
+    /// Clears `out` and appends one [`LookupResult`] per key, in key
+    /// order. Implementations may amortize locking across the batch (one
+    /// lock acquisition per shard touched instead of one per packet) but
+    /// must return the same results and accumulate the same statistics as
+    /// the sequential loop.
+    fn lookup_batch(&self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
+        out.clear();
+        out.reserve(keys.len());
+        for (key, kind) in keys {
+            out.push(self.lookup(key, *kind));
+        }
+    }
     /// Number of connections installed.
     fn len(&self) -> usize;
     /// Whether no connections are installed.
@@ -158,6 +173,39 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
         }
     }
 
+    fn lookup_batch(&self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
+        out.clear();
+        out.resize(keys.len(), LookupResult::miss(0));
+        let mut order = Vec::new();
+        let mut scanned = Vec::new();
+        batch::group_by_bucket(&mut order, keys, |k| {
+            self.hasher.bucket(k, self.shards.len())
+        });
+        let mut i = 0;
+        while i < order.len() {
+            let b = order[i].0 as usize;
+            let mut j = i;
+            while j < order.len() && order[j].0 as usize == b {
+                j += 1;
+            }
+            // One lock acquisition per shard touched, held for the whole
+            // group — the concurrent analogue of the single chain walk.
+            let mut guard = lock(&self.shards[b]);
+            let shard = &mut *guard;
+            batch::chain_group_lookup(
+                &shard.list,
+                &mut shard.cache,
+                true,
+                &mut scanned,
+                order[i..j].iter().map(|&(_, idx)| idx as usize),
+                keys,
+                out,
+                &mut shard.stats,
+            );
+            i = j;
+        }
+    }
+
     fn len(&self) -> usize {
         self.shards.iter().map(|s| lock(s).list.len()).sum()
     }
@@ -256,6 +304,46 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for RwShardedDemux<H> {
         }
     }
 
+    fn lookup_batch(&self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
+        out.clear();
+        out.resize(keys.len(), LookupResult::miss(0));
+        let mut order = Vec::new();
+        let mut scanned = Vec::new();
+        let mut tallies = LookupStats::new();
+        batch::group_by_bucket(&mut order, keys, |k| {
+            self.hasher.bucket(k, self.shards.len())
+        });
+        let mut i = 0;
+        while i < order.len() {
+            let b = order[i].0 as usize;
+            let mut j = i;
+            while j < order.len() && order[j].0 as usize == b {
+                j += 1;
+            }
+            // No cache by design, so `chain_group_lookup` degenerates to a
+            // pure positional walk under one shared lock per shard group.
+            let mut no_cache = None;
+            batch::chain_group_lookup(
+                &read(&self.shards[b]),
+                &mut no_cache,
+                false,
+                &mut scanned,
+                order[i..j].iter().map(|&(_, idx)| idx as usize),
+                keys,
+                out,
+                &mut tallies,
+            );
+            i = j;
+        }
+        self.lookups.fetch_add(tallies.lookups, Ordering::Relaxed);
+        self.found.fetch_add(tallies.found, Ordering::Relaxed);
+        self.not_found
+            .fetch_add(tallies.not_found, Ordering::Relaxed);
+        self.examined
+            .fetch_add(tallies.pcbs_examined, Ordering::Relaxed);
+        self.worst.fetch_max(tallies.worst_case, Ordering::Relaxed);
+    }
+
     fn len(&self) -> usize {
         self.shards.iter().map(|s| read(s).len()).sum()
     }
@@ -304,6 +392,12 @@ impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
         lock(&self.inner).lookup(key, kind)
     }
 
+    fn lookup_batch(&self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
+        // One lock acquisition for the whole batch, delegating to the
+        // inner structure's own (possibly specialized) batch path.
+        lock(&self.inner).lookup_batch(keys, out);
+    }
+
     fn len(&self) -> usize {
         lock(&self.inner).len()
     }
@@ -315,6 +409,21 @@ impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
     fn stats_snapshot(&self) -> LookupStats {
         *lock(&self.inner).stats()
     }
+}
+
+/// One instance of every thread-safe variant, for experiments that drive
+/// them generically (the A3 bench and its ablations): the lock-per-chain
+/// design, the cache-free reader–writer variant, and the global-lock
+/// baseline, all at the same chain count with [`Multiplicative`] hashing.
+pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
+    vec![
+        Box::new(ShardedDemux::new(Multiplicative, chains)),
+        Box::new(RwShardedDemux::new(Multiplicative, chains)),
+        Box::new(GlobalLockDemux::new(SequentDemux::new(
+            Multiplicative,
+            chains,
+        ))),
+    ]
 }
 
 #[cfg(test)]
@@ -468,7 +577,10 @@ mod tests {
                         }
                         // Remove half our keys while other threads still look up.
                         for i in 0..KEYS_PER_THREAD / 2 {
-                            assert_eq!(demux.remove(&key(base + i * 2)), Some(ids[(i * 2) as usize]));
+                            assert_eq!(
+                                demux.remove(&key(base + i * 2)),
+                                Some(ids[(i * 2) as usize])
+                            );
                         }
                         (found, missed)
                     })
@@ -548,6 +660,56 @@ mod tests {
         let stats = demux.stats_snapshot();
         assert_eq!(stats.lookups, 8 * 500);
         assert_eq!(stats.not_found, 0);
+    }
+
+    #[test]
+    fn suite_drives_all_variants_generically() {
+        let mut arena = PcbArena::new();
+        let suite = concurrent_suite(19);
+        assert_eq!(suite.len(), 3);
+        let names: Vec<String> = suite.iter().map(|d| d.name()).collect();
+        assert!(names.iter().any(|n| n.starts_with("sharded-sequent")));
+        assert!(names.iter().any(|n| n.starts_with("rw-sharded")));
+        assert!(names.iter().any(|n| n.starts_with("global-lock")));
+        for demux in &suite {
+            let ids = populate_concurrent(demux.as_ref(), &mut arena, 50);
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(demux.lookup(&key(i as u32), PacketKind::Data).pcb, Some(id));
+            }
+            assert_eq!(demux.stats_snapshot().found, 50);
+        }
+    }
+
+    #[test]
+    fn concurrent_batch_matches_sequential() {
+        // Each variant against a twin: batched lookups must return the
+        // same results and accumulate the same statistics as the loop.
+        let mut arena = PcbArena::new();
+        let batched = concurrent_suite(7);
+        let sequential = concurrent_suite(7);
+        for (bat, seq) in batched.iter().zip(&sequential) {
+            let ids = populate_concurrent(bat.as_ref(), &mut arena, 60);
+            for (i, &id) in ids.iter().enumerate() {
+                seq.insert(key(i as u32), id);
+            }
+            let keys: Vec<(ConnectionKey, PacketKind)> = (0..300u32)
+                .map(|i| (key((i * 17 + 3) % 75), PacketKind::Data))
+                .collect();
+            let mut out = Vec::new();
+            for chunk in keys.chunks(13) {
+                bat.lookup_batch(chunk, &mut out);
+                for (j, (k, kind)) in chunk.iter().enumerate() {
+                    let r = seq.lookup(k, *kind);
+                    assert_eq!(out[j], r, "variant {}", bat.name());
+                }
+            }
+            assert_eq!(
+                bat.stats_snapshot(),
+                seq.stats_snapshot(),
+                "variant {}",
+                bat.name()
+            );
+        }
     }
 
     #[test]

@@ -250,8 +250,8 @@ impl Iterator for ListIter<'_> {
 mod tests {
     use super::*;
     use crate::test_util::key;
-    use tcpdemux_testprop::check;
     use tcpdemux_pcb::{Pcb, PcbArena};
+    use tcpdemux_testprop::check;
 
     fn ids(n: u32, arena: &mut PcbArena) -> Vec<PcbId> {
         (0..n).map(|i| arena.insert(Pcb::new(key(i)))).collect()

@@ -9,6 +9,7 @@
 //! 1,001. Raising `H` buys further speedup for only `H` words of headers
 //! (the paper's §3.5: 19 → 100 chains takes the cost from 53 to under 9).
 
+use crate::batch::{self, BatchScratch};
 use crate::list::PcbList;
 use crate::stats::LookupStats;
 use crate::{Demux, LookupResult, PacketKind};
@@ -24,6 +25,7 @@ pub struct SequentDemux<H> {
     cache_enabled: bool,
     len: usize,
     stats: LookupStats,
+    scratch: BatchScratch,
 }
 
 impl<H: KeyHasher> SequentDemux<H> {
@@ -40,6 +42,7 @@ impl<H: KeyHasher> SequentDemux<H> {
             cache_enabled: true,
             len: 0,
             stats: LookupStats::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -139,6 +142,36 @@ impl<H: KeyHasher> Demux for SequentDemux<H> {
                 self.stats.record(examined, false, false);
                 LookupResult::miss(examined)
             }
+        }
+    }
+
+    fn lookup_batch(&mut self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
+        out.clear();
+        out.resize(keys.len(), LookupResult::miss(0));
+        let chains = self.chains.len();
+        batch::group_by_bucket(&mut self.scratch.order, keys, |k| {
+            self.hasher.bucket(k, chains)
+        });
+        let mut i = 0;
+        while i < self.scratch.order.len() {
+            let b = self.scratch.order[i].0 as usize;
+            let mut j = i;
+            while j < self.scratch.order.len() && self.scratch.order[j].0 as usize == b {
+                j += 1;
+            }
+            batch::chain_group_lookup(
+                &self.chains[b],
+                &mut self.caches[b],
+                self.cache_enabled,
+                &mut self.scratch.scanned,
+                self.scratch.order[i..j]
+                    .iter()
+                    .map(|&(_, idx)| idx as usize),
+                keys,
+                out,
+                &mut self.stats,
+            );
+            i = j;
         }
     }
 

@@ -3,6 +3,36 @@
 use crate::{BsdDemux, Demux, DirectDemux, HashedMtfDemux, MtfDemux, SendRecvDemux, SequentDemux};
 use tcpdemux_hash::Multiplicative;
 
+/// A named algorithm instance in a comparison suite.
+///
+/// The display name is captured from [`Demux::name`] once, at construction
+/// time, so suites carry their labels with them — there is no parallel
+/// name list to drift out of sync, and reports keep the label the entry
+/// was built with even for structures whose `name()` changes as they
+/// resize (e.g. [`crate::AdaptiveDemux`]).
+pub struct SuiteEntry {
+    /// Display name for reports, captured at construction time.
+    pub name: String,
+    /// The algorithm instance.
+    pub demux: Box<dyn Demux>,
+}
+
+impl SuiteEntry {
+    /// Wrap a demultiplexer, capturing its current name for reports.
+    pub fn new(demux: Box<dyn Demux>) -> Self {
+        Self {
+            name: demux.name(),
+            demux,
+        }
+    }
+}
+
+impl<D: Demux + 'static> From<D> for SuiteEntry {
+    fn from(demux: D) -> Self {
+        Self::new(Box::new(demux))
+    }
+}
+
 /// Build one instance of every algorithm the paper compares, with the
 /// Sequent structure at its default 19 chains plus the 51- and 100-chain
 /// variants discussed in §3.4–3.5.
@@ -14,29 +44,24 @@ use tcpdemux_hash::Multiplicative;
 /// real client farms produce. The cheaper XOR-fold's behaviour on such
 /// populations is measured separately in `tcpdemux-hash`'s quality
 /// experiments.
-pub fn standard_suite() -> Vec<Box<dyn Demux>> {
+pub fn standard_suite() -> Vec<SuiteEntry> {
     vec![
-        Box::new(BsdDemux::new()),
-        Box::new(MtfDemux::new()),
-        Box::new(SendRecvDemux::new()),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-        Box::new(SequentDemux::new(Multiplicative, 51)),
-        Box::new(SequentDemux::new(Multiplicative, 100)),
-        Box::new(HashedMtfDemux::new(Multiplicative, 19)),
-        Box::new(DirectDemux::new()),
+        BsdDemux::new().into(),
+        MtfDemux::new().into(),
+        SendRecvDemux::new().into(),
+        SequentDemux::new(Multiplicative, 19).into(),
+        SequentDemux::new(Multiplicative, 51).into(),
+        SequentDemux::new(Multiplicative, 100).into(),
+        HashedMtfDemux::new(Multiplicative, 19).into(),
+        DirectDemux::new().into(),
     ]
-}
-
-/// The names produced by [`standard_suite`], in order.
-pub fn suite_names() -> Vec<String> {
-    standard_suite().iter().map(|d| d.name()).collect()
 }
 
 /// [`standard_suite`] plus this crate's extensions beyond the paper:
 /// the self-resizing hashed structure (load factor 8).
-pub fn extended_suite() -> Vec<Box<dyn Demux>> {
+pub fn extended_suite() -> Vec<SuiteEntry> {
     let mut suite = standard_suite();
-    suite.push(Box::new(crate::AdaptiveDemux::new(Multiplicative, 19, 8)));
+    suite.push(crate::AdaptiveDemux::new(Multiplicative, 19, 8).into());
     suite
 }
 
@@ -47,7 +72,7 @@ mod tests {
 
     #[test]
     fn suite_contains_all_paper_algorithms() {
-        let names = suite_names();
+        let names: Vec<String> = standard_suite().into_iter().map(|e| e.name).collect();
         for expected in [
             "bsd",
             "mtf",
@@ -63,22 +88,29 @@ mod tests {
     }
 
     #[test]
+    fn entry_name_matches_demux_name_at_construction() {
+        for entry in standard_suite() {
+            assert_eq!(entry.name, entry.demux.name());
+        }
+    }
+
+    #[test]
     fn suite_members_satisfy_contract() {
-        for demux in standard_suite() {
-            test_util::check_contract(demux);
+        for entry in standard_suite() {
+            test_util::check_contract(entry.demux);
         }
     }
 
     #[test]
     fn extended_suite_adds_adaptive() {
-        let names: Vec<String> = extended_suite().iter().map(|d| d.name()).collect();
+        let names: Vec<String> = extended_suite().into_iter().map(|e| e.name).collect();
         assert!(
             names.iter().any(|n| n.starts_with("adaptive(")),
             "{names:?}"
         );
-        assert_eq!(names.len(), suite_names().len() + 1);
-        for demux in extended_suite() {
-            test_util::check_contract(demux);
+        assert_eq!(names.len(), standard_suite().len() + 1);
+        for entry in extended_suite() {
+            test_util::check_contract(entry.demux);
         }
     }
 
@@ -94,8 +126,8 @@ mod tests {
         let mut suite = standard_suite();
         let ids: Vec<_> = (0..64u32).map(|i| arena.insert(Pcb::new(key(i)))).collect();
         for (i, &id) in ids.iter().enumerate() {
-            for demux in suite.iter_mut() {
-                demux.insert(key(i as u32), id);
+            for entry in suite.iter_mut() {
+                entry.demux.insert(key(i as u32), id);
             }
         }
         // Pseudo-random probe sequence, including misses and removals.
@@ -110,14 +142,17 @@ mod tests {
             };
             let results: Vec<_> = suite
                 .iter_mut()
-                .map(|d| d.lookup(&key(probe), kind).pcb)
+                .map(|e| e.demux.lookup(&key(probe), kind).pcb)
                 .collect();
             for w in results.windows(2) {
                 assert_eq!(w[0], w[1], "step {step}, probe {probe}");
             }
             if step % 97 == 0 {
                 let victim = (state >> 16) % 64;
-                let removed: Vec<_> = suite.iter_mut().map(|d| d.remove(&key(victim))).collect();
+                let removed: Vec<_> = suite
+                    .iter_mut()
+                    .map(|e| e.demux.remove(&key(victim)))
+                    .collect();
                 for w in removed.windows(2) {
                     assert_eq!(w[0], w[1]);
                 }

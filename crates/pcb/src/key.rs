@@ -269,7 +269,12 @@ mod tests {
         check("key_prop_distinct_tuples_distinct_keys", |rng| {
             // Draw from a small space so collisions (a == b) actually occur.
             let tuple = |r: &mut tcpdemux_testprop::TestRng| {
-                (r.u32_below(4), r.u32_below(4), r.u16_in(0, 4), r.u16_in(0, 4))
+                (
+                    r.u32_below(4),
+                    r.u32_below(4),
+                    r.u16_in(0, 4),
+                    r.u16_in(0, 4),
+                )
             };
             let a = tuple(rng);
             let b = tuple(rng);

@@ -349,8 +349,17 @@ mod tests {
     fn prop_rst_converges() {
         check("state_prop_rst_converges", |rng| {
             let states = [
-                Closed, Listen, SynSent, SynReceived, Established, FinWait1,
-                FinWait2, CloseWait, Closing, LastAck, TimeWait,
+                Closed,
+                Listen,
+                SynSent,
+                SynReceived,
+                Established,
+                FinWait1,
+                FinWait2,
+                CloseWait,
+                Closing,
+                LastAck,
+                TimeWait,
             ];
             let state = *rng.choose(&states);
             if let Ok(next) = state.on_event(RecvRst) {

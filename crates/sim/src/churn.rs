@@ -157,9 +157,9 @@ mod tests {
         for report in &reports {
             assert_eq!(report.lost_packets, 0, "{}", report.name);
         }
-        for demux in &suite {
-            assert_eq!(demux.len(), 0, "{} leaked connections", demux.name());
-            assert!(demux.is_empty());
+        for entry in &suite {
+            assert_eq!(entry.demux.len(), 0, "{} leaked connections", entry.name);
+            assert!(entry.demux.is_empty());
         }
     }
 

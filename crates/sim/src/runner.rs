@@ -8,7 +8,7 @@
 //! are purely algorithmic, not sampling noise.
 
 use crate::time::SimTime;
-use tcpdemux_core::{Demux, Histogram, LookupStats, PacketKind};
+use tcpdemux_core::{Histogram, LookupResult, LookupStats, PacketKind, SuiteEntry};
 use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena, TcpState};
 
 /// One event in a server-side trace.
@@ -61,7 +61,7 @@ impl TraceEvent {
 /// Results of running one algorithm over one trace.
 #[derive(Debug, Clone)]
 pub struct AlgoReport {
-    /// Algorithm name (from [`Demux::name`]).
+    /// Algorithm name (from [`SuiteEntry::name`]).
     pub name: String,
     /// Statistics over all arrivals.
     pub stats: LookupStats,
@@ -77,28 +77,45 @@ pub struct AlgoReport {
     pub lost_packets: u64,
 }
 
-/// Run a trace through a set of algorithms.
-///
-/// `Open` events create a PCB in the shared arena (one per distinct key)
-/// and insert it into every algorithm; `Arrival` events perform the
-/// instrumented lookup; `Departure` events update send-side caches;
-/// `Close` events remove the connection everywhere.
-pub fn run_trace<I>(trace: I, suite: &mut [Box<dyn Demux>]) -> Vec<AlgoReport>
-where
-    I: IntoIterator<Item = TraceEvent>,
-{
-    let mut arena = PcbArena::new();
-    let mut reports: Vec<AlgoReport> = suite
+fn fresh_reports(suite: &[SuiteEntry]) -> Vec<AlgoReport> {
+    suite
         .iter()
-        .map(|d| AlgoReport {
-            name: d.name(),
+        .map(|e| AlgoReport {
+            name: e.name.clone(),
             stats: LookupStats::new(),
             data_stats: LookupStats::new(),
             ack_stats: LookupStats::new(),
             histogram: Histogram::new(),
             lost_packets: 0,
         })
-        .collect();
+        .collect()
+}
+
+fn record_arrival(report: &mut AlgoReport, kind: PacketKind, r: LookupResult) {
+    let found = r.pcb.is_some();
+    if !found {
+        report.lost_packets += 1;
+    }
+    report.stats.record(r.examined, found, r.cache_hit);
+    report.histogram.record(r.examined);
+    match kind {
+        PacketKind::Data => report.data_stats.record(r.examined, found, r.cache_hit),
+        PacketKind::Ack => report.ack_stats.record(r.examined, found, r.cache_hit),
+    }
+}
+
+/// Run a trace through a suite of algorithms.
+///
+/// `Open` events create a PCB in the shared arena (one per distinct key)
+/// and insert it into every algorithm; `Arrival` events perform the
+/// instrumented lookup; `Departure` events update send-side caches;
+/// `Close` events remove the connection everywhere.
+pub fn run_trace<I>(trace: I, suite: &mut [SuiteEntry]) -> Vec<AlgoReport>
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    let mut arena = PcbArena::new();
+    let mut reports = fresh_reports(suite);
     // Key -> PcbId mapping for Open/Close bookkeeping (not counted as
     // lookup work; it models the connection-management path, which the
     // paper does not charge to demultiplexing).
@@ -111,42 +128,116 @@ where
                 let id = *live
                     .entry(key)
                     .or_insert_with(|| arena.insert(Pcb::new_in_state(key, TcpState::Established)));
-                for demux in suite.iter_mut() {
-                    demux.insert(key, id);
+                for entry in suite.iter_mut() {
+                    entry.demux.insert(key, id);
                 }
             }
             TraceEvent::Close { key, .. } => {
                 if let Some(id) = live.remove(&key) {
-                    for demux in suite.iter_mut() {
-                        demux.remove(&key);
+                    for entry in suite.iter_mut() {
+                        entry.demux.remove(&key);
                     }
                     arena.remove(id);
                 }
             }
             TraceEvent::Departure { key, .. } => {
-                for demux in suite.iter_mut() {
-                    demux.note_send(&key);
+                for entry in suite.iter_mut() {
+                    entry.demux.note_send(&key);
                 }
             }
             TraceEvent::Arrival { key, kind, .. } => {
-                for (demux, report) in suite.iter_mut().zip(reports.iter_mut()) {
-                    let r = demux.lookup(&key, kind);
-                    let found = r.pcb.is_some();
-                    if !found {
-                        report.lost_packets += 1;
-                    }
-                    report.stats.record(r.examined, found, r.cache_hit);
-                    report.histogram.record(r.examined);
-                    match kind {
-                        PacketKind::Data => {
-                            report.data_stats.record(r.examined, found, r.cache_hit)
-                        }
-                        PacketKind::Ack => report.ack_stats.record(r.examined, found, r.cache_hit),
-                    }
+                for (entry, report) in suite.iter_mut().zip(reports.iter_mut()) {
+                    let r = entry.demux.lookup(&key, kind);
+                    record_arrival(report, kind, r);
                 }
             }
         }
     }
+    reports
+}
+
+/// Like [`run_trace`], but arrivals flow through
+/// [`tcpdemux_core::Demux::lookup_batch`] in batches of up to
+/// `batch_size` packets.
+///
+/// A pending batch is flushed early whenever a connection-management or
+/// departure event interleaves, so every lookup observes exactly the
+/// table state the sequential runner would have shown it. The reports are
+/// therefore identical to [`run_trace`]'s on any trace (pinned by tests);
+/// what changes is the wall-clock cost of producing them, which the
+/// `batch_rx` bench measures.
+pub fn run_trace_batched<I>(
+    trace: I,
+    suite: &mut [SuiteEntry],
+    batch_size: usize,
+) -> Vec<AlgoReport>
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    assert!(batch_size > 0, "batch size must be nonzero");
+    let mut arena = PcbArena::new();
+    let mut reports = fresh_reports(suite);
+    let mut live: std::collections::HashMap<ConnectionKey, tcpdemux_pcb::PcbId> =
+        std::collections::HashMap::new();
+    let mut pending: Vec<(ConnectionKey, PacketKind)> = Vec::with_capacity(batch_size);
+    let mut results: Vec<LookupResult> = Vec::with_capacity(batch_size);
+
+    fn flush(
+        pending: &mut Vec<(ConnectionKey, PacketKind)>,
+        results: &mut Vec<LookupResult>,
+        suite: &mut [SuiteEntry],
+        reports: &mut [AlgoReport],
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        for (entry, report) in suite.iter_mut().zip(reports.iter_mut()) {
+            entry.demux.lookup_batch(pending, results);
+            for (&(_, kind), &r) in pending.iter().zip(results.iter()) {
+                record_arrival(report, kind, r);
+            }
+        }
+        pending.clear();
+    }
+
+    for event in trace {
+        match event {
+            TraceEvent::Arrival { key, kind, .. } => {
+                pending.push((key, kind));
+                if pending.len() >= batch_size {
+                    flush(&mut pending, &mut results, suite, &mut reports);
+                }
+            }
+            other => {
+                flush(&mut pending, &mut results, suite, &mut reports);
+                match other {
+                    TraceEvent::Open { key, .. } => {
+                        let id = *live.entry(key).or_insert_with(|| {
+                            arena.insert(Pcb::new_in_state(key, TcpState::Established))
+                        });
+                        for entry in suite.iter_mut() {
+                            entry.demux.insert(key, id);
+                        }
+                    }
+                    TraceEvent::Close { key, .. } => {
+                        if let Some(id) = live.remove(&key) {
+                            for entry in suite.iter_mut() {
+                                entry.demux.remove(&key);
+                            }
+                            arena.remove(id);
+                        }
+                    }
+                    TraceEvent::Departure { key, .. } => {
+                        for entry in suite.iter_mut() {
+                            entry.demux.note_send(&key);
+                        }
+                    }
+                    TraceEvent::Arrival { .. } => unreachable!("matched above"),
+                }
+            }
+        }
+    }
+    flush(&mut pending, &mut results, suite, &mut reports);
     reports
 }
 
@@ -258,9 +349,70 @@ mod tests {
         for report in &reports {
             assert_eq!(report.lost_packets, 0);
         }
-        for demux in &suite {
-            assert_eq!(demux.len(), 1, "{}", demux.name());
+        for entry in &suite {
+            assert_eq!(entry.demux.len(), 1, "{}", entry.name);
         }
+    }
+
+    fn lifecycle_trace() -> Vec<TraceEvent> {
+        let mut trace: Vec<TraceEvent> = (0..20)
+            .map(|i| TraceEvent::Open {
+                at: SimTime(i),
+                key: key(i as u32),
+            })
+            .collect();
+        for i in 0..400u64 {
+            trace.push(TraceEvent::Arrival {
+                at: SimTime(20 + i),
+                key: key(((i * 7) % 25) as u32), // 20 live + 5 misses
+                kind: if i % 3 == 0 {
+                    PacketKind::Ack
+                } else {
+                    PacketKind::Data
+                },
+            });
+            if i % 37 == 0 {
+                trace.push(TraceEvent::Departure {
+                    at: SimTime(20 + i),
+                    key: key((i % 20) as u32),
+                });
+            }
+            if i % 97 == 0 {
+                trace.push(TraceEvent::Close {
+                    at: SimTime(20 + i),
+                    key: key((i % 20) as u32),
+                });
+            }
+        }
+        trace
+    }
+
+    fn reports_equal(a: &[AlgoReport], b: &[AlgoReport]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.stats, y.stats, "{}", x.name);
+            assert_eq!(x.data_stats, y.data_stats, "{}", x.name);
+            assert_eq!(x.ack_stats, y.ack_stats, "{}", x.name);
+            assert_eq!(x.lost_packets, y.lost_packets, "{}", x.name);
+            assert_eq!(x.histogram.count(), y.histogram.count(), "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn batched_runner_matches_sequential() {
+        let trace = lifecycle_trace();
+        let baseline = run_trace(trace.clone(), &mut standard_suite());
+        for batch_size in [1usize, 8, 32, 128] {
+            let batched = run_trace_batched(trace.clone(), &mut standard_suite(), batch_size);
+            reports_equal(&baseline, &batched);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be nonzero")]
+    fn batched_runner_rejects_zero() {
+        let _ = run_trace_batched(Vec::new(), &mut standard_suite(), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::engine::EventQueue;
 use crate::rng::SimRng;
 use crate::runner::{run_trace, AlgoReport, TraceEvent};
 use crate::time::SimTime;
-use tcpdemux_core::{standard_suite, Demux, PacketKind};
+use tcpdemux_core::{standard_suite, PacketKind, SuiteEntry};
 use tcpdemux_hash::quality::tpca_key_population;
 use tcpdemux_pcb::ConnectionKey;
 
@@ -184,10 +184,20 @@ impl TpcaSim {
     /// Run the trace through a caller-supplied suite: warm up, reset
     /// nothing (the structures keep their steady-state order), and report
     /// statistics over the measured segment only.
-    pub fn run(&self, suite: &mut [Box<dyn Demux>]) -> Vec<AlgoReport> {
+    pub fn run(&self, suite: &mut [SuiteEntry]) -> Vec<AlgoReport> {
         let (warmup, measured) = self.trace();
         let _ = run_trace(warmup, suite);
         run_trace(measured, suite)
+    }
+
+    /// Like [`TpcaSim::run`], but drive arrivals through the batched
+    /// lookup path in batches of up to `batch_size` packets. Reports are
+    /// identical to [`TpcaSim::run`]'s (see
+    /// [`crate::runner::run_trace_batched`]).
+    pub fn run_batched(&self, suite: &mut [SuiteEntry], batch_size: usize) -> Vec<AlgoReport> {
+        let (warmup, measured) = self.trace();
+        let _ = crate::runner::run_trace_batched(warmup, suite, batch_size);
+        crate::runner::run_trace_batched(measured, suite, batch_size)
     }
 
     /// Run against [`standard_suite`].

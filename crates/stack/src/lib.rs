@@ -22,6 +22,22 @@
 //! accounting, the RFC 793 state machine, listener (wildcard) matching
 //! semantics, and RST generation for unmatched segments.
 //!
+//! # Batched receive and allocation-free transmit
+//!
+//! [`Stack::receive_batch`] processes a slice of frames through a single
+//! [`tcpdemux_core::Demux::lookup_batch`] call: parse all, demultiplex
+//! once, then apply state updates per frame — the shape of a driver
+//! handing the stack a ring's worth of packets per interrupt. Per-frame
+//! results are identical to calling [`Stack::receive`] in a loop; if a
+//! frame mid-batch changes the connection table, later frames are
+//! transparently re-looked-up (see [`BatchRxResult`]).
+//!
+//! On the transmit side, every emitted frame draws its buffer from an
+//! internal [`TxPool`]. A caller that returns spent buffers via
+//! [`Stack::recycle`] makes steady-state transmission allocation-free:
+//! after warm-up, ACKs, data segments, and RSTs all reuse recycled
+//! capacity ([`Stack::tx_pool_stats`] pins this in tests).
+//!
 //! # Example
 //!
 //! ```
@@ -59,10 +75,12 @@ mod socket;
 mod stack;
 mod stats;
 pub mod timer;
+mod txpool;
 
 pub use fault::{FaultInjector, FaultOutcome};
 pub use neighbor::NeighborCache;
 pub use socket::SocketBuffer;
-pub use stack::{RxOutcome, RxResult, Stack, StackConfig, StackError};
+pub use stack::{BatchRxResult, RxOutcome, RxResult, Stack, StackConfig, StackError};
 pub use stats::StackStats;
 pub use timer::{TimerId, TimerWheel};
+pub use txpool::{TxPool, TxPoolStats};

@@ -2,13 +2,14 @@
 
 use crate::socket::SocketBuffer;
 use crate::stats::StackStats;
+use crate::txpool::{TxPool, TxPoolStats};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use tcpdemux_core::{Demux, PacketKind};
+use tcpdemux_core::{Demux, LookupResult, PacketKind};
 use tcpdemux_pcb::{ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, SeqNum, TcpEvent, TcpState};
 use tcpdemux_wire::{
-    FrameBuilder, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags, TcpRepr, TcpSegment, UdpDatagram,
-    UdpRepr, WireError,
+    build_tcp_frame_into, build_udp_frame_into, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags,
+    TcpRepr, TcpSegment, UdpDatagram, UdpRepr, WireError,
 };
 
 /// Stack-level (non-wire) errors.
@@ -126,6 +127,25 @@ pub struct RxResult {
     pub pcbs_examined: u32,
 }
 
+/// The result of one [`Stack::receive_batch`] call.
+///
+/// `results` holds one entry per input frame, in order, each exactly what
+/// [`Stack::receive`] would have returned for that frame. The counters
+/// describe how the batch interacted with the demultiplexer: frames
+/// resolved by the single batched lookup versus frames that had to be
+/// re-looked-up individually because an earlier frame in the same batch
+/// changed the connection table (inserted or removed an entry), making
+/// the batched answer potentially stale.
+#[derive(Debug, Default)]
+pub struct BatchRxResult {
+    /// Per-frame outcomes, in input order.
+    pub results: Vec<Result<RxResult, WireError>>,
+    /// Frames whose demux answer came from the batched lookup.
+    pub batched_lookups: usize,
+    /// Frames re-looked-up individually after a mid-batch table change.
+    pub relookups: usize,
+}
+
 /// Stack construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StackConfig {
@@ -163,6 +183,30 @@ impl StackConfig {
         self.time_wait_ticks = Some(ticks);
         self
     }
+
+    /// Use a different local address (overriding the one given to `new`).
+    pub fn with_local_addr(mut self, addr: Ipv4Addr) -> Self {
+        self.local_addr = addr;
+        self
+    }
+
+    /// Advertise `window` bytes of receive window on all connections.
+    pub fn with_window(mut self, window: u16) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Advertise `mss` in SYN segments (and cap the peer's).
+    pub fn with_mss(mut self, mss: u16) -> Self {
+        self.mss = mss;
+        self
+    }
+
+    /// Allocate ephemeral ports for active opens starting at `base`.
+    pub fn with_ephemeral_base(mut self, base: u16) -> Self {
+        self.ephemeral_base = base;
+        self
+    }
 }
 
 /// A TCP listener: its wildcard key, capacity, and accept queue.
@@ -182,6 +226,47 @@ impl Listener {
     }
 }
 
+/// One frame's fate after the batched-receive parse stage. Payloads are
+/// kept as byte ranges into the original frame so the parse results carry
+/// no borrows (the frames stay with the caller).
+#[derive(Debug)]
+enum Classified {
+    /// Fully handled during parsing: wire errors, frames for other hosts,
+    /// unknown protocols, and ICMP (none of which consult the demux).
+    Done(Result<RxResult, WireError>),
+    /// A valid TCP segment awaiting its demux lookup.
+    Tcp {
+        key: ConnectionKey,
+        kind: PacketKind,
+        tcp: TcpRepr,
+        payload: (usize, usize),
+    },
+    /// A valid UDP datagram awaiting its demux lookup.
+    Udp {
+        key: ConnectionKey,
+        payload: (usize, usize),
+        header_len: usize,
+    },
+}
+
+/// Byte range of `inner` within `outer`, where `inner` is a parser-derived
+/// subslice of the frame `outer`.
+fn subslice_range(outer: &[u8], inner: &[u8]) -> (usize, usize) {
+    let start = inner.as_ptr() as usize - outer.as_ptr() as usize;
+    debug_assert!(start + inner.len() <= outer.len());
+    (start, start + inner.len())
+}
+
+/// Reusable scratch space for [`Stack::receive_batch`]. Taken out of the
+/// stack for the duration of a batch (the apply loop needs `&mut self`)
+/// and put back afterwards, capacity intact.
+#[derive(Debug, Default)]
+struct RxScratch {
+    classified: Vec<Classified>,
+    keys: Vec<(ConnectionKey, PacketKind)>,
+    lookups: Vec<LookupResult>,
+}
+
 /// A host: one IPv4 address, one demultiplexer, many connections.
 pub struct Stack {
     config: StackConfig,
@@ -194,7 +279,14 @@ pub struct Stack {
     listener_of: HashMap<PcbId, usize>,
     sockets: HashMap<PcbId, SocketBuffer>,
     stats: StackStats,
-    builder: FrameBuilder,
+    tx_pool: TxPool,
+    /// Bumped on every demux `insert`/`remove`; lets the batched receive
+    /// path detect that an earlier frame in the batch changed the
+    /// connection table, invalidating the remaining batched lookups.
+    demux_gen: u64,
+    /// Scratch buffers reused across `receive_batch` calls so a
+    /// steady-state batch allocates nothing but its returned results.
+    rx_scratch: RxScratch,
     next_ephemeral: u16,
     next_iss: u32,
     timers: crate::timer::TimerWheel<(PcbId, ConnectionKey)>,
@@ -215,7 +307,9 @@ impl Stack {
             listener_of: HashMap::new(),
             sockets: HashMap::new(),
             stats: StackStats::default(),
-            builder: FrameBuilder::new(),
+            tx_pool: TxPool::default(),
+            demux_gen: 0,
+            rx_scratch: RxScratch::default(),
             next_iss: 0x1000_0000,
             timers: crate::timer::TimerWheel::new(256),
             neighbors: crate::neighbor::NeighborCache::with_defaults(),
@@ -324,9 +418,10 @@ impl Stack {
     /// the normal IPv4 receive path on the payload.
     pub fn receive_ethernet(&mut self, frame: &[u8]) -> Result<RxResult, WireError> {
         use tcpdemux_wire::{EtherType, EthernetFrame, EthernetRepr};
-        let eth = EthernetFrame::new_checked(frame).inspect_err(|_e| {
+        let eth = EthernetFrame::new_checked(frame).map_err(|e| {
             self.stats.frames_in += 1;
             self.stats.ip_errors += 1;
+            e
         })?;
         let repr = EthernetRepr::parse(&eth)?;
         if repr.dst_addr != self.mac() && !repr.dst_addr.is_broadcast() {
@@ -356,8 +451,9 @@ impl Stack {
     fn receive_arp(&mut self, packet: &[u8]) -> Result<RxResult, WireError> {
         use tcpdemux_wire::{ArpOperation, ArpRepr};
         self.stats.frames_in += 1;
-        let arp = ArpRepr::parse(packet).inspect_err(|_e| {
+        let arp = ArpRepr::parse(packet).map_err(|e| {
             self.stats.ip_errors += 1;
+            e
         })?;
         // Learn the sender's mapping from either message kind.
         self.neighbors
@@ -366,7 +462,9 @@ impl Stack {
             let reply = arp.reply_to(self.mac());
             let bytes = reply.emit();
             let payload_len = bytes.len().max(tcpdemux_wire::ethernet::MIN_PAYLOAD);
-            let mut out = vec![0u8; tcpdemux_wire::ethernet::HEADER_LEN + payload_len];
+            let mut out = self.tx_pool.take();
+            out.clear();
+            out.resize(tcpdemux_wire::ethernet::HEADER_LEN + payload_len, 0);
             {
                 let mut eth = tcpdemux_wire::EthernetFrame::new_unchecked(&mut out[..]);
                 tcpdemux_wire::EthernetRepr {
@@ -406,7 +504,9 @@ impl Stack {
     /// the derived MAC).
     pub fn encapsulate(&mut self, ip_packet: &[u8], dst_addr: Ipv4Addr) -> Vec<u8> {
         let dst_mac = self.resolve(dst_addr);
-        tcpdemux_wire::ethernet::encapsulate_ipv4(self.mac(), dst_mac, ip_packet)
+        let mut buf = self.tx_pool.take();
+        tcpdemux_wire::ethernet::encapsulate_ipv4_into(self.mac(), dst_mac, ip_packet, &mut buf);
+        buf
     }
 
     /// Receive-path counters.
@@ -526,6 +626,7 @@ impl Stack {
         let pcb = Pcb::new_in_state(key, TcpState::Established);
         let id = self.arena.insert(pcb);
         self.demux.insert(key, id);
+        self.demux_gen += 1;
         self.sockets.insert(id, SocketBuffer::new());
         Ok(id)
     }
@@ -567,6 +668,7 @@ impl Stack {
         pcb.mss = self.config.mss;
         let id = self.arena.insert(pcb);
         self.demux.insert(key, id);
+        self.demux_gen += 1;
         self.sockets.insert(id, SocketBuffer::new());
 
         let syn = TcpRepr {
@@ -627,7 +729,9 @@ impl Stack {
         if let Some(p) = self.arena.get_mut(pcb) {
             p.note_segment_out(payload.len());
         }
-        Ok(self.builder.udp(&ip, &udp, payload).to_vec())
+        let mut buf = self.tx_pool.take();
+        build_udp_frame_into(&ip, &udp, payload, &mut buf);
+        Ok(buf)
     }
 
     /// Close our direction of a connection. Returns the FIN frame.
@@ -678,6 +782,7 @@ impl Stack {
 
     fn reclaim(&mut self, pcb: PcbId, key: &ConnectionKey) {
         self.demux.remove(key);
+        self.demux_gen += 1;
         self.arena.remove(pcb);
         self.sockets.remove(&pcb);
         // A connection dying before accept releases its backlog slot.
@@ -695,7 +800,24 @@ impl Stack {
         let ip = Ipv4Repr::new(key.local_addr, key.remote_addr, IpProtocol::Tcp);
         self.stats.frames_out += 1;
         self.demux.note_send(key);
-        self.builder.tcp(&ip, repr, payload).to_vec()
+        let mut buf = self.tx_pool.take();
+        build_tcp_frame_into(&ip, repr, payload, &mut buf);
+        buf
+    }
+
+    /// Return a spent transmit buffer (a frame obtained from `send`,
+    /// `receive`'s replies, `connect`'s SYN, …) to the stack's pool so
+    /// later emissions reuse its capacity. Optional — un-recycled buffers
+    /// simply cost an allocation each — but with recycling, steady-state
+    /// transmission allocates nothing (see [`Stack::tx_pool_stats`]).
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.tx_pool.recycle(buf);
+    }
+
+    /// Counters for the transmit-buffer pool: allocations (pool empty)
+    /// versus reuses of recycled capacity.
+    pub fn tx_pool_stats(&self) -> TxPoolStats {
+        self.tx_pool.stats()
     }
 
     /// Process one received frame.
@@ -706,11 +828,13 @@ impl Stack {
     pub fn receive(&mut self, frame: &[u8]) -> Result<RxResult, WireError> {
         self.stats.frames_in += 1;
 
-        let packet = Ipv4Packet::new_checked(frame).inspect_err(|_e| {
+        let packet = Ipv4Packet::new_checked(frame).map_err(|e| {
             self.stats.ip_errors += 1;
+            e
         })?;
-        let ip = Ipv4Repr::parse(&packet).inspect_err(|_e| {
+        let ip = Ipv4Repr::parse(&packet).map_err(|e| {
             self.stats.ip_errors += 1;
+            e
         })?;
         if ip.dst_addr != self.config.local_addr {
             self.stats.not_for_us += 1;
@@ -738,13 +862,210 @@ impl Stack {
         }
     }
 
+    /// Parse one frame into its batched-receive classification,
+    /// performing the same validation (and error counting) as
+    /// [`Stack::receive`]'s front half.
+    fn classify(&mut self, frame: &[u8]) -> Classified {
+        self.stats.frames_in += 1;
+        let packet = match Ipv4Packet::new_checked(frame) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.ip_errors += 1;
+                return Classified::Done(Err(e));
+            }
+        };
+        let ip = match Ipv4Repr::parse(&packet) {
+            Ok(ip) => ip,
+            Err(e) => {
+                self.stats.ip_errors += 1;
+                return Classified::Done(Err(e));
+            }
+        };
+        if ip.dst_addr != self.config.local_addr {
+            self.stats.not_for_us += 1;
+            return Classified::Done(Ok(RxResult {
+                outcome: RxOutcome::NotForUs,
+                replies: Vec::new(),
+                pcbs_examined: 0,
+            }));
+        }
+        match ip.protocol {
+            IpProtocol::Tcp => {
+                let segment = match TcpSegment::new_checked(packet.payload()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.stats.tcp_errors += 1;
+                        return Classified::Done(Err(e));
+                    }
+                };
+                let tcp = match TcpRepr::parse(&segment, ip.src_addr, ip.dst_addr) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.stats.tcp_errors += 1;
+                        return Classified::Done(Err(e));
+                    }
+                };
+                let payload = subslice_range(frame, segment.payload());
+                let key = ConnectionKey::from_incoming_tcp(&ip, &tcp);
+                let kind = Self::classify_tcp(&tcp, &frame[payload.0..payload.1]);
+                Classified::Tcp {
+                    key,
+                    kind,
+                    tcp,
+                    payload,
+                }
+            }
+            IpProtocol::Udp => {
+                let header_len = packet.header_len();
+                let datagram = match UdpDatagram::new_checked(packet.payload()) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        self.stats.tcp_errors += 1;
+                        return Classified::Done(Err(e));
+                    }
+                };
+                let udp = match UdpRepr::parse(&datagram, ip.src_addr, ip.dst_addr) {
+                    Ok(u) => u,
+                    Err(e) => {
+                        self.stats.tcp_errors += 1;
+                        return Classified::Done(Err(e));
+                    }
+                };
+                let payload = subslice_range(frame, datagram.payload());
+                let key = ConnectionKey::from_incoming_udp(&ip, &udp);
+                Classified::Udp {
+                    key,
+                    payload,
+                    header_len,
+                }
+            }
+            // ICMP never consults the demultiplexer; process it here so
+            // the apply stage only deals with demux-bearing frames.
+            IpProtocol::Icmp => Classified::Done(self.receive_icmp(&ip, packet.payload())),
+            IpProtocol::Unknown(_) => {
+                self.stats.bad_protocol += 1;
+                Classified::Done(Ok(RxResult {
+                    outcome: RxOutcome::UnhandledProtocol,
+                    replies: Vec::new(),
+                    pcbs_examined: 0,
+                }))
+            }
+        }
+    }
+
+    /// Process a batch of received frames through one demultiplexer pass.
+    ///
+    /// Semantically equivalent to calling [`Stack::receive`] on each frame
+    /// in order — same per-frame outcomes, replies, and counters — but all
+    /// frames are parsed first, then demultiplexed in a *single*
+    /// [`Demux::lookup_batch`] call (which hashed structures answer with
+    /// one chain walk per bucket), then applied. This is the receive-side
+    /// shape of a driver handing the stack a ring's worth of packets per
+    /// interrupt.
+    ///
+    /// If applying a frame changes the connection table (a SYN inserts, an
+    /// RST or FIN removes), the remaining batched lookups are stale; those
+    /// frames are transparently re-looked-up one at a time, preserving
+    /// per-frame results at the cost of extra lookups (counted in
+    /// [`BatchRxResult::relookups`], and visible in the demultiplexer's
+    /// own `LookupStats`). Steady-state traffic — data and ACKs on
+    /// established connections, the paper's workload — never triggers it.
+    pub fn receive_batch<F: AsRef<[u8]>>(&mut self, frames: &[F]) -> BatchRxResult {
+        let mut classified = std::mem::take(&mut self.rx_scratch.classified);
+        classified.clear();
+        classified.extend(frames.iter().map(|f| self.classify(f.as_ref())));
+
+        let mut keys = std::mem::take(&mut self.rx_scratch.keys);
+        keys.clear();
+        for c in &classified {
+            match c {
+                Classified::Tcp { key, kind, .. } => keys.push((*key, *kind)),
+                Classified::Udp { key, .. } => keys.push((*key, PacketKind::Data)),
+                Classified::Done(_) => {}
+            }
+        }
+        let mut lookups = std::mem::take(&mut self.rx_scratch.lookups);
+        self.demux.lookup_batch(&keys, &mut lookups);
+        let gen_at_lookup = self.demux_gen;
+
+        let mut out = BatchRxResult {
+            results: Vec::with_capacity(frames.len()),
+            batched_lookups: 0,
+            relookups: 0,
+        };
+        let mut next = 0usize;
+        for (frame, c) in frames.iter().zip(classified.drain(..)) {
+            let frame = frame.as_ref();
+            match c {
+                Classified::Done(r) => out.results.push(r),
+                Classified::Tcp {
+                    key,
+                    kind,
+                    tcp,
+                    payload,
+                } => {
+                    let lookup =
+                        self.batch_lookup_for(&key, kind, lookups[next], gen_at_lookup, &mut out);
+                    next += 1;
+                    let payload = &frame[payload.0..payload.1];
+                    out.results
+                        .push(Ok(self.apply_tcp(&key, &tcp, payload, lookup)));
+                }
+                Classified::Udp {
+                    key,
+                    payload,
+                    header_len,
+                } => {
+                    let lookup = self.batch_lookup_for(
+                        &key,
+                        PacketKind::Data,
+                        lookups[next],
+                        gen_at_lookup,
+                        &mut out,
+                    );
+                    next += 1;
+                    let payload = &frame[payload.0..payload.1];
+                    out.results
+                        .push(Ok(self.apply_udp(&key, payload, frame, header_len, lookup)));
+                }
+            }
+        }
+        self.rx_scratch.classified = classified;
+        self.rx_scratch.keys = keys;
+        self.rx_scratch.lookups = lookups;
+        out
+    }
+
+    /// Use the batched lookup result if the connection table is unchanged
+    /// since the batch lookup ran; otherwise redo the lookup against the
+    /// current table (the batched answer may name a reclaimed PCB, or
+    /// miss a connection an earlier frame in the batch just created).
+    fn batch_lookup_for(
+        &mut self,
+        key: &ConnectionKey,
+        kind: PacketKind,
+        batched: LookupResult,
+        gen_at_lookup: u64,
+        out: &mut BatchRxResult,
+    ) -> LookupResult {
+        if self.demux_gen == gen_at_lookup {
+            out.batched_lookups += 1;
+            batched
+        } else {
+            out.relookups += 1;
+            self.demux.lookup(key, kind)
+        }
+    }
+
     /// Wrap raw ICMP bytes in an IPv4 packet addressed to `dst`.
     fn emit_icmp(&mut self, dst: Ipv4Addr, icmp_bytes: &[u8]) -> Vec<u8> {
         let ip = Ipv4Repr {
             payload_len: icmp_bytes.len(),
             ..Ipv4Repr::new(self.config.local_addr, dst, IpProtocol::Icmp)
         };
-        let mut buf = vec![0u8; ip.total_len()];
+        let mut buf = self.tx_pool.take();
+        buf.clear();
+        buf.resize(ip.total_len(), 0);
         buf[tcpdemux_wire::ipv4::HEADER_LEN..].copy_from_slice(icmp_bytes);
         let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
         ip.emit(&mut packet).expect("sized buffer");
@@ -754,8 +1075,9 @@ impl Stack {
 
     fn receive_icmp(&mut self, ip: &Ipv4Repr, message: &[u8]) -> Result<RxResult, WireError> {
         use tcpdemux_wire::IcmpRepr;
-        let icmp = IcmpRepr::parse(message).inspect_err(|_e| {
+        let icmp = IcmpRepr::parse(message).map_err(|e| {
             self.stats.tcp_errors += 1;
+            e
         })?;
         self.stats.icmp_in += 1;
         match icmp {
@@ -796,71 +1118,95 @@ impl Stack {
         full_packet: &[u8],
         ip_header_len: usize,
     ) -> Result<RxResult, WireError> {
-        let datagram = UdpDatagram::new_checked(datagram).inspect_err(|_e| {
+        let datagram = UdpDatagram::new_checked(datagram).map_err(|e| {
             self.stats.tcp_errors += 1;
+            e
         })?;
-        let udp = UdpRepr::parse(&datagram, ip.src_addr, ip.dst_addr).inspect_err(|_e| {
+        let udp = UdpRepr::parse(&datagram, ip.src_addr, ip.dst_addr).map_err(|e| {
             self.stats.tcp_errors += 1;
+            e
         })?;
         let key = ConnectionKey::from_incoming_udp(ip, &udp);
         let lookup = self.demux.lookup(&key, PacketKind::Data);
+        Ok(self.apply_udp(&key, datagram.payload(), full_packet, ip_header_len, lookup))
+    }
+
+    /// The demux-dependent half of UDP receive: everything after the
+    /// lookup. `receive` calls it with a fresh per-frame lookup;
+    /// `receive_batch` with a result from the batched lookup.
+    fn apply_udp(
+        &mut self,
+        key: &ConnectionKey,
+        payload: &[u8],
+        full_packet: &[u8],
+        ip_header_len: usize,
+        lookup: LookupResult,
+    ) -> RxResult {
         self.stats.pcbs_examined += u64::from(lookup.examined);
 
         if let Some(id) = lookup.pcb {
             self.stats.demux_hits += 1;
-            let payload = datagram.payload();
             self.stats.bytes_delivered += payload.len() as u64;
             if let Some(p) = self.arena.get_mut(id) {
                 p.note_segment_in(payload.len());
             }
             self.sockets.entry(id).or_default().deliver(payload);
-            return Ok(RxResult {
+            return RxResult {
                 outcome: RxOutcome::Delivered {
                     pcb: id,
                     bytes: payload.len(),
                 },
                 replies: Vec::new(),
                 pcbs_examined: lookup.examined,
-            });
+            };
         }
         // Unconnected bound sockets: delivery without a PCB entry.
-        if self.udp_listeners.iter().any(|l| l.matches(&key)) {
+        if self.udp_listeners.iter().any(|l| l.matches(key)) {
             self.stats.listener_hits += 1;
-            self.stats.bytes_delivered += datagram.payload().len() as u64;
-            return Ok(RxResult {
+            self.stats.bytes_delivered += payload.len() as u64;
+            return RxResult {
                 outcome: RxOutcome::DeliveredUnconnected {
-                    bytes: datagram.payload().len(),
+                    bytes: payload.len(),
                 },
                 replies: Vec::new(),
                 pcbs_examined: lookup.examined,
-            });
+            };
         }
         // RFC 1122: a datagram for a dead port provokes ICMP
         // port-unreachable quoting the offender.
         self.stats.resets_sent += 1;
         let unreachable =
             tcpdemux_wire::IcmpRepr::port_unreachable(full_packet, ip_header_len).emit();
-        let frame = self.emit_icmp(ip.src_addr, &unreachable);
-        Ok(RxResult {
+        let frame = self.emit_icmp(key.remote_addr, &unreachable);
+        RxResult {
             outcome: RxOutcome::UdpUnreachable,
             replies: vec![frame],
             pcbs_examined: lookup.examined,
-        })
+        }
     }
 
     fn receive_tcp(&mut self, ip: &Ipv4Repr, segment: &[u8]) -> Result<RxResult, WireError> {
-        let segment = TcpSegment::new_checked(segment).inspect_err(|_e| {
+        let segment = TcpSegment::new_checked(segment).map_err(|e| {
             self.stats.tcp_errors += 1;
+            e
         })?;
-        let tcp = TcpRepr::parse(&segment, ip.src_addr, ip.dst_addr).inspect_err(|_e| {
+        let tcp = TcpRepr::parse(&segment, ip.src_addr, ip.dst_addr).map_err(|e| {
             self.stats.tcp_errors += 1;
+            e
         })?;
         let payload = segment.payload();
         let key = ConnectionKey::from_incoming_tcp(ip, &tcp);
 
-        // The paper's subject: one instrumented lookup per segment. Pure
-        // ACKs probe send-side caches first (footnote 5).
-        let kind = if payload.is_empty()
+        // The paper's subject: one instrumented lookup per segment.
+        let kind = Self::classify_tcp(&tcp, payload);
+        let lookup = self.demux.lookup(&key, kind);
+        Ok(self.apply_tcp(&key, &tcp, payload, lookup))
+    }
+
+    /// Classify an incoming TCP segment for the demultiplexer. Pure ACKs
+    /// probe send-side caches first (the paper's footnote 5).
+    fn classify_tcp(tcp: &TcpRepr, payload: &[u8]) -> PacketKind {
+        if payload.is_empty()
             && tcp.flags.contains(TcpFlags::ACK)
             && !tcp
                 .flags
@@ -869,17 +1215,27 @@ impl Stack {
             PacketKind::Ack
         } else {
             PacketKind::Data
-        };
-        let lookup = self.demux.lookup(&key, kind);
+        }
+    }
+
+    /// The demux-dependent half of TCP receive: state-machine processing,
+    /// listener matching, and RST generation, given a lookup result.
+    fn apply_tcp(
+        &mut self,
+        key: &ConnectionKey,
+        tcp: &TcpRepr,
+        payload: &[u8],
+        lookup: LookupResult,
+    ) -> RxResult {
         self.stats.pcbs_examined += u64::from(lookup.examined);
 
         if let Some(id) = lookup.pcb {
             self.stats.demux_hits += 1;
-            let result = self.process_segment(id, &key, &tcp, payload);
-            return Ok(RxResult {
+            let result = self.process_segment(id, key, tcp, payload);
+            return RxResult {
                 pcbs_examined: lookup.examined,
                 ..result
-            });
+            };
         }
 
         // No connection: try the listeners for a SYN.
@@ -888,7 +1244,7 @@ impl Stack {
                 .listeners
                 .iter()
                 .enumerate()
-                .filter(|(_, l)| l.key.matches(&key))
+                .filter(|(_, l)| l.key.matches(key))
                 .max_by_key(|(_, l)| l.key.specificity())
                 .map(|(i, _)| i);
             if let Some(idx) = matched {
@@ -896,36 +1252,36 @@ impl Stack {
                     // Backlog full: drop the SYN silently; the client
                     // will retransmit (BSD semantics).
                     self.stats.syn_drops += 1;
-                    return Ok(RxResult {
+                    return RxResult {
                         outcome: RxOutcome::SynDropped,
                         replies: Vec::new(),
                         pcbs_examined: lookup.examined,
-                    });
+                    };
                 }
                 self.stats.listener_hits += 1;
-                let result = self.accept_syn(&key, &tcp, idx);
-                return Ok(RxResult {
+                let result = self.accept_syn(key, tcp, idx);
+                return RxResult {
                     pcbs_examined: lookup.examined,
                     ..result
-                });
+                };
             }
         }
 
         // Nothing matched: RST (unless the offender is itself an RST).
         if tcp.flags.contains(TcpFlags::RST) {
-            return Ok(RxResult {
+            return RxResult {
                 outcome: RxOutcome::ResetSent, // nothing to do; no reply
                 replies: Vec::new(),
                 pcbs_examined: lookup.examined,
-            });
+            };
         }
         self.stats.resets_sent += 1;
-        let rst = self.make_rst(&key, &tcp, payload.len());
-        Ok(RxResult {
+        let rst = self.make_rst(key, tcp, payload.len());
+        RxResult {
             outcome: RxOutcome::ResetSent,
             replies: vec![rst],
             pcbs_examined: lookup.examined,
-        })
+        }
     }
 
     fn accept_syn(&mut self, key: &ConnectionKey, tcp: &TcpRepr, listener_idx: usize) -> RxResult {
@@ -938,6 +1294,7 @@ impl Stack {
         pcb.note_segment_in(0);
         let id = self.arena.insert(pcb);
         self.demux.insert(*key, id);
+        self.demux_gen += 1;
         self.sockets.insert(id, SocketBuffer::new());
         self.listeners[listener_idx].embryonic += 1;
         self.listener_of.insert(id, listener_idx);
@@ -2037,5 +2394,224 @@ mod tests {
         // The SYN's lookup scanned an empty structure (0 examined), so the
         // mean sits below 1 here; it must still be positive.
         assert!(server.stats().mean_pcbs_examined() > 0.0);
+    }
+
+    #[test]
+    fn config_builders_cover_every_field() {
+        let cfg = StackConfig::new(SERVER)
+            .with_local_addr(CLIENT)
+            .with_window(1024)
+            .with_mss(536)
+            .with_ephemeral_base(55_555)
+            .with_time_wait(7);
+        assert_eq!(cfg.local_addr, CLIENT);
+        assert_eq!(cfg.window, 1024);
+        assert_eq!(cfg.mss, 536);
+        assert_eq!(cfg.ephemeral_base, 55_555);
+        assert_eq!(cfg.time_wait_ticks, Some(7));
+
+        // Behavioral: the first active open draws the configured base.
+        let mut client = Stack::new(
+            StackConfig::new(CLIENT).with_ephemeral_base(55_555),
+            Box::new(BsdDemux::new()),
+        );
+        let (cp, _syn) = client.connect(SERVER, 80).unwrap();
+        assert_eq!(client.arena.get(cp).unwrap().key().local_port, 55_555);
+    }
+
+    fn assert_rx_equal(a: &Result<RxResult, WireError>, b: &Result<RxResult, WireError>, i: usize) {
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.outcome, y.outcome, "frame {i} outcome");
+                assert_eq!(x.replies, y.replies, "frame {i} replies");
+                assert_eq!(x.pcbs_examined, y.pcbs_examined, "frame {i} examined");
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y, "frame {i} error"),
+            _ => panic!("frame {i}: sequential {a:?} vs batched {b:?}"),
+        }
+    }
+
+    /// Record a full client session against a throwaway server, returning
+    /// every frame the client put on the wire toward the server (plus a
+    /// few adversarial extras), so the same byte sequence can be replayed
+    /// into fresh servers.
+    fn scripted_session() -> Vec<Vec<u8>> {
+        let make_server = || {
+            let mut s = Stack::new(
+                StackConfig::new(SERVER),
+                Box::new(tcpdemux_core::SequentDemux::new(
+                    tcpdemux_hash::Multiplicative,
+                    19,
+                )),
+            );
+            s.listen(1521).unwrap();
+            s.udp_bind(514).unwrap();
+            s
+        };
+        let mut server = make_server();
+        let mut client = Stack::new(StackConfig::new(CLIENT), Box::new(BsdDemux::new()));
+
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut push = |server: &mut Stack, client: &mut Stack, frame: Vec<u8>| {
+            // Drive the recording server so the client sees its replies.
+            if let Ok(r) = server.receive(&frame) {
+                for reply in r.replies {
+                    let _ = client.receive(&reply);
+                }
+            }
+            frames.push(frame);
+        };
+
+        let (cp, syn) = client.connect(SERVER, 1521).unwrap();
+        push(&mut server, &mut client, syn);
+        // The handshake ACK was generated by `client.receive` inside
+        // `push`; regenerate it deterministically by sending empty data…
+        // instead, replay what the client would send next: data frames.
+        for i in 0..4 {
+            let frame = client.send(cp, format!("txn {i}").as_bytes()).unwrap();
+            push(&mut server, &mut client, frame);
+        }
+        // A connected-UDP datagram and one for an unbound port.
+        let us = client.udp_open(40_000, SERVER, 514).unwrap();
+        let udp_ok = client.udp_send(us, b"log line").unwrap();
+        push(&mut server, &mut client, udp_ok);
+        let us2 = client.udp_open(40_001, SERVER, 9).unwrap();
+        let udp_dead = client.udp_send(us2, b"discard").unwrap();
+        push(&mut server, &mut client, udp_dead);
+        // A frame for another host, a truncated frame, and teardown.
+        let (_ghost, foreign) = client.connect(Ipv4Addr::new(10, 0, 0, 99), 80).unwrap();
+        push(&mut server, &mut client, foreign);
+        push(&mut server, &mut client, vec![0x45, 0x00]);
+        let fin = client.close(cp).unwrap();
+        push(&mut server, &mut client, fin);
+        frames
+    }
+
+    #[test]
+    fn receive_batch_matches_sequential_receive() {
+        // Note the recorded script opens with a SYN whose handshake ACK is
+        // never replayed (the recording client consumed the SYN-ACK), so
+        // the data frames land on a SYN-RECEIVED connection — which the
+        // stack handles (BSD processes data queued behind the accept), and
+        // which both paths must classify identically.
+        let frames = scripted_session();
+        let fresh = || {
+            let mut s = Stack::new(
+                StackConfig::new(SERVER),
+                Box::new(tcpdemux_core::SequentDemux::new(
+                    tcpdemux_hash::Multiplicative,
+                    19,
+                )),
+            );
+            s.listen(1521).unwrap();
+            s.udp_bind(514).unwrap();
+            s
+        };
+
+        let mut sequential = fresh();
+        let seq_results: Vec<_> = frames.iter().map(|f| sequential.receive(f)).collect();
+
+        for batch_size in [1usize, 3, 8, frames.len()] {
+            let mut batched = fresh();
+            let mut bat_results = Vec::new();
+            for chunk in frames.chunks(batch_size) {
+                bat_results.extend(batched.receive_batch(chunk).results);
+            }
+            assert_eq!(bat_results.len(), seq_results.len());
+            for (i, (a, b)) in seq_results.iter().zip(&bat_results).enumerate() {
+                assert_rx_equal(a, b, i);
+            }
+            assert_eq!(
+                sequential.stats(),
+                batched.stats(),
+                "stack counters must agree at batch size {batch_size}"
+            );
+            assert_eq!(batched.connection_count(), sequential.connection_count());
+        }
+    }
+
+    #[test]
+    fn steady_state_batch_needs_no_relookups() {
+        let (mut server, mut client) = pair();
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+        let frames: Vec<_> = (0..16)
+            .map(|i| client.send(cp, format!("row {i}").as_bytes()).unwrap())
+            .collect();
+        let before = server.demux_stats().lookups;
+        let batch = server.receive_batch(&frames);
+        assert_eq!(batch.relookups, 0, "no table changes mid-batch");
+        assert_eq!(batch.batched_lookups, 16);
+        assert_eq!(server.demux_stats().lookups, before + 16, "one per frame");
+        for r in &batch.results {
+            assert!(matches!(
+                r.as_ref().unwrap().outcome,
+                RxOutcome::Delivered { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn mid_batch_syn_is_visible_to_the_handshake_ack() {
+        // SYN and its completing ACK in ONE batch: the batched lookup ran
+        // before the SYN inserted the connection, so the ACK's batched
+        // answer is a stale miss. The generation counter must force a
+        // re-lookup instead of sending an RST at an opening client.
+        let (mut server, mut client) = pair();
+        server.listen(80).unwrap();
+        let (_cp, syn) = client.connect(SERVER, 80).unwrap();
+        // Forge the handshake ACK without consuming the server's SYN-ACK:
+        // run the handshake against a twin server to capture the ACK.
+        let mut twin = Stack::new(StackConfig::new(SERVER), Box::new(BsdDemux::new()));
+        twin.listen(80).unwrap();
+        let r = twin.receive(&syn).unwrap();
+        let ack = client.receive(&r.replies[0]).unwrap().replies[0].clone();
+
+        let batch = server.receive_batch(&[syn, ack]);
+        assert!(matches!(
+            batch.results[0].as_ref().unwrap().outcome,
+            RxOutcome::NewConnection { .. }
+        ));
+        assert!(matches!(
+            batch.results[1].as_ref().unwrap().outcome,
+            RxOutcome::Established { .. }
+        ));
+        assert_eq!(batch.relookups, 1, "the ACK re-looked-up after the SYN");
+        assert_eq!(batch.batched_lookups, 1);
+        assert_eq!(server.stats().resets_sent, 0);
+    }
+
+    #[test]
+    fn transmit_is_allocation_free_after_warmup() {
+        let (mut server, mut client) = pair();
+        let (cp, _sp) = handshake(&mut server, &mut client, 1521);
+
+        let exchange = |server: &mut Stack, client: &mut Stack, n: usize| {
+            for i in 0..n {
+                let frame = client.send(cp, format!("item {i}").as_bytes()).unwrap();
+                let r = server.receive(&frame).unwrap();
+                client.recycle(frame);
+                for reply in r.replies {
+                    let _ = client.receive(&reply).unwrap();
+                    server.recycle(reply);
+                }
+            }
+        };
+
+        exchange(&mut server, &mut client, 4); // warm-up
+        let client_base = client.tx_pool_stats().allocations;
+        let server_base = server.tx_pool_stats().allocations;
+        exchange(&mut server, &mut client, 100);
+        assert_eq!(
+            client.tx_pool_stats().allocations,
+            client_base,
+            "client data frames reuse recycled buffers"
+        );
+        assert_eq!(
+            server.tx_pool_stats().allocations,
+            server_base,
+            "server ACKs reuse recycled buffers"
+        );
+        assert!(client.tx_pool_stats().reuses >= 100);
+        assert!(server.tx_pool_stats().reuses >= 100);
     }
 }

@@ -1,0 +1,127 @@
+//! A free-list of transmit buffers, making steady-state TX allocation-free.
+//!
+//! Every frame the stack emits ([`Stack::send`](crate::Stack::send), ACKs,
+//! SYN-ACKs, RSTs, ICMP replies…) is an owned `Vec<u8>` handed to the
+//! caller. Without pooling, each one is a fresh heap allocation — per
+//! packet, exactly the cost the paper's environment (a kernel with its own
+//! mbuf/STREAMS buffer pools) never pays. [`TxPool`] closes that gap: the
+//! caller returns spent buffers via [`Stack::recycle`](crate::Stack::recycle)
+//! and subsequent emissions reuse their capacity instead of allocating.
+//!
+//! The pool tracks how often it had to fall back to a fresh allocation, so
+//! tests (and the `batch_rx` benchmark) can pin the steady-state invariant:
+//! after warm-up, `allocations` stays flat while `reuses` grows.
+
+/// Counters describing pool behavior since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxPoolStats {
+    /// Buffers handed out by allocating fresh (pool was empty).
+    pub allocations: u64,
+    /// Buffers handed out by reusing a recycled buffer's capacity.
+    pub reuses: u64,
+    /// Buffers currently parked in the free list.
+    pub free: usize,
+}
+
+/// A bounded free-list of `Vec<u8>` transmit buffers.
+#[derive(Debug)]
+pub struct TxPool {
+    free: Vec<Vec<u8>>,
+    max_free: usize,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl Default for TxPool {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_MAX_FREE)
+    }
+}
+
+impl TxPool {
+    /// Default bound on parked buffers — enough for any burst this
+    /// workspace's harnesses generate, small enough that a caller who
+    /// never recycles wastes nothing.
+    pub const DEFAULT_MAX_FREE: usize = 64;
+
+    /// Create a pool that parks at most `max_free` recycled buffers.
+    pub fn new(max_free: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            max_free,
+            allocations: 0,
+            reuses: 0,
+        }
+    }
+
+    /// Hand out a buffer: a recycled one if available, else a fresh
+    /// allocation. The returned buffer's contents are unspecified; every
+    /// emit path overwrites it in full.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.reuses += 1;
+                buf
+            }
+            None => {
+                self.allocations += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a spent buffer's capacity to the pool. Buffers beyond the
+    /// free-list bound are dropped (deallocated) instead of parked.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+
+    /// Snapshot the pool's counters.
+    pub fn stats(&self) -> TxPoolStats {
+        TxPoolStats {
+            allocations: self.allocations,
+            reuses: self.reuses,
+            free: self.free.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_allocates_when_empty_and_reuses_after_recycle() {
+        let mut pool = TxPool::default();
+        let a = pool.take();
+        assert_eq!(pool.stats().allocations, 1);
+        assert_eq!(pool.stats().reuses, 0);
+        pool.recycle(a);
+        assert_eq!(pool.stats().free, 1);
+        let _b = pool.take();
+        assert_eq!(pool.stats().allocations, 1, "no second allocation");
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn capacity_survives_the_round_trip() {
+        let mut pool = TxPool::default();
+        let mut a = pool.take();
+        a.resize(1500, 0xAB);
+        let cap = a.capacity();
+        pool.recycle(a);
+        let b = pool.take();
+        assert!(b.capacity() >= cap, "recycled capacity is retained");
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = TxPool::new(2);
+        for _ in 0..5 {
+            pool.recycle(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.stats().free, 2);
+    }
+}

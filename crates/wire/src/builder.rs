@@ -3,6 +3,12 @@
 //! The simulator and the stack construct millions of packets; these helpers
 //! centralize buffer sizing and checksum ordering (transport checksum first,
 //! then the IP header checksum) so call sites cannot get it wrong.
+//!
+//! The `*_into` functions assemble directly into a caller-provided `Vec`,
+//! which lets callers that pool their transmit buffers (see the stack's
+//! `TxPool`) build frames without any intermediate copy. [`FrameBuilder`]
+//! wraps them with an internal reusable buffer for callers that only need
+//! a borrowed view of the frame.
 
 use crate::ipv4::{self, IpProtocol, Ipv4Packet, Ipv4Repr};
 use crate::tcp::{TcpRepr, TcpSegment};
@@ -14,14 +20,66 @@ use crate::udp::{self, UdpDatagram, UdpRepr};
 /// callers in this workspace never do; use [`FrameBuilder`] for a fallible,
 /// allocation-reusing interface.
 pub fn build_tcp_frame(ip: &Ipv4Repr, tcp: &TcpRepr, payload: &[u8]) -> Vec<u8> {
-    let mut builder = FrameBuilder::new();
-    builder.tcp(ip, tcp, payload).to_vec()
+    let mut out = Vec::new();
+    build_tcp_frame_into(ip, tcp, payload, &mut out);
+    out
 }
 
 /// Build a complete IPv4+UDP frame from representations and a payload.
 pub fn build_udp_frame(ip: &Ipv4Repr, udp_repr: &UdpRepr, payload: &[u8]) -> Vec<u8> {
-    let mut builder = FrameBuilder::new();
-    builder.udp(ip, udp_repr, payload).to_vec()
+    let mut out = Vec::new();
+    build_udp_frame_into(ip, udp_repr, payload, &mut out);
+    out
+}
+
+/// Assemble an IPv4+TCP frame into `out`, replacing its contents.
+///
+/// `out`'s capacity is reused, so a caller that recycles its buffers pays
+/// no allocation once the buffer has grown to the working frame size.
+pub fn build_tcp_frame_into(ip: &Ipv4Repr, tcp: &TcpRepr, payload: &[u8], out: &mut Vec<u8>) {
+    let tcp_len = tcp.header_len() + payload.len();
+    let total = ipv4::HEADER_LEN + tcp_len;
+    out.clear();
+    out.resize(total, 0);
+
+    out[ipv4::HEADER_LEN + tcp.header_len()..].copy_from_slice(payload);
+    {
+        let mut segment = TcpSegment::new_unchecked(&mut out[ipv4::HEADER_LEN..]);
+        tcp.emit(&mut segment, ip.src_addr, ip.dst_addr)
+            .expect("TCP emit into sized buffer cannot fail");
+    }
+    let ip = Ipv4Repr {
+        payload_len: tcp_len,
+        protocol: IpProtocol::Tcp,
+        ..*ip
+    };
+    let mut packet = Ipv4Packet::new_unchecked(&mut out[..]);
+    ip.emit(&mut packet)
+        .expect("IPv4 emit into sized buffer cannot fail");
+}
+
+/// Assemble an IPv4+UDP frame into `out`, replacing its contents.
+pub fn build_udp_frame_into(ip: &Ipv4Repr, udp_repr: &UdpRepr, payload: &[u8], out: &mut Vec<u8>) {
+    let udp_len = udp::HEADER_LEN + payload.len();
+    let total = ipv4::HEADER_LEN + udp_len;
+    out.clear();
+    out.resize(total, 0);
+
+    out[ipv4::HEADER_LEN + udp::HEADER_LEN..].copy_from_slice(payload);
+    {
+        let mut datagram = UdpDatagram::new_unchecked(&mut out[ipv4::HEADER_LEN..]);
+        udp_repr
+            .emit(&mut datagram, ip.src_addr, ip.dst_addr, payload.len())
+            .expect("UDP emit into sized buffer cannot fail");
+    }
+    let ip = Ipv4Repr {
+        payload_len: udp_len,
+        protocol: IpProtocol::Udp,
+        ..*ip
+    };
+    let mut packet = Ipv4Packet::new_unchecked(&mut out[..]);
+    ip.emit(&mut packet)
+        .expect("IPv4 emit into sized buffer cannot fail");
 }
 
 /// A reusable frame assembly buffer.
@@ -41,50 +99,13 @@ impl FrameBuilder {
 
     /// Assemble an IPv4+TCP frame in the internal buffer and return it.
     pub fn tcp(&mut self, ip: &Ipv4Repr, tcp: &TcpRepr, payload: &[u8]) -> &[u8] {
-        let tcp_len = tcp.header_len() + payload.len();
-        let total = ipv4::HEADER_LEN + tcp_len;
-        self.buffer.clear();
-        self.buffer.resize(total, 0);
-
-        self.buffer[ipv4::HEADER_LEN + tcp.header_len()..].copy_from_slice(payload);
-        {
-            let mut segment = TcpSegment::new_unchecked(&mut self.buffer[ipv4::HEADER_LEN..]);
-            tcp.emit(&mut segment, ip.src_addr, ip.dst_addr)
-                .expect("TCP emit into sized buffer cannot fail");
-        }
-        let ip = Ipv4Repr {
-            payload_len: tcp_len,
-            protocol: IpProtocol::Tcp,
-            ..*ip
-        };
-        let mut packet = Ipv4Packet::new_unchecked(&mut self.buffer[..]);
-        ip.emit(&mut packet)
-            .expect("IPv4 emit into sized buffer cannot fail");
+        build_tcp_frame_into(ip, tcp, payload, &mut self.buffer);
         &self.buffer
     }
 
     /// Assemble an IPv4+UDP frame in the internal buffer and return it.
     pub fn udp(&mut self, ip: &Ipv4Repr, udp_repr: &UdpRepr, payload: &[u8]) -> &[u8] {
-        let udp_len = udp::HEADER_LEN + payload.len();
-        let total = ipv4::HEADER_LEN + udp_len;
-        self.buffer.clear();
-        self.buffer.resize(total, 0);
-
-        self.buffer[ipv4::HEADER_LEN + udp::HEADER_LEN..].copy_from_slice(payload);
-        {
-            let mut datagram = UdpDatagram::new_unchecked(&mut self.buffer[ipv4::HEADER_LEN..]);
-            udp_repr
-                .emit(&mut datagram, ip.src_addr, ip.dst_addr, payload.len())
-                .expect("UDP emit into sized buffer cannot fail");
-        }
-        let ip = Ipv4Repr {
-            payload_len: udp_len,
-            protocol: IpProtocol::Udp,
-            ..*ip
-        };
-        let mut packet = Ipv4Packet::new_unchecked(&mut self.buffer[..]);
-        ip.emit(&mut packet)
-            .expect("IPv4 emit into sized buffer cannot fail");
+        build_udp_frame_into(ip, udp_repr, payload, &mut self.buffer);
         &self.buffer
     }
 }
@@ -161,6 +182,28 @@ mod tests {
         );
         let second = builder.tcp(&ip_repr(), &tcp, b"abc").to_vec();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn into_variants_match_owned_builders() {
+        let tcp = TcpRepr {
+            src_port: 4455,
+            dst_port: 1521,
+            seq: 99,
+            flags: TcpFlags::ACK,
+            ..TcpRepr::default()
+        };
+        // Start with dirty, oversized contents to show `_into` replaces them.
+        let mut out = vec![0xAA; 512];
+        build_tcp_frame_into(&ip_repr(), &tcp, b"payload", &mut out);
+        assert_eq!(out, build_tcp_frame(&ip_repr(), &tcp, b"payload"));
+
+        let udp_repr = UdpRepr {
+            src_port: 9,
+            dst_port: 10,
+        };
+        build_udp_frame_into(&ip_repr(), &udp_repr, b"x", &mut out);
+        assert_eq!(out, build_udp_frame(&ip_repr(), &udp_repr, b"x"));
     }
 
     #[test]

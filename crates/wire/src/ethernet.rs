@@ -200,27 +200,38 @@ impl EthernetRepr {
 /// Wrap an IPv4 packet in an Ethernet II frame, padding to the 60-byte
 /// minimum.
 pub fn encapsulate_ipv4(src: EthernetAddress, dst: EthernetAddress, ip_packet: &[u8]) -> Vec<u8> {
-    let payload_len = ip_packet.len().max(MIN_PAYLOAD);
-    let mut buf = vec![0u8; HEADER_LEN + payload_len];
-    {
-        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
-        EthernetRepr {
-            src_addr: src,
-            dst_addr: dst,
-            ethertype: EtherType::Ipv4,
-        }
-        .emit(&mut frame)
-        .expect("sized buffer");
-        frame.payload_mut()[..ip_packet.len()].copy_from_slice(ip_packet);
-    }
+    let mut buf = Vec::new();
+    encapsulate_ipv4_into(src, dst, ip_packet, &mut buf);
     buf
+}
+
+/// Like [`encapsulate_ipv4`], assembling into `out` (contents replaced) so
+/// pooled transmit buffers avoid a per-frame allocation.
+pub fn encapsulate_ipv4_into(
+    src: EthernetAddress,
+    dst: EthernetAddress,
+    ip_packet: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let payload_len = ip_packet.len().max(MIN_PAYLOAD);
+    out.clear();
+    out.resize(HEADER_LEN + payload_len, 0);
+    let mut frame = EthernetFrame::new_unchecked(&mut out[..]);
+    EthernetRepr {
+        src_addr: src,
+        dst_addr: dst,
+        ethertype: EtherType::Ipv4,
+    }
+    .emit(&mut frame)
+    .expect("sized buffer");
+    frame.payload_mut()[..ip_packet.len()].copy_from_slice(ip_packet);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcpdemux_testprop::check;
     use std::net::Ipv4Addr;
+    use tcpdemux_testprop::check;
 
     fn addr(last: u8) -> EthernetAddress {
         EthernetAddress([0x02, 0, 0, 0, 0, last])

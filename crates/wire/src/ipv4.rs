@@ -229,7 +229,7 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     /// Set version 4 and header length (bytes, multiple of 4).
     pub fn set_version_and_header_len(&mut self, header_len: usize) {
-        debug_assert!(header_len.is_multiple_of(4) && (20..=60).contains(&header_len));
+        debug_assert!(header_len % 4 == 0 && (20..=60).contains(&header_len));
         self.buffer.as_mut()[field::VER_IHL] = 0x40 | (header_len / 4) as u8;
     }
 
@@ -563,8 +563,7 @@ mod tests {
             let repr = sample_repr();
             let mut buf = emit_to_vec(&repr);
             buf[corrupt_at] ^= xor;
-            let parse_result =
-                Ipv4Packet::new_checked(&buf[..]).and_then(|p| Ipv4Repr::parse(&p));
+            let parse_result = Ipv4Packet::new_checked(&buf[..]).and_then(|p| Ipv4Repr::parse(&p));
             // Corruption of TOS/ident/flags/ttl/protocol/addresses is caught
             // by the checksum; corruption of version/IHL/length by check_len.
             assert!(parse_result.is_err() || parse_result.unwrap() == repr);

@@ -71,7 +71,9 @@ pub mod udp;
 mod builder;
 
 pub use arp::{ArpOperation, ArpRepr};
-pub use builder::{build_tcp_frame, build_udp_frame, FrameBuilder};
+pub use builder::{
+    build_tcp_frame, build_tcp_frame_into, build_udp_frame, build_udp_frame_into, FrameBuilder,
+};
 pub use error::WireError;
 pub use ethernet::{EtherType, EthernetAddress, EthernetFrame, EthernetRepr};
 pub use icmp::IcmpRepr;

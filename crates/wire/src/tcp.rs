@@ -291,9 +291,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
     /// Set the header length (bytes, multiple of 4) and flags together (they
     /// share a 16-bit field).
     pub fn set_header_len_and_flags(&mut self, header_len: usize, flags: TcpFlags) {
-        debug_assert!(
-            header_len.is_multiple_of(4) && (HEADER_LEN..=MAX_HEADER_LEN).contains(&header_len)
-        );
+        debug_assert!(header_len % 4 == 0 && (HEADER_LEN..=MAX_HEADER_LEN).contains(&header_len));
         let word = ((header_len as u16 / 4) << 12) | flags.bits();
         self.buffer.as_mut()[field::OFFSET_FLAGS].copy_from_slice(&word.to_be_bytes());
     }
@@ -748,8 +746,8 @@ mod tests {
             let mut buf = emit_to_vec(&repr, &payload);
             let idx = byte % buf.len();
             buf[idx] ^= 1 << bit;
-            let result = TcpSegment::new_checked(&buf[..])
-                .and_then(|s| TcpRepr::parse(&s, SRC, DST));
+            let result =
+                TcpSegment::new_checked(&buf[..]).and_then(|s| TcpRepr::parse(&s, SRC, DST));
             assert!(result.is_err());
         });
     }

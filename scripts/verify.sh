@@ -5,8 +5,9 @@
 #   1. the workspace declares no registry dependencies anywhere
 #      (path/workspace deps only — the hermeticity contract in
 #      Cargo.toml and DESIGN.md §7);
-#   2. tier-1 passes fully offline: release build + full test suite;
-#   3. the TPC/A simulation is deterministic: two runs with the same
+#   2. formatting and lints are clean (rustfmt --check, clippy -D warnings);
+#   3. tier-1 passes fully offline: release build + full test suite;
+#   4. the TPC/A simulation is deterministic: two runs with the same
 #      seed produce byte-identical output.
 #
 # Run from anywhere inside the repo. Exits non-zero on first failure.
@@ -14,7 +15,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/3 dependency audit (cargo metadata) =="
+echo "== 1/4 dependency audit (cargo metadata) =="
 # --no-deps still lists every workspace member's declared dependencies.
 # Any dependency whose `source` is non-null comes from a registry or
 # git — both are forbidden; in-tree path deps have `"source": null`.
@@ -34,11 +35,15 @@ if bad:
 print("ok: %d workspace crates, all dependencies in-tree" % len(meta["packages"]))
 '
 
-echo "== 2/3 offline tier-1 (release build + tests) =="
+echo "== 2/4 formatting + lints (rustfmt, clippy -D warnings) =="
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== 3/4 offline tier-1 (release build + tests) =="
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-echo "== 3/3 same-seed determinism (byte-identical sim output) =="
+echo "== 4/4 same-seed determinism (byte-identical sim output) =="
 run_a=$(mktemp)
 run_b=$(mktemp)
 trap 'rm -f "$run_a" "$run_b"' EXIT

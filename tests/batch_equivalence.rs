@@ -1,0 +1,192 @@
+//! Batched lookups are observably identical to sequential lookups.
+//!
+//! For every algorithm in the (extended) suite, `Demux::lookup_batch`
+//! must return — per key, in order — exactly the [`LookupResult`] that
+//! calling `Demux::lookup` on each key would have returned, and leave the
+//! accumulated [`LookupStats`] identical. The property drives twin
+//! instances of every algorithm over randomized key streams cut at
+//! random batch boundaries, with random table mutations (insert, remove,
+//! note_send) applied to both twins between batches.
+
+use std::net::Ipv4Addr;
+use tcpdemux::demux::{extended_suite, LookupResult, PacketKind};
+use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena};
+use tcpdemux_testprop::check_cases;
+
+fn key(n: u8) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::new(10, 3, n >> 6, n),
+        41_000 + u16::from(n & 0x3),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Mutation {
+    Insert(u8),
+    Remove(u8),
+    NoteSend(u8),
+}
+
+#[test]
+fn batch_lookup_matches_sequential_lookup() {
+    check_cases("batch_lookup_matches_sequential_lookup", 48, |rng| {
+        let mut arena = PcbArena::new();
+        let mut seq_suite = extended_suite();
+        let mut batch_suite = extended_suite();
+
+        // Seed both twins with the same random connection population.
+        let population: Vec<ConnectionKey> = (0..rng.u8_in(1, 80)).map(key).collect();
+        let mut installed = Vec::new();
+        for &ck in &population {
+            if rng.chance(0.7) {
+                let id = arena.insert(Pcb::new(ck));
+                installed.push(ck);
+                for entry in seq_suite.iter_mut().chain(batch_suite.iter_mut()) {
+                    entry.demux.insert(ck, id);
+                }
+            }
+        }
+
+        // A batch of lookups (hits, misses, duplicates), then a few
+        // mutations, repeated. Everything is generated once so both
+        // twins see the exact same operation sequence.
+        let rounds = rng.usize_in(1, 12);
+        let mut script = Vec::new();
+        for _ in 0..rounds {
+            let batch: Vec<(ConnectionKey, PacketKind)> = rng.vec_of(0, 40, |rng| {
+                let ck = *rng.choose(&population);
+                let kind = if rng.bool() {
+                    PacketKind::Ack
+                } else {
+                    PacketKind::Data
+                };
+                (ck, kind)
+            });
+            let mutations = rng.vec_of(0, 4, |rng| match rng.u8_in(0, 2) {
+                0 => Mutation::Insert(rng.u8()),
+                1 => Mutation::Remove(rng.u8()),
+                _ => Mutation::NoteSend(rng.u8()),
+            });
+            script.push((batch, mutations));
+        }
+
+        for (entry_seq, entry_batch) in seq_suite.iter_mut().zip(batch_suite.iter_mut()) {
+            assert_eq!(entry_seq.name, entry_batch.name);
+            let mut installed = installed.clone();
+            let mut out = Vec::new();
+            for (batch, mutations) in &script {
+                let sequential: Vec<LookupResult> = batch
+                    .iter()
+                    .map(|(ck, kind)| entry_seq.demux.lookup(ck, *kind))
+                    .collect();
+                entry_batch.demux.lookup_batch(batch, &mut out);
+                assert_eq!(
+                    sequential, out,
+                    "batched results diverged for {}",
+                    entry_seq.name
+                );
+                for m in mutations {
+                    match *m {
+                        Mutation::Insert(n) => {
+                            let ck = key(n);
+                            if !installed.contains(&ck) {
+                                let id = arena.insert(Pcb::new(ck));
+                                installed.push(ck);
+                                entry_seq.demux.insert(ck, id);
+                                entry_batch.demux.insert(ck, id);
+                            }
+                        }
+                        Mutation::Remove(n) => {
+                            let ck = key(n);
+                            installed.retain(|&k| k != ck);
+                            entry_seq.demux.remove(&ck);
+                            entry_batch.demux.remove(&ck);
+                        }
+                        Mutation::NoteSend(n) => {
+                            let ck = key(n);
+                            entry_seq.demux.note_send(&ck);
+                            entry_batch.demux.note_send(&ck);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                entry_seq.demux.stats(),
+                entry_batch.demux.stats(),
+                "accumulated LookupStats diverged for {}",
+                entry_seq.name
+            );
+        }
+    });
+}
+
+/// Same property for the batch boundaries themselves: cutting one fixed
+/// stream into batches of any size must not change any result. (The test
+/// above varies streams; this one varies only the cut points, which is
+/// where stale-prefix bookkeeping bugs in the single-walk overrides
+/// would show up.)
+#[test]
+fn batch_boundaries_do_not_matter() {
+    check_cases("batch_boundaries_do_not_matter", 32, |rng| {
+        let mut arena = PcbArena::new();
+        let population: Vec<ConnectionKey> = (0..rng.u8_in(2, 60)).map(key).collect();
+        let stream: Vec<(ConnectionKey, PacketKind)> = rng.vec_of(1, 150, |rng| {
+            let ck = *rng.choose(&population);
+            let kind = if rng.bool() {
+                PacketKind::Ack
+            } else {
+                PacketKind::Data
+            };
+            (ck, kind)
+        });
+        // Random cut points, shared by every algorithm.
+        let cuts: Vec<usize> = {
+            let mut cuts = Vec::new();
+            let mut i = 0;
+            while i < stream.len() {
+                let step = rng.usize_in(1, 33).min(stream.len() - i);
+                i += step;
+                cuts.push(i);
+            }
+            cuts
+        };
+
+        let mut whole_suite = extended_suite();
+        let mut cut_suite = extended_suite();
+        for &ck in &population {
+            if rng.chance(0.8) {
+                let id = arena.insert(Pcb::new(ck));
+                for entry in whole_suite.iter_mut().chain(cut_suite.iter_mut()) {
+                    entry.demux.insert(ck, id);
+                }
+            }
+        }
+
+        for (whole, cut) in whole_suite.iter_mut().zip(cut_suite.iter_mut()) {
+            let mut one_batch = Vec::new();
+            whole.demux.lookup_batch(&stream, &mut one_batch);
+
+            let mut pieced = Vec::new();
+            let mut out = Vec::new();
+            let mut start = 0;
+            for &end in &cuts {
+                cut.demux.lookup_batch(&stream[start..end], &mut out);
+                pieced.extend_from_slice(&out);
+                start = end;
+            }
+            assert_eq!(
+                one_batch, pieced,
+                "cut points changed results for {}",
+                whole.name
+            );
+            assert_eq!(
+                whole.demux.stats(),
+                cut.demux.stats(),
+                "cut points changed LookupStats for {}",
+                whole.name
+            );
+        }
+    });
+}

@@ -50,19 +50,19 @@ fn all_algorithms_agree_with_reference() {
                     let id = *reference
                         .entry(ck)
                         .or_insert_with(|| arena.insert(Pcb::new(ck)));
-                    for demux in suite.iter_mut() {
-                        demux.insert(ck, id);
+                    for entry in suite.iter_mut() {
+                        entry.demux.insert(ck, id);
                     }
                 }
                 Op::Remove(k) => {
                     let ck = key(k);
                     let expected = reference.remove(&ck);
-                    for demux in suite.iter_mut() {
+                    for entry in suite.iter_mut() {
                         assert_eq!(
-                            demux.remove(&ck),
+                            entry.demux.remove(&ck),
                             expected,
                             "{} disagrees on remove",
-                            demux.name()
+                            entry.name
                         );
                     }
                     if let Some(id) = expected {
@@ -71,25 +71,29 @@ fn all_algorithms_agree_with_reference() {
                 }
                 Op::Lookup(k, is_ack) => {
                     let ck = key(k);
-                    let kind = if is_ack { PacketKind::Ack } else { PacketKind::Data };
+                    let kind = if is_ack {
+                        PacketKind::Ack
+                    } else {
+                        PacketKind::Data
+                    };
                     let expected = reference.get(&ck).copied();
-                    for demux in suite.iter_mut() {
-                        let got = demux.lookup(&ck, kind);
-                        assert_eq!(got.pcb, expected, "{} disagrees on lookup", demux.name());
+                    for entry in suite.iter_mut() {
+                        let got = entry.demux.lookup(&ck, kind);
+                        assert_eq!(got.pcb, expected, "{} disagrees on lookup", entry.name);
                         // Cost sanity: bounded by structure size + caches.
                         assert!(got.examined as usize <= reference.len() + 3);
                     }
                 }
                 Op::NoteSend(k) => {
                     let ck = key(k);
-                    for demux in suite.iter_mut() {
-                        demux.note_send(&ck);
+                    for entry in suite.iter_mut() {
+                        entry.demux.note_send(&ck);
                     }
                 }
             }
             // Sizes always agree.
-            for demux in suite.iter() {
-                assert_eq!(demux.len(), reference.len(), "{} size", demux.name());
+            for entry in suite.iter() {
+                assert_eq!(entry.demux.len(), reference.len(), "{} size", entry.name);
             }
         }
     });
