@@ -1,0 +1,54 @@
+//! Goodput vs. drop rate under timer-driven loss recovery.
+//!
+//! Sweeps the lossy-link scenario across drop rates (with a fixed 5%
+//! corruption rate riding along) and reports how much retransmission
+//! the RTO machinery needed and what goodput survived. The interesting
+//! shape: goodput degrades smoothly with loss until the exponential
+//! backoff starts dominating the wall clock, and every corrupted frame
+//! is caught by a checksum rather than delivered.
+
+use tcpdemux_bench::table::Table;
+use tcpdemux_sim::lossy::{run_lossy_link, LossyLinkConfig};
+
+fn main() {
+    let exchanges = 100;
+    println!("Loss recovery sweep — {exchanges} request/response exchanges, 5% corruption\n");
+    let mut table = Table::new(vec![
+        "drop",
+        "completed",
+        "ticks",
+        "rtx(c)",
+        "rtx(s)",
+        "drops",
+        "corrupt",
+        "cksum-rej",
+        "goodput B/tick",
+        "aborted",
+    ]);
+    for drop in [0.0, 0.05, 0.10, 0.20, 0.30, 0.40] {
+        let report = run_lossy_link(&LossyLinkConfig {
+            drop_chance: drop,
+            corrupt_chance: 0.05,
+            exchanges,
+            seed: 0xD00D_5EED,
+            ..LossyLinkConfig::default()
+        });
+        table.row(vec![
+            format!("{:.0}%", drop * 100.0),
+            report.completed.to_string(),
+            report.ticks.to_string(),
+            report.client_retransmits.to_string(),
+            report.server_retransmits.to_string(),
+            report.drops.to_string(),
+            report.corrupted.to_string(),
+            report.checksum_rejections.to_string(),
+            format!("{:.4}", report.goodput()),
+            if report.aborted { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!();
+    println!("Ticks are stack milliseconds; the in-memory link has zero latency, so");
+    println!("all elapsed time is RTO waits. 'cksum-rej' equal to 'corrupt' means no");
+    println!("mangled frame ever reached the demultiplexer.");
+}

@@ -60,6 +60,10 @@ pub struct Pcb {
     /// Smoothed round-trip-time state (Jacobson–Karels), updated by the
     /// transport on each acknowledged segment.
     pub rtt: crate::RttEstimator,
+    /// Consecutive retransmission-timer expiries without an intervening
+    /// ACK; exponent for [`RttEstimator::backed_off`](crate::RttEstimator::backed_off).
+    /// Reset to zero whenever the peer acknowledges new data.
+    pub rto_attempts: u32,
     /// Accounting counters.
     pub counters: PcbCounters,
 }
@@ -77,6 +81,7 @@ impl Pcb {
             rcv: RecvSequenceSpace::default(),
             mss: Self::DEFAULT_MSS,
             rtt: crate::RttEstimator::new(),
+            rto_attempts: 0,
             counters: PcbCounters::default(),
         }
     }
@@ -136,6 +141,13 @@ impl Pcb {
             wnd: window,
             irs,
         };
+    }
+
+    /// The retransmission timeout currently in force, in microseconds:
+    /// the estimator's RTO backed off exponentially by the consecutive
+    /// expiries recorded in [`rto_attempts`](Self::rto_attempts).
+    pub fn current_rto(&self) -> u64 {
+        self.rtt.backed_off(self.rto_attempts)
     }
 
     /// Whether an arriving segment with this sequence number and length is
@@ -250,6 +262,18 @@ mod tests {
         assert!(pcb.segment_acceptable(SeqNum(1000), 0)); // pure ACK probe
         assert!(!pcb.segment_acceptable(SeqNum(1001), 0));
         assert!(!pcb.segment_acceptable(SeqNum(1000), 1)); // data refused
+    }
+
+    #[test]
+    fn current_rto_backs_off_with_attempts() {
+        let mut pcb = Pcb::new(key());
+        pcb.rtt.record(100_000);
+        let base = pcb.rtt.rto();
+        assert_eq!(pcb.current_rto(), base);
+        pcb.rto_attempts = 2;
+        assert_eq!(pcb.current_rto(), base * 4);
+        pcb.rto_attempts = 0;
+        assert_eq!(pcb.current_rto(), base, "an ACK resets the backoff");
     }
 
     #[test]

@@ -89,6 +89,19 @@ impl RttEstimator {
         self.samples += 1;
     }
 
+    /// Absorb the measurement for an acknowledged segment, subject to
+    /// Karn's rule (Karn & Partridge, SIGCOMM 1987): an ACK for a segment
+    /// that was ever retransmitted is ambiguous — it may acknowledge the
+    /// original or the retransmission — so it must never produce a sample.
+    /// Returns whether the sample was taken.
+    pub fn sample_acked(&mut self, elapsed: u64, was_retransmitted: bool) -> bool {
+        if was_retransmitted {
+            return false;
+        }
+        self.record(elapsed);
+        true
+    }
+
     /// The retransmission timeout: `srtt + 4·rttvar`, clamped. Before any
     /// sample, a conservative 1 s.
     pub fn rto(&self) -> u64 {
@@ -193,6 +206,52 @@ mod tests {
             "srtt {}",
             est.srtt()
         );
+    }
+
+    /// Karn's rule: under any interleaving of clean and retransmitted
+    /// acknowledgements, only the clean ones are sampled — the estimator
+    /// state is exactly what feeding the clean subsequence alone produces.
+    #[test]
+    fn prop_karn_retransmitted_acks_never_sample() {
+        check("rtt_prop_karn_retransmitted_acks_never_sample", |rng| {
+            let acks = rng.vec_of(0, 80, |r| (r.u64_in(1_000, 5_000_000), r.bool()));
+            let mut est = RttEstimator::new();
+            let mut clean_only = RttEstimator::new();
+            for &(elapsed, was_retransmitted) in &acks {
+                let sampled = est.sample_acked(elapsed, was_retransmitted);
+                assert_eq!(sampled, !was_retransmitted);
+                if !was_retransmitted {
+                    clean_only.record(elapsed);
+                }
+            }
+            assert_eq!(est, clean_only);
+            let clean = acks.iter().filter(|&&(_, r)| !r).count() as u64;
+            assert_eq!(est.samples(), clean);
+        });
+    }
+
+    /// Successive backoffs double exactly until the ceiling clamps them,
+    /// and never exceed it, whatever the estimator has absorbed.
+    #[test]
+    fn prop_backoff_doubles_to_the_clamp() {
+        check("rtt_prop_backoff_doubles_to_the_clamp", |rng| {
+            let mut est = RttEstimator::new();
+            for _ in 0..rng.u32_below(20) {
+                est.record(rng.u64_in(1_000, 10_000_000));
+            }
+            let max = RttEstimator::DEFAULT_MAX_RTO;
+            for attempts in 0..20u32 {
+                let now = est.backed_off(attempts);
+                let next = est.backed_off(attempts + 1);
+                assert!(now <= max, "attempt {attempts}: {now} above ceiling");
+                if next < max {
+                    assert_eq!(next, now * 2, "attempt {attempts} must double");
+                } else {
+                    assert_eq!(next, max, "past the clamp, backoff pins at max");
+                    assert!(now * 2 >= max || now == max);
+                }
+            }
+        });
     }
 
     /// The estimator never leaves the sample envelope: srtt stays

@@ -100,7 +100,9 @@ pub enum TcpEvent {
     RecvFin,
     /// A valid RST arrived.
     RecvRst,
-    /// The 2·MSL TIME-WAIT timer (or SYN-RCVD abort timer) expired.
+    /// A terminal timer expired: the 2·MSL TIME-WAIT drain, the SYN-RCVD
+    /// abort timer, or the retransmission budget running out in any
+    /// synchronized state.
     Timeout,
 }
 
@@ -159,10 +161,13 @@ impl TcpState {
             (Established, RecvRst) => Closed,
             // A duplicate ACK in Established is a no-op, not an error.
             (Established, RecvAck) => Established,
+            // Retransmission budget exhausted: the transport aborts.
+            (Established, Timeout) => Closed,
 
             (FinWait1, RecvAck) => FinWait2,
             (FinWait1, RecvFin) => Closing,
             (FinWait1, RecvRst) => Closed,
+            (FinWait1, Timeout) => Closed,
 
             (FinWait2, RecvFin) => TimeWait,
             (FinWait2, RecvRst) => Closed,
@@ -171,12 +176,15 @@ impl TcpState {
             (CloseWait, AppClose) => LastAck,
             (CloseWait, RecvRst) => Closed,
             (CloseWait, RecvAck) => CloseWait,
+            (CloseWait, Timeout) => Closed,
 
             (Closing, RecvAck) => TimeWait,
             (Closing, RecvRst) => Closed,
+            (Closing, Timeout) => Closed,
 
             (LastAck, RecvAck) => Closed,
             (LastAck, RecvRst) => Closed,
+            (LastAck, Timeout) => Closed,
 
             (TimeWait, Timeout) => Closed,
             (TimeWait, RecvRst) => Closed,
@@ -306,6 +314,27 @@ mod tests {
         assert_eq!(Established.to_string(), "ESTABLISHED");
         assert_eq!(FinWait2.to_string(), "FIN-WAIT-2");
         assert_eq!(TimeWait.to_string(), "TIME-WAIT");
+    }
+
+    #[test]
+    fn retransmission_exhaustion_aborts_synchronized_states() {
+        for state in [
+            SynSent,
+            SynReceived,
+            Established,
+            FinWait1,
+            CloseWait,
+            Closing,
+            LastAck,
+        ] {
+            assert_eq!(
+                state.on_event(Timeout).unwrap(),
+                Closed,
+                "RTO exhaustion in {state} must abort"
+            );
+        }
+        // FIN-WAIT-2 has nothing left in flight: no retransmission timer.
+        assert!(FinWait2.on_event(Timeout).is_err());
     }
 
     #[test]

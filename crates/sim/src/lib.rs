@@ -44,6 +44,7 @@
 pub mod churn;
 pub mod engine;
 pub mod locality;
+pub mod lossy;
 pub mod polling;
 pub mod replicate;
 pub mod rng;
@@ -53,5 +54,6 @@ pub mod tpca;
 pub mod trace_io;
 pub mod trains;
 
+pub use lossy::{run_lossy_link, LossyLinkConfig, LossyLinkReport};
 pub use runner::{run_trace, AlgoReport, TraceEvent};
 pub use time::SimTime;

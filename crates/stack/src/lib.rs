@@ -16,11 +16,16 @@
 //! checksum long before they reach the demultiplexer.
 //!
 //! The transfer engine is deliberately minimal — in-order delivery only,
-//! no retransmission (there is no packet loss in memory unless injected),
 //! no congestion control — because the object of study is the lookup
 //! path. What *is* faithful: header formats, checksums, sequence-number
 //! accounting, the RFC 793 state machine, listener (wildcard) matching
-//! semantics, and RST generation for unmatched segments.
+//! semantics, RST generation for unmatched segments, and sender-side loss
+//! recovery: every SYN, SYN-ACK, FIN, and data segment sits on a
+//! retransmission queue with an RTO from the Jacobson/Karels
+//! [`tcpdemux_pcb::RttEstimator`] (Karn's rule on samples, exponential
+//! backoff on expiry) until acknowledged — [`Stack::advance_time`] fires
+//! the retransmits and, past the retry budget, aborts the connection with
+//! a [`SocketError`] the application can observe.
 //!
 //! # Batched receive and allocation-free transmit
 //!
@@ -77,10 +82,10 @@ mod stats;
 pub mod timer;
 mod txpool;
 
-pub use fault::{FaultInjector, FaultOutcome};
+pub use fault::{checksum_covered_span, FaultInjector, FaultOutcome};
 pub use neighbor::NeighborCache;
-pub use socket::SocketBuffer;
-pub use stack::{BatchRxResult, RxOutcome, RxResult, Stack, StackConfig, StackError};
+pub use socket::{SocketBuffer, SocketError};
+pub use stack::{BatchRxResult, RxOutcome, RxResult, Stack, StackConfig, StackError, TimeAdvance};
 pub use stats::StackStats;
 pub use timer::{TimerId, TimerWheel};
 pub use txpool::{TxPool, TxPoolStats};

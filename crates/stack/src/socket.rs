@@ -1,5 +1,27 @@
 //! Per-connection socket receive buffers.
 
+use core::fmt;
+
+/// A terminal error the stack surfaces to the application through its
+/// socket, analogous to the `so_error` a BSD socket reports on the next
+/// syscall after an asynchronous failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketError {
+    /// The retransmission budget was exhausted without an ACK from the
+    /// peer; the connection was aborted (ETIMEDOUT).
+    TimedOut,
+}
+
+impl fmt::Display for SocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocketError::TimedOut => f.write_str("connection timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SocketError {}
+
 /// The application-facing side of one connection: bytes the stack has
 /// accepted in order and not yet read.
 #[derive(Debug, Default, Clone)]
@@ -7,6 +29,7 @@ pub struct SocketBuffer {
     data: Vec<u8>,
     total_received: u64,
     fin_seen: bool,
+    error: Option<SocketError>,
 }
 
 impl SocketBuffer {
@@ -24,6 +47,19 @@ impl SocketBuffer {
     /// Mark end-of-stream (peer FIN).
     pub(crate) fn mark_fin(&mut self) {
         self.fin_seen = true;
+    }
+
+    /// Record a terminal error (called by the stack when it aborts the
+    /// connection, e.g. on retransmission timeout). The first error
+    /// sticks; later ones are ignored.
+    pub(crate) fn set_error(&mut self, error: SocketError) {
+        self.error.get_or_insert(error);
+    }
+
+    /// The terminal error, if the connection was aborted by the stack.
+    /// Buffered data remains readable after an error.
+    pub fn error(&self) -> Option<SocketError> {
+        self.error
     }
 
     /// Bytes available to read.
@@ -89,5 +125,17 @@ mod tests {
         assert!(!buf.is_eof(), "data still pending");
         buf.read_all();
         assert!(buf.is_eof());
+    }
+
+    #[test]
+    fn first_error_sticks_and_data_stays_readable() {
+        let mut buf = SocketBuffer::new();
+        buf.deliver(b"partial");
+        assert_eq!(buf.error(), None);
+        buf.set_error(SocketError::TimedOut);
+        buf.set_error(SocketError::TimedOut);
+        assert_eq!(buf.error(), Some(SocketError::TimedOut));
+        assert_eq!(buf.read_all(), b"partial".to_vec());
+        assert_eq!(SocketError::TimedOut.to_string(), "connection timed out");
     }
 }

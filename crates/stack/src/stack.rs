@@ -1,16 +1,23 @@
 //! The receive path itself.
 
-use crate::socket::SocketBuffer;
+use crate::socket::{SocketBuffer, SocketError};
 use crate::stats::StackStats;
+use crate::timer::TimerId;
 use crate::txpool::{TxPool, TxPoolStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use tcpdemux_core::{Demux, LookupResult, PacketKind};
-use tcpdemux_pcb::{ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, SeqNum, TcpEvent, TcpState};
+use tcpdemux_pcb::{
+    ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, RttEstimator, SeqNum, TcpEvent, TcpState,
+};
 use tcpdemux_wire::{
     build_tcp_frame_into, build_udp_frame_into, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags,
     TcpRepr, TcpSegment, UdpDatagram, UdpRepr, WireError,
 };
+
+/// Microseconds per stack timer tick (the stack's tick is 1 ms; the RTT
+/// estimator works in microseconds).
+const US_PER_TICK: u64 = 1_000;
 
 /// Stack-level (non-wire) errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +153,63 @@ pub struct BatchRxResult {
     pub relookups: usize,
 }
 
+/// What one [`Stack::advance_time`] call did.
+#[derive(Debug, Default)]
+pub struct TimeAdvance {
+    /// Connections reclaimed by the 2·MSL TIME-WAIT timer.
+    pub reclaimed: usize,
+    /// Frames to (re)transmit: every queued unacknowledged segment of
+    /// every connection whose retransmission timer expired, rebuilt with
+    /// the current acknowledgement state. The caller puts them on the
+    /// wire exactly like `send`/`receive` output (and may [`Stack::recycle`]
+    /// them afterwards).
+    pub retransmits: Vec<Vec<u8>>,
+    /// Connections aborted because their retransmission budget ran out.
+    /// Each one's socket survives with [`SocketError::TimedOut`] set (and
+    /// any already-delivered bytes still readable) until the application
+    /// reaps it via [`Stack::release_socket`].
+    pub aborted: Vec<PcbId>,
+}
+
+/// Payloads carried by the stack's timer wheel.
+#[derive(Debug, Clone, Copy)]
+enum TimerEvent {
+    /// The 2·MSL TIME-WAIT drain for a parked connection.
+    TimeWait(PcbId, ConnectionKey),
+    /// The retransmission timeout for a connection with unacked segments.
+    Retransmit(PcbId, ConnectionKey),
+}
+
+/// One transmitted, not-yet-acknowledged segment, kept until the peer's
+/// cumulative ACK passes `end`. Frames are not stored — a retransmission
+/// rebuilds the segment with the *current* ack/window state, as a real
+/// stack does — only the payload bytes are, in a buffer borrowed from the
+/// [`TxPool`] so steady-state tracking allocates nothing.
+#[derive(Debug)]
+struct InflightSegment {
+    /// First sequence number the segment occupies.
+    seq: SeqNum,
+    /// One past the last occupied sequence number; the segment is
+    /// acknowledged once SND.UNA reaches this.
+    end: SeqNum,
+    flags: TcpFlags,
+    /// MSS option to carry on rebuild (SYN/SYN-ACK segments).
+    mss: Option<u16>,
+    payload: Vec<u8>,
+    /// Stack tick at which the segment was first transmitted.
+    sent_at: u64,
+    /// Karn's rule: once set, an ACK covering this segment is ambiguous
+    /// and must not produce an RTT sample.
+    retransmitted: bool,
+}
+
+/// The per-connection retransmission queue and its armed timer.
+#[derive(Debug, Default)]
+struct RetxQueue {
+    segments: VecDeque<InflightSegment>,
+    timer: Option<TimerId>,
+}
+
 /// Stack construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StackConfig {
@@ -157,6 +221,10 @@ pub struct StackConfig {
     pub mss: u16,
     /// First ephemeral port for active opens.
     pub ephemeral_base: u16,
+    /// Maximum number of times any one segment is retransmitted before
+    /// the connection is aborted with [`SocketError::TimedOut`]
+    /// (BSD's `TCP_MAXRXTSHIFT` spirit; RFC 1122 §4.2.3.5's R2).
+    pub max_retries: u32,
     /// TIME-WAIT duration in timer ticks (the 2·MSL drain). `None`
     /// reclaims the connection as soon as it reaches TIME-WAIT — the
     /// timer-free model convenient for simulations that never reuse a
@@ -174,8 +242,16 @@ impl StackConfig {
             window: 8760,
             mss: 1460,
             ephemeral_base: 49152,
+            max_retries: 8,
             time_wait_ticks: None,
         }
+    }
+
+    /// Abort a connection after `max_retries` retransmissions of the same
+    /// segment go unacknowledged.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
     }
 
     /// Enable real TIME-WAIT handling with the given duration in ticks.
@@ -289,7 +365,10 @@ pub struct Stack {
     rx_scratch: RxScratch,
     next_ephemeral: u16,
     next_iss: u32,
-    timers: crate::timer::TimerWheel<(PcbId, ConnectionKey)>,
+    timers: crate::timer::TimerWheel<TimerEvent>,
+    /// Unacknowledged segments per connection, awaiting cumulative ACKs
+    /// or retransmission.
+    retx: HashMap<PcbId, RetxQueue>,
     neighbors: crate::neighbor::NeighborCache,
     now_ticks: u64,
 }
@@ -312,32 +391,59 @@ impl Stack {
             rx_scratch: RxScratch::default(),
             next_iss: 0x1000_0000,
             timers: crate::timer::TimerWheel::new(256),
+            retx: HashMap::new(),
             neighbors: crate::neighbor::NeighborCache::with_defaults(),
             now_ticks: 0,
         }
     }
 
-    /// Advance the stack's clock to `tick`, firing TIME-WAIT expirations
-    /// and sweeping stale neighbor-cache entries.
-    /// Returns the number of connections reclaimed.
-    pub fn advance_time(&mut self, tick: u64) -> usize {
+    /// Advance the stack's clock to `tick`: fire TIME-WAIT expirations,
+    /// fire retransmission timeouts (returning the frames to re-emit, or
+    /// aborting connections whose retry budget is spent), and sweep stale
+    /// neighbor-cache entries.
+    ///
+    /// # Panics
+    ///
+    /// If `tick` is behind the stack's clock — checked before anything
+    /// mutates, so a bad caller cannot leave the clock half-advanced.
+    pub fn advance_time(&mut self, tick: u64) -> TimeAdvance {
+        assert!(
+            tick >= self.now_ticks,
+            "time went backwards: {} < {}",
+            tick,
+            self.now_ticks
+        );
         self.now_ticks = tick;
         self.neighbors.expire(tick);
         let expired = self.timers.advance_to(tick);
-        let mut reclaimed = 0;
-        for (id, key) in expired {
-            // The timer may be stale: the slot could have been reclaimed
-            // by an RST already. The arena's generation check makes a
-            // stale handle harmless.
-            if matches!(
-                self.arena.get(id).map(|p| p.state()),
-                Some(TcpState::TimeWait)
-            ) {
-                self.reclaim(id, &key);
-                reclaimed += 1;
+        let mut advance = TimeAdvance::default();
+        for event in expired {
+            match event {
+                TimerEvent::TimeWait(id, key) => {
+                    // The timer may be stale: the slot could have been
+                    // reclaimed by an RST already. The arena's generation
+                    // check makes a stale handle harmless.
+                    if matches!(
+                        self.arena.get(id).map(|p| p.state()),
+                        Some(TcpState::TimeWait)
+                    ) {
+                        self.reclaim(id, &key);
+                        advance.reclaimed += 1;
+                    }
+                }
+                TimerEvent::Retransmit(id, key) => {
+                    self.on_retx_timeout(id, &key, &mut advance);
+                }
             }
         }
-        reclaimed
+        advance
+    }
+
+    /// The earliest tick at which a scheduled timer (retransmission or
+    /// TIME-WAIT) is due, if any — what a discrete-event driver passes to
+    /// [`advance_time`](Self::advance_time) to jump over idle time.
+    pub fn next_timer_deadline(&self) -> Option<u64> {
+        self.timers.next_due_tick()
     }
 
     /// Number of connections currently sitting in TIME-WAIT.
@@ -391,13 +497,16 @@ impl Stack {
     /// Park a TIME-WAIT connection: reclaim now (timer-free model) or
     /// schedule the 2·MSL timer.
     fn enter_time_wait(&mut self, id: PcbId, key: &ConnectionKey) -> bool {
+        // Reaching TIME-WAIT means our FIN was acknowledged: nothing is
+        // in flight anymore, so the retransmission queue dissolves.
+        self.drop_retx(id);
         match self.config.time_wait_ticks {
             None => {
                 self.reclaim(id, key);
                 true
             }
             Some(ticks) => {
-                self.timers.schedule(ticks, (id, *key));
+                self.timers.schedule(ticks, TimerEvent::TimeWait(id, *key));
                 false
             }
         }
@@ -682,6 +791,8 @@ impl Stack {
             window_scale: None,
         };
         let frame = self.emit_tcp(&key, &syn, b"");
+        // The SYN occupies one sequence number and must be answered.
+        self.track_segment(id, &key, iss, iss + 1, TcpFlags::SYN, syn.mss, b"");
         Ok((id, frame))
     }
 
@@ -709,7 +820,17 @@ impl Stack {
             window,
             ..TcpRepr::default()
         };
-        Ok(self.emit_tcp(&key, &repr, payload))
+        let frame = self.emit_tcp(&key, &repr, payload);
+        self.track_segment(
+            pcb,
+            &key,
+            seq,
+            seq + payload.len() as u32,
+            repr.flags,
+            None,
+            payload,
+        );
+        Ok(frame)
     }
 
     /// Send a UDP datagram on a connected UDP socket.
@@ -757,7 +878,9 @@ impl Stack {
             window,
             ..TcpRepr::default()
         };
-        Ok(self.emit_tcp(&key, &repr, b""))
+        let frame = self.emit_tcp(&key, &repr, b"");
+        self.track_segment(pcb, &key, seq, seq + 1, repr.flags, None, b"");
+        Ok(frame)
     }
 
     /// Abort a connection: send RST and reclaim immediately.
@@ -781,10 +904,17 @@ impl Stack {
     }
 
     fn reclaim(&mut self, pcb: PcbId, key: &ConnectionKey) {
+        self.reclaim_inner(pcb, key, false);
+    }
+
+    fn reclaim_inner(&mut self, pcb: PcbId, key: &ConnectionKey, keep_socket: bool) {
+        self.drop_retx(pcb);
         self.demux.remove(key);
         self.demux_gen += 1;
         self.arena.remove(pcb);
-        self.sockets.remove(&pcb);
+        if !keep_socket {
+            self.sockets.remove(&pcb);
+        }
         // A connection dying before accept releases its backlog slot.
         if let Some(idx) = self.listener_of.remove(&pcb) {
             let listener = &mut self.listeners[idx];
@@ -794,6 +924,213 @@ impl Stack {
                 listener.embryonic -= 1;
             }
         }
+    }
+
+    /// Detach and reap the socket of a connection the stack has aborted
+    /// (see [`TimeAdvance::aborted`]); the application reads the error
+    /// and any residual data from the returned buffer. Returns `None`
+    /// while the connection is still live (its socket stays attached) or
+    /// if the handle is unknown.
+    pub fn release_socket(&mut self, pcb: PcbId) -> Option<SocketBuffer> {
+        if self.arena.get(pcb).is_some() {
+            return None;
+        }
+        self.sockets.remove(&pcb)
+    }
+
+    /// Cancel a connection's retransmission timer and return its queued
+    /// payload buffers to the pool.
+    fn drop_retx(&mut self, pcb: PcbId) {
+        if let Some(queue) = self.retx.remove(&pcb) {
+            if let Some(timer) = queue.timer {
+                self.timers.cancel(timer);
+            }
+            for seg in queue.segments {
+                if seg.payload.capacity() > 0 {
+                    self.tx_pool.recycle(seg.payload);
+                }
+            }
+        }
+    }
+
+    /// Put a just-transmitted segment on the retransmission queue and
+    /// make sure the RTO timer is running. Segments that occupy no
+    /// sequence space (pure ACKs, RSTs, window probes) are not tracked —
+    /// nothing acknowledges them.
+    #[allow(clippy::too_many_arguments)]
+    fn track_segment(
+        &mut self,
+        pcb: PcbId,
+        key: &ConnectionKey,
+        seq: SeqNum,
+        end: SeqNum,
+        flags: TcpFlags,
+        mss: Option<u16>,
+        payload: &[u8],
+    ) {
+        if end == seq {
+            return;
+        }
+        let buf = if payload.is_empty() {
+            Vec::new()
+        } else {
+            let mut buf = self.tx_pool.take();
+            buf.clear();
+            buf.extend_from_slice(payload);
+            buf
+        };
+        let queue = self.retx.entry(pcb).or_default();
+        queue.segments.push_back(InflightSegment {
+            seq,
+            end,
+            flags,
+            mss,
+            payload: buf,
+            sent_at: self.now_ticks,
+            retransmitted: false,
+        });
+        if queue.timer.is_none() {
+            self.arm_retx_timer(pcb, key);
+        }
+    }
+
+    /// The connection's current RTO in ticks (estimator RTO backed off by
+    /// the consecutive-expiry count, floored at one tick).
+    fn rto_ticks(&self, pcb: PcbId) -> u64 {
+        let rto_us = self
+            .arena
+            .get(pcb)
+            .map(|p| p.current_rto())
+            .unwrap_or(RttEstimator::DEFAULT_MIN_RTO);
+        (rto_us / US_PER_TICK).max(1)
+    }
+
+    /// (Re)arm the retransmission timer for a connection, replacing any
+    /// previously armed one.
+    fn arm_retx_timer(&mut self, pcb: PcbId, key: &ConnectionKey) {
+        let after = self.rto_ticks(pcb);
+        if let Some(queue) = self.retx.get_mut(&pcb) {
+            if let Some(old) = queue.timer.take() {
+                self.timers.cancel(old);
+            }
+            queue.timer = Some(
+                self.timers
+                    .schedule(after, TimerEvent::Retransmit(pcb, *key)),
+            );
+        }
+    }
+
+    /// A cumulative ACK advanced SND.UNA to `ack`: retire every fully
+    /// covered segment, sample the RTT from clean (never-retransmitted)
+    /// ones per Karn's rule, reset the backoff, and re-arm or cancel the
+    /// RTO timer.
+    fn on_ack(&mut self, pcb: PcbId, key: &ConnectionKey, ack: SeqNum) {
+        let now = self.now_ticks;
+        let Some(queue) = self.retx.get_mut(&pcb) else {
+            return;
+        };
+        let mut retired = false;
+        while let Some(front) = queue.segments.front() {
+            if !front.end.le(ack) {
+                break;
+            }
+            let seg = queue.segments.pop_front().expect("front exists");
+            retired = true;
+            if let Some(p) = self.arena.get_mut(pcb) {
+                let elapsed = now.saturating_sub(seg.sent_at) * US_PER_TICK;
+                if p.rtt.sample_acked(elapsed, seg.retransmitted) {
+                    self.stats.rtt_samples += 1;
+                }
+            }
+            if seg.payload.capacity() > 0 {
+                self.tx_pool.recycle(seg.payload);
+            }
+        }
+        if !retired {
+            return;
+        }
+        // New data was acknowledged: the peer is alive, backoff resets.
+        if let Some(p) = self.arena.get_mut(pcb) {
+            p.rto_attempts = 0;
+        }
+        if self
+            .retx
+            .get(&pcb)
+            .is_some_and(|queue| queue.segments.is_empty())
+        {
+            self.drop_retx(pcb);
+        } else {
+            self.arm_retx_timer(pcb, key);
+        }
+    }
+
+    /// The RTO fired for a connection: either retransmit everything still
+    /// queued (go-back-N, marking the segments ambiguous for Karn's rule
+    /// and doubling the backoff) or, past the retry budget, abort.
+    fn on_retx_timeout(&mut self, pcb: PcbId, key: &ConnectionKey, advance: &mut TimeAdvance) {
+        // Take the queue out so frames can be rebuilt through
+        // `emit_tcp` while iterating it.
+        let Some(mut queue) = self.retx.remove(&pcb) else {
+            return; // stale fire: the connection died this same batch
+        };
+        queue.timer = None;
+        if queue.segments.is_empty() {
+            return;
+        }
+        let Some(p) = self.arena.get_mut(pcb) else {
+            // Connection already gone; return the buffers and move on.
+            self.retx.insert(pcb, queue);
+            self.drop_retx(pcb);
+            return;
+        };
+        if p.rto_attempts >= self.config.max_retries {
+            // Retry budget spent: abort. No RST — the path is presumed
+            // dead — but the socket learns why it died and keeps any
+            // bytes that were delivered before the silence.
+            let _ = p.on_event(TcpEvent::Timeout);
+            self.stats.timeout_aborts += 1;
+            if let Some(sock) = self.sockets.get_mut(&pcb) {
+                sock.set_error(SocketError::TimedOut);
+            }
+            self.retx.insert(pcb, queue);
+            self.reclaim_inner(pcb, key, true);
+            advance.aborted.push(pcb);
+            return;
+        }
+        p.rto_attempts += 1;
+        let ack = p.rcv.nxt;
+        let window = p.rcv.wnd;
+        for seg in queue.segments.iter_mut() {
+            seg.retransmitted = true;
+            let repr = TcpRepr {
+                src_port: key.local_port,
+                dst_port: key.remote_port,
+                seq: seg.seq.raw(),
+                // ACK-bearing segments carry the *current* cumulative
+                // ack, not the one from first transmission.
+                ack: if seg.flags.contains(TcpFlags::ACK) {
+                    ack.raw()
+                } else {
+                    0
+                },
+                flags: seg.flags,
+                window,
+                mss: seg.mss,
+                window_scale: None,
+            };
+            advance
+                .retransmits
+                .push(self.emit_tcp(key, &repr, &seg.payload));
+            self.stats.retransmits += 1;
+        }
+        self.retx.insert(pcb, queue);
+        self.arm_retx_timer(pcb, key);
+    }
+
+    /// A connection's RTT estimator state (for instrumentation and
+    /// tests; `None` if the handle is dead).
+    pub fn rtt_estimator(&self, pcb: PcbId) -> Option<RttEstimator> {
+        self.arena.get(pcb).map(|p| p.rtt)
     }
 
     fn emit_tcp(&mut self, key: &ConnectionKey, repr: &TcpRepr, payload: &[u8]) -> Vec<u8> {
@@ -1310,6 +1647,9 @@ impl Stack {
             window_scale: None,
         };
         let frame = self.emit_tcp(key, &synack, b"");
+        // The SYN-ACK occupies one sequence number; retransmit until the
+        // handshake-completing ACK arrives.
+        self.track_segment(id, key, iss, iss + 1, synack.flags, synack.mss, b"");
         RxResult {
             outcome: RxOutcome::NewConnection { pcb: id },
             replies: vec![frame],
@@ -1402,6 +1742,8 @@ impl Stack {
                         }
                         p.note_segment_in(0);
                     }
+                    // The SYN-ACK acknowledges our SYN: retire it.
+                    self.on_ack(id, key, SeqNum(tcp.ack));
                     let ack = self.make_ack(key, id);
                     return RxResult {
                         outcome: RxOutcome::Established { pcb: id },
@@ -1437,6 +1779,8 @@ impl Stack {
                         p.snd.wnd = tcp.window;
                         p.note_segment_in(0);
                     }
+                    // The ACK covers our SYN-ACK: retire it.
+                    self.on_ack(id, key, SeqNum(tcp.ack));
                     // The handshake completed: from embryonic to the
                     // listener's accept queue.
                     if let Some(&idx) = self.listener_of.get(&id) {
@@ -1448,7 +1792,14 @@ impl Stack {
                         return no_reply(RxOutcome::Established { pcb: id });
                     }
                 } else if tcp.flags.contains(TcpFlags::SYN) {
-                    // Retransmitted SYN: re-send the SYN-ACK.
+                    // Retransmitted SYN: re-send the SYN-ACK. The queued
+                    // SYN-ACK has now effectively been retransmitted, so
+                    // Karn's rule disqualifies it from RTT sampling.
+                    if let Some(queue) = self.retx.get_mut(&id) {
+                        for seg in queue.segments.iter_mut() {
+                            seg.retransmitted = true;
+                        }
+                    }
                     let p = self.arena.get(id).unwrap();
                     let synack = TcpRepr {
                         src_port: key.local_port,
@@ -1468,7 +1819,20 @@ impl Stack {
                     };
                 }
             }
-            _ => {}
+            _ => {
+                // A stray SYN or SYN-ACK on a synchronized connection is
+                // the peer retransmitting its half of the handshake — our
+                // handshake-completing ACK was lost. Re-acknowledge, or
+                // the peer retries into its RTO abort for nothing.
+                if tcp.flags.contains(TcpFlags::SYN) {
+                    let ack = self.make_ack(key, id);
+                    return RxResult {
+                        outcome: RxOutcome::Duplicate { pcb: id },
+                        replies: vec![ack],
+                        pcbs_examined: 0,
+                    };
+                }
+            }
         }
 
         // In-order check for data/FIN segments.
@@ -1491,10 +1855,16 @@ impl Stack {
         if tcp.flags.contains(TcpFlags::ACK) {
             let p = self.arena.get_mut(id).unwrap();
             let ack = SeqNum(tcp.ack);
-            if p.snd.una.lt(ack) && ack.le(p.snd.nxt) {
+            let advanced = p.snd.una.lt(ack) && ack.le(p.snd.nxt);
+            if advanced {
                 p.snd.una = ack;
             }
             p.snd.wnd = tcp.window;
+            if advanced {
+                // Retire covered segments and service the RTO timer.
+                self.on_ack(id, key, ack);
+            }
+            let p = self.arena.get_mut(id).unwrap();
             // Does this acknowledge our FIN?
             let fin_acked = ack == p.snd.nxt;
             match p.state() {
@@ -1931,9 +2301,9 @@ mod tests {
         assert_eq!(r.replies.len(), 1);
 
         // Before 2MSL: still parked. After: reclaimed.
-        assert_eq!(client.advance_time(119_999), 0);
+        assert_eq!(client.advance_time(119_999).reclaimed, 0);
         assert_eq!(client.connection_count(), 1);
-        assert_eq!(client.advance_time(120_000), 1);
+        assert_eq!(client.advance_time(120_000).reclaimed, 1);
         assert_eq!(client.connection_count(), 0);
         assert_eq!(client.time_wait_count(), 0);
     }
@@ -1980,7 +2350,7 @@ mod tests {
         // The parked timer fires later against a recycled-or-dead slot;
         // the generation check must make it a no-op, not a panic or a
         // wrong-connection reclaim.
-        assert_eq!(client.advance_time(1000), 0);
+        assert_eq!(client.advance_time(1000).reclaimed, 0);
     }
 
     #[test]
@@ -2613,5 +2983,194 @@ mod tests {
         );
         assert!(client.tx_pool_stats().reuses >= 100);
         assert!(server.tx_pool_stats().reuses >= 100);
+    }
+
+    #[test]
+    fn advance_time_rejects_backwards_time_before_mutating() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let (mut server, mut client) = pair_with_time_wait(100);
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+        // Park the client in TIME-WAIT with a timer due at tick 100.
+        let fin = client.close(cp).unwrap();
+        let r = server.receive(&fin).unwrap();
+        client.receive(&r.replies[0]).unwrap();
+        let fin2 = server.close(sp).unwrap();
+        let r = client.receive(&fin2).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::TimeWait { .. }));
+
+        client.advance_time(50);
+        let err = catch_unwind(AssertUnwindSafe(|| client.advance_time(49))).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("time went backwards"), "{msg}");
+        // The failed call must not have moved the clock or eaten timers:
+        // the TIME-WAIT connection still expires exactly on schedule.
+        assert_eq!(client.advance_time(99).reclaimed, 0);
+        assert_eq!(client.connection_count(), 1);
+        assert_eq!(client.advance_time(100).reclaimed, 1);
+        assert_eq!(client.connection_count(), 0);
+    }
+
+    #[test]
+    fn rto_retransmits_lost_data_until_acked() {
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+        assert_eq!(client.next_timer_deadline(), None, "nothing in flight");
+
+        // The frame is "lost": never delivered. One clean RTT sample
+        // (the SYN) exists, so the RTO sits at the 200 ms floor.
+        let _lost = client.send(cp, b"pay me no mind").unwrap();
+        let due = client.next_timer_deadline().expect("RTO armed");
+        assert_eq!(due, 200);
+
+        // Nothing fires early.
+        let quiet = client.advance_time(due - 1);
+        assert!(quiet.retransmits.is_empty() && quiet.aborted.is_empty());
+
+        let fired = client.advance_time(due);
+        assert_eq!(fired.retransmits.len(), 1, "the queued segment re-emits");
+        assert_eq!(client.stats().retransmits, 1);
+
+        // The retransmission delivers; the ACK retires the segment.
+        let r = server.receive(&fired.retransmits[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 14, .. }));
+        assert_eq!(server.socket_mut(sp).unwrap().read_all(), b"pay me no mind");
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+        assert_eq!(client.next_timer_deadline(), None, "queue drained");
+    }
+
+    #[test]
+    fn karn_rule_skips_samples_from_retransmitted_segments() {
+        let (mut server, mut client) = pair();
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+        // One clean sample from the SYN→SYN-ACK round trip.
+        assert_eq!(client.rtt_estimator(cp).unwrap().samples(), 1);
+        assert_eq!(client.stats().rtt_samples, 1);
+
+        // Lose the original, deliver the retransmission, ACK it: the
+        // sample count must not move — the ACK is ambiguous.
+        let _lost = client.send(cp, b"ambiguous").unwrap();
+        let due = client.next_timer_deadline().unwrap();
+        let fired = client.advance_time(due);
+        let r = server.receive(&fired.retransmits[0]).unwrap();
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+        assert_eq!(client.rtt_estimator(cp).unwrap().samples(), 1);
+        assert_eq!(client.stats().rtt_samples, 1);
+
+        // A later clean exchange samples again.
+        let frame = client.send(cp, b"clean").unwrap();
+        let r = server.receive(&frame).unwrap();
+        client.receive(&r.replies[0]).unwrap();
+        assert_eq!(client.rtt_estimator(cp).unwrap().samples(), 2);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_then_exhaustion_aborts_with_socket_error() {
+        let (mut server, client) = pair();
+        let config = client.config;
+        drop(client);
+        let mut client = Stack::new(config.with_max_retries(3), Box::new(BsdDemux::new()));
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+
+        // Deliver one byte so the socket has residual data, then go
+        // silent: the peer never sees anything again.
+        let frame = server.send(_sp, b"!").unwrap();
+        let r = client.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 1, .. }));
+
+        client.send(cp, b"into the void").unwrap();
+        let mut deadlines = Vec::new();
+        let aborted = loop {
+            let due = client.next_timer_deadline().expect("timer stays armed");
+            deadlines.push(due);
+            let fired = client.advance_time(due);
+            if !fired.aborted.is_empty() {
+                assert!(fired.retransmits.is_empty(), "abort sends nothing");
+                break fired.aborted;
+            }
+            assert_eq!(fired.retransmits.len(), 1);
+        };
+
+        // max_retries(3) means 3 retransmissions, then the fourth expiry
+        // aborts; the intervals double: 200, 400, 800, then 1600 to the
+        // aborting expiry.
+        assert_eq!(client.stats().retransmits, 3);
+        assert_eq!(client.stats().timeout_aborts, 1);
+        let gaps: Vec<u64> = std::iter::once(deadlines[0])
+            .chain(deadlines.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        assert_eq!(gaps, vec![200, 400, 800, 1600]);
+
+        // The connection is gone and the error is surfaced.
+        assert_eq!(aborted, vec![cp]);
+        assert_eq!(client.connection_count(), 0);
+        assert_eq!(client.state(cp), None);
+        assert_eq!(
+            client.socket(cp).unwrap().error(),
+            Some(SocketError::TimedOut)
+        );
+        assert_eq!(client.send(cp, b"x"), Err(StackError::NoSuchConnection));
+        // The application reaps the dead socket, residual data intact.
+        let mut sock = client.release_socket(cp).expect("socket released");
+        assert_eq!(sock.error(), Some(SocketError::TimedOut));
+        assert_eq!(sock.read_all(), b"!");
+        assert!(client.socket(cp).is_none());
+    }
+
+    #[test]
+    fn lost_handshake_ack_recovers_via_synack_retransmission() {
+        let (mut server, mut client) = pair();
+        server.listen(80).unwrap();
+        let (cp, syn) = client.connect(SERVER, 80).unwrap();
+        let r = server.receive(&syn).unwrap();
+        let sp = match r.outcome {
+            RxOutcome::NewConnection { pcb } => pcb,
+            other => panic!("expected NewConnection, got {other:?}"),
+        };
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Established { .. }));
+        // The client's handshake ACK is lost; the server's RTO re-sends
+        // its SYN-ACK (its first segment, so the initial 1 s RTO).
+        let due = server.next_timer_deadline().expect("SYN-ACK in flight");
+        assert_eq!(due, 1000);
+        let fired = server.advance_time(due);
+        assert_eq!(fired.retransmits.len(), 1);
+        // The established client re-acknowledges the duplicate SYN-ACK…
+        let r = client.receive(&fired.retransmits[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Duplicate { .. }));
+        assert_eq!(r.replies.len(), 1);
+        // …which completes the server's handshake.
+        let r = server.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Established { .. }));
+        assert!(server.is_established(sp));
+        assert_eq!(server.next_timer_deadline(), None);
+        // Karn: the server must not have sampled the ambiguous SYN-ACK.
+        assert_eq!(server.rtt_estimator(sp).unwrap().samples(), 0);
+        assert!(client.is_established(cp));
+    }
+
+    #[test]
+    fn lost_fin_is_retransmitted_and_close_completes() {
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+        let _lost_fin = client.close(cp).unwrap();
+        let due = client.next_timer_deadline().expect("FIN in flight");
+        let fired = client.advance_time(due);
+        assert_eq!(fired.retransmits.len(), 1);
+        let r = server.receive(&fired.retransmits[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::PeerClosed { .. }));
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
+        assert_eq!(client.next_timer_deadline(), None, "FIN acknowledged");
+        assert_eq!(client.state(cp), Some(TcpState::FinWait2));
+        // Finish the teardown in the other direction.
+        let fin = server.close(sp).unwrap();
+        let r = client.receive(&fin).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Closed));
+        server.receive(&r.replies[0]).unwrap();
+        assert_eq!(client.connection_count(), 0);
+        assert_eq!(server.connection_count(), 0);
     }
 }

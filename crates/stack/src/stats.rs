@@ -35,6 +35,12 @@ pub struct StackStats {
     pub icmp_echo_replies: u64,
     /// SYNs dropped because the listener's backlog was full.
     pub syn_drops: u64,
+    /// Segments retransmitted after an RTO expiry.
+    pub retransmits: u64,
+    /// Clean RTT samples absorbed by estimators (Karn-filtered).
+    pub rtt_samples: u64,
+    /// Connections aborted after exhausting the retransmission budget.
+    pub timeout_aborts: u64,
 }
 
 impl StackStats {
@@ -58,13 +64,14 @@ impl fmt::Display for StackStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "in={} rejected={} hits={} new={} rst={} delivered={}B mean_pcbs={:.2}",
+            "in={} rejected={} hits={} new={} rst={} delivered={}B rtx={} mean_pcbs={:.2}",
             self.frames_in,
             self.total_rejected(),
             self.demux_hits,
             self.listener_hits,
             self.resets_sent,
             self.bytes_delivered,
+            self.retransmits,
             self.mean_pcbs_examined(),
         )
     }

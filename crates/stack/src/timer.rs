@@ -11,12 +11,19 @@
 use core::fmt;
 
 /// Handle to a scheduled timer, usable to cancel it.
+///
+/// The handle carries the timer's absolute due tick, which pins down the
+/// one slot the entry can live in — `cancel` therefore scans a single
+/// slot instead of the whole wheel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerId(u64);
+pub struct TimerId {
+    id: u64,
+    due_tick: u64,
+}
 
 impl fmt::Display for TimerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "timer#{}", self.0)
+        write!(f, "timer#{}", self.id)
     }
 }
 
@@ -68,10 +75,12 @@ impl<T> TimerWheel<T> {
         self.live == 0
     }
 
-    /// Schedule `payload` to expire `after` ticks from now (an `after`
-    /// of 0 expires on the next `advance_to` past the current tick).
+    /// Schedule `payload` to expire `after` ticks from now. Time must
+    /// actually pass before a timer fires: an `after` of 0 (or 1) expires
+    /// on the next `advance_to` past the current tick, never on an
+    /// `advance_to(now())` that does not move the clock.
     pub fn schedule(&mut self, after: u64, payload: T) -> TimerId {
-        let due_tick = self.current_tick + after;
+        let due_tick = self.current_tick + after.max(1);
         let id = self.next_id;
         self.next_id += 1;
         let slot = (due_tick % self.slots.len() as u64) as usize;
@@ -81,18 +90,31 @@ impl<T> TimerWheel<T> {
             payload,
         });
         self.live += 1;
-        TimerId(id)
+        TimerId { id, due_tick }
     }
 
     /// Cancel a timer; returns its payload if it had not yet expired.
+    ///
+    /// Cost is O(length of the one slot the timer hashes to), not
+    /// O(total timers): the handle's due tick names the slot directly.
     pub fn cancel(&mut self, id: TimerId) -> Option<T> {
-        for slot in &mut self.slots {
-            if let Some(pos) = slot.iter().position(|e| e.id == id.0) {
-                self.live -= 1;
-                return Some(slot.swap_remove(pos).payload);
-            }
+        let slot_idx = (id.due_tick % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[slot_idx];
+        if let Some(pos) = slot.iter().position(|e| e.id == id.id) {
+            self.live -= 1;
+            return Some(slot.swap_remove(pos).payload);
         }
         None
+    }
+
+    /// The earliest due tick among scheduled timers, if any. Lets a
+    /// discrete-event driver jump the clock straight to the next
+    /// deadline instead of ticking through idle time.
+    pub fn next_due_tick(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .flat_map(|slot| slot.iter().map(|e| e.due_tick))
+            .min()
     }
 
     /// Advance the wheel to `tick`, collecting every expired payload in
@@ -191,7 +213,42 @@ mod tests {
         let mut wheel = TimerWheel::new(8);
         wheel.advance_to(5);
         wheel.schedule(0, "now");
-        assert_eq!(wheel.advance_to(5), vec!["now"]);
+        // Re-advancing to the current tick moves no time: nothing fires.
+        assert!(wheel.advance_to(5).is_empty());
+        assert_eq!(wheel.len(), 1);
+        // The first advance past the current tick fires it.
+        assert_eq!(wheel.advance_to(6), vec!["now"]);
+    }
+
+    #[test]
+    fn no_timer_ever_fires_without_time_passing() {
+        let mut wheel = TimerWheel::new(4);
+        wheel.advance_to(17);
+        for after in 0..6u64 {
+            wheel.schedule(after, after);
+        }
+        // advance_to(now) is a no-op regardless of the delays scheduled.
+        assert!(wheel.advance_to(17).is_empty());
+        assert_eq!(wheel.len(), 6);
+        // after=0 and after=1 both mean "the next tick".
+        assert_eq!(wheel.advance_to(18), vec![0, 1]);
+    }
+
+    #[test]
+    fn cancel_works_after_rotations_and_reports_next_due() {
+        let mut wheel = TimerWheel::new(4);
+        assert_eq!(wheel.next_due_tick(), None);
+        let far = wheel.schedule(11, "far");
+        let near = wheel.schedule(2, "near");
+        assert_eq!(wheel.next_due_tick(), Some(2));
+        // Spin the wheel through several rotations, then cancel the
+        // survivor: the slot encoded in the handle must still find it.
+        assert_eq!(wheel.advance_to(9), vec!["near"]);
+        assert_eq!(wheel.cancel(near), None, "already expired");
+        assert_eq!(wheel.next_due_tick(), Some(11));
+        assert_eq!(wheel.cancel(far), Some("far"));
+        assert_eq!(wheel.next_due_tick(), None);
+        assert!(wheel.is_empty());
     }
 
     #[test]

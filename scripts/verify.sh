@@ -8,14 +8,16 @@
 #   2. formatting and lints are clean (rustfmt --check, clippy -D warnings);
 #   3. tier-1 passes fully offline: release build + full test suite;
 #   4. the TPC/A simulation is deterministic: two runs with the same
-#      seed produce byte-identical output.
+#      seed produce byte-identical output;
+#   5. loss recovery holds under a widened fault-injection seed sweep
+#      (32 independent fault streams through the lossy-link scenario).
 #
 # Run from anywhere inside the repo. Exits non-zero on first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 dependency audit (cargo metadata) =="
+echo "== 1/5 dependency audit (cargo metadata) =="
 # --no-deps still lists every workspace member's declared dependencies.
 # Any dependency whose `source` is non-null comes from a registry or
 # git — both are forbidden; in-tree path deps have `"source": null`.
@@ -35,15 +37,15 @@ if bad:
 print("ok: %d workspace crates, all dependencies in-tree" % len(meta["packages"]))
 '
 
-echo "== 2/4 formatting + lints (rustfmt, clippy -D warnings) =="
+echo "== 2/5 formatting + lints (rustfmt, clippy -D warnings) =="
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 3/4 offline tier-1 (release build + tests) =="
+echo "== 3/5 offline tier-1 (release build + tests) =="
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-echo "== 4/4 same-seed determinism (byte-identical sim output) =="
+echo "== 4/5 same-seed determinism (byte-identical sim output) =="
 run_a=$(mktemp)
 run_b=$(mktemp)
 trap 'rm -f "$run_a" "$run_b"' EXIT
@@ -55,5 +57,10 @@ if ! cmp -s "$run_a" "$run_b"; then
   exit 1
 fi
 echo "ok: two same-seed runs are byte-identical ($(wc -c <"$run_a") bytes)"
+
+echo "== 5/5 multi-seed fault-injection sweep (TCPDEMUX_FAULT_SEEDS=32) =="
+TCPDEMUX_FAULT_SEEDS=32 cargo test -q --release --offline \
+  --test fault_injection --test loss_recovery
+echo "ok: loss recovery and checksum rejection hold across 32 fault seeds"
 
 echo "verify.sh: all checks passed"

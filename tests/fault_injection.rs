@@ -95,6 +95,47 @@ fn drops_leave_state_recoverable() {
     );
 }
 
+/// Regression for the injector aiming flips at unchecksummed bytes: the
+/// Ethernet header and trailing pad are covered by no checksum, so a
+/// flip there sails through validation and "corruption never reaches
+/// the demux" held only by seed luck. Sweep many fault streams and real
+/// frame shapes; every flip must now land in checksum-covered bytes and
+/// be rejected. `TCPDEMUX_FAULT_SEEDS` widens the sweep in CI.
+#[test]
+fn corruption_is_rejected_across_seed_sweep() {
+    let seeds: u64 = std::env::var("TCPDEMUX_FAULT_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let (mut server, mut client, cp) = connected_pair();
+    // Frames of several sizes: tiny ones force Ethernet padding, the
+    // shape that used to let flips escape every checksum.
+    let frames: Vec<Vec<u8>> = [1usize, 2, 5, 64, 400]
+        .iter()
+        .map(|n| client.send(cp, &vec![b'x'; *n]).unwrap())
+        .collect();
+    for seed in 1..=seeds {
+        for frame in &frames {
+            let mut link = FaultInjector::new(0.0, 1.0, seed.wrapping_mul(0xA24B_AED4_963E_E407));
+            match link.transmit(frame) {
+                FaultOutcome::Corrupted(bad) => assert!(
+                    server.receive(&bad).is_err(),
+                    "seed {seed}, len {}: flip escaped every checksum",
+                    frame.len()
+                ),
+                other => unreachable!("corrupt_chance = 1: {other:?}"),
+            }
+        }
+    }
+    // The connection is still healthy: the clean copies deliver in order.
+    for frame in &frames {
+        assert!(matches!(
+            server.receive(frame).unwrap().outcome,
+            RxOutcome::Delivered { .. }
+        ));
+    }
+}
+
 #[test]
 fn random_garbage_cannot_crash_the_stack() {
     let mut server = Stack::new(
