@@ -1,0 +1,54 @@
+//! A7 — the *distribution* of PCBs examined, BSD vs sequent(19).
+//!
+//! The paper reports mean search lengths; the telemetry histograms show
+//! what the mean hides. Under TPC/A the BSD list walk has a long tail
+//! (a cache miss scans half the list), while the hashed scheme's cost is
+//! pinned near the chain length. Log2-bucketed counts, per lookup.
+
+use tcpdemux_sim::tpca::{TpcaSim, TpcaSimConfig};
+use tcpdemux_telemetry::Histogram;
+
+const USERS: u32 = 200;
+const BAR_WIDTH: usize = 40;
+
+fn render(name: &str, h: &Histogram) {
+    println!(
+        "{name}: {} lookups, mean {:.2}, p50 {}, p90 {}, p99 {}, max {}",
+        h.count(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99),
+        h.max()
+    );
+    let peak = h.nonzero_buckets().map(|(_, c)| c).max().unwrap_or(1);
+    for (floor, count) in h.nonzero_buckets() {
+        let bar = "#".repeat(((count * BAR_WIDTH as u64) / peak).max(1) as usize);
+        println!("  >= {floor:>6}  {count:>8}  {bar}");
+    }
+    println!();
+}
+
+fn main() {
+    let config = TpcaSimConfig {
+        users: USERS,
+        transactions: 6_000,
+        ..TpcaSimConfig::default()
+    };
+    println!("A7: distribution of PCBs examined per lookup under TPC/A");
+    println!(
+        "TPC/A: {} users, {} measured transactions, seed 42\n",
+        config.users, config.transactions
+    );
+    let reports = TpcaSim::new(config, 42).run_standard_suite();
+    for name in ["bsd", "sequent(19)"] {
+        let report = reports
+            .iter()
+            .find(|r| r.name == name)
+            .expect("standard suite entry");
+        render(name, &report.histogram);
+    }
+    println!("The shape is the story: BSD's mass piles into the top buckets");
+    println!("(every cache miss walks ~N/2 PCBs), while the hash chains pin");
+    println!("the whole distribution — tail included — near the chain length.");
+}

@@ -1,0 +1,28 @@
+//! Export the fixed-seed lossy-link run's telemetry as JSON lines.
+//!
+//! The output is fully deterministic: the scenario seeds every RNG (the
+//! fault injectors and the stacks share no other entropy), and the
+//! telemetry exporter emits integers in a fixed order. `verify.sh` diffs
+//! this program's stdout against `crates/bench/goldens/telemetry_lossy.jsonl`
+//! on every run — any drift in the receive path, the loss-recovery
+//! machinery, or the telemetry wiring shows up as a byte diff.
+
+use tcpdemux_sim::lossy::{run_lossy_link_with_telemetry, LossyLinkConfig};
+
+/// The golden scenario: lossy enough to exercise retransmission, RTO
+/// backoff, and checksum rejection, small enough to run in well under a
+/// second.
+fn golden_config() -> LossyLinkConfig {
+    LossyLinkConfig {
+        drop_chance: 0.25,
+        corrupt_chance: 0.05,
+        exchanges: 40,
+        seed: 7,
+        ..LossyLinkConfig::default()
+    }
+}
+
+fn main() {
+    let out = run_lossy_link_with_telemetry(&golden_config());
+    print!("{}", out.to_json_lines());
+}

@@ -67,7 +67,6 @@ mod bsd;
 pub mod concurrent;
 mod direct;
 mod hashed_mtf;
-mod histogram;
 mod list;
 mod mtf;
 mod sequent;
@@ -79,13 +78,16 @@ pub use adaptive::AdaptiveDemux;
 pub use bsd::BsdDemux;
 pub use direct::DirectDemux;
 pub use hashed_mtf::HashedMtfDemux;
-pub use histogram::Histogram;
 pub use list::PcbList;
 pub use mtf::MtfDemux;
 pub use sequent::SequentDemux;
 pub use srcache::SendRecvDemux;
 pub use stats::LookupStats;
 pub use suite::{extended_suite, standard_suite, SuiteEntry};
+// The per-lookup cost histogram was born in this crate and moved to the
+// telemetry subsystem; re-exported so cost-distribution code keeps one
+// canonical type.
+pub use tcpdemux_telemetry::Histogram;
 
 use tcpdemux_pcb::{ConnectionKey, PcbId};
 

@@ -2,6 +2,7 @@
 
 use crate::{BsdDemux, Demux, DirectDemux, HashedMtfDemux, MtfDemux, SendRecvDemux, SequentDemux};
 use tcpdemux_hash::Multiplicative;
+use tcpdemux_telemetry::Recorder;
 
 /// A named algorithm instance in a comparison suite.
 ///
@@ -10,19 +11,27 @@ use tcpdemux_hash::Multiplicative;
 /// name list to drift out of sync, and reports keep the label the entry
 /// was built with even for structures whose `name()` changes as they
 /// resize (e.g. [`crate::AdaptiveDemux`]).
+///
+/// Each entry also carries its own telemetry [`Recorder`]. Harnesses feed
+/// it per-lookup outcomes (the simulator does this for every arrival) and
+/// read per-algorithm snapshots back without any side table keyed by name.
 pub struct SuiteEntry {
     /// Display name for reports, captured at construction time.
     pub name: String,
     /// The algorithm instance.
     pub demux: Box<dyn Demux>,
+    /// Telemetry recorder dedicated to this entry.
+    pub recorder: Recorder,
 }
 
 impl SuiteEntry {
-    /// Wrap a demultiplexer, capturing its current name for reports.
+    /// Wrap a demultiplexer, capturing its current name for reports and
+    /// giving it a fresh telemetry recorder.
     pub fn new(demux: Box<dyn Demux>) -> Self {
         Self {
             name: demux.name(),
             demux,
+            recorder: Recorder::new(),
         }
     }
 }

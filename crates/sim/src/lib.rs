@@ -54,6 +54,9 @@ pub mod tpca;
 pub mod trace_io;
 pub mod trains;
 
-pub use lossy::{run_lossy_link, LossyLinkConfig, LossyLinkReport};
+pub use lossy::{
+    run_lossy_link, run_lossy_link_with_telemetry, LossyLinkConfig, LossyLinkReport,
+    LossyLinkTelemetry,
+};
 pub use runner::{run_trace, AlgoReport, TraceEvent};
 pub use time::SimTime;

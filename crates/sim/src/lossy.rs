@@ -19,6 +19,7 @@ use std::net::Ipv4Addr;
 use tcpdemux_core::SequentDemux;
 use tcpdemux_hash::Multiplicative;
 use tcpdemux_stack::{FaultInjector, FaultOutcome, Stack, StackConfig};
+use tcpdemux_telemetry::Snapshot;
 
 /// Fixed request/response size: big enough to be real payload, small
 /// enough that one exchange is one segment each way.
@@ -111,10 +112,66 @@ fn transmit(
     }
 }
 
+/// A [`run_lossy_link_with_telemetry`] result: the scenario report plus
+/// each stack's full telemetry snapshot (counters, histograms, event
+/// trace), captured at the end of the run.
+#[derive(Debug, Clone)]
+pub struct LossyLinkTelemetry {
+    /// What the run did, as in [`run_lossy_link`].
+    pub report: LossyLinkReport,
+    /// The client stack's telemetry at the end of the run.
+    pub client: Snapshot,
+    /// The server stack's telemetry at the end of the run.
+    pub server: Snapshot,
+}
+
+impl LossyLinkTelemetry {
+    /// The run as deterministic JSON lines: a `run` header, then each
+    /// side's full snapshot under a `side` header. Same config + same
+    /// seed produce byte-identical output (see the telemetry crate's
+    /// determinism notes), which is what the golden-file check in
+    /// `verify.sh` diffs against.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"run\",\"scenario\":\"lossy_link\",\"completed\":{},\"ticks\":{},\"client_retransmits\":{},\"server_retransmits\":{},\"drops\":{},\"corrupted\":{},\"checksum_rejections\":{},\"aborted\":{}}}\n",
+            self.report.completed,
+            self.report.ticks,
+            self.report.client_retransmits,
+            self.report.server_retransmits,
+            self.report.drops,
+            self.report.corrupted,
+            self.report.checksum_rejections,
+            self.report.aborted,
+        ));
+        for (name, snapshot) in [("client", &self.client), ("server", &self.server)] {
+            out.push_str(&format!("{{\"type\":\"side\",\"name\":\"{name}\"}}\n"));
+            out.push_str(&snapshot.to_json_lines());
+        }
+        out
+    }
+}
+
 /// Run request/response exchanges between two stacks over lossy links
 /// until `cfg.exchanges` complete, a connection aborts, or the clock
 /// passes `cfg.max_ticks`.
 pub fn run_lossy_link(cfg: &LossyLinkConfig) -> LossyLinkReport {
+    run_stacks(cfg).0
+}
+
+/// [`run_lossy_link`], additionally returning both stacks' telemetry
+/// snapshots — the full structured record of what loss recovery did.
+pub fn run_lossy_link_with_telemetry(cfg: &LossyLinkConfig) -> LossyLinkTelemetry {
+    let (report, client, server) = run_stacks(cfg);
+    LossyLinkTelemetry {
+        report,
+        client: client.stats().telemetry,
+        server: server.stats().telemetry,
+    }
+}
+
+/// The driver loop; returns the report and both stacks for inspection.
+fn run_stacks(cfg: &LossyLinkConfig) -> (LossyLinkReport, Stack, Stack) {
     let server_addr = Ipv4Addr::new(10, 0, 0, 1);
     let client_addr = Ipv4Addr::new(10, 0, 5, 5);
     let mut server = Stack::new(
@@ -241,9 +298,9 @@ pub fn run_lossy_link(cfg: &LossyLinkConfig) -> LossyLinkReport {
     }
 
     report.ticks = now;
-    report.client_retransmits = client.stats().retransmits;
-    report.server_retransmits = server.stats().retransmits;
-    report
+    report.client_retransmits = client.stats().stack.retransmits;
+    report.server_retransmits = server.stats().stack.retransmits;
+    (report, client, server)
 }
 
 #[cfg(test)]
@@ -285,6 +342,35 @@ mod tests {
             report.corrupted, report.checksum_rejections,
             "every corrupted frame died at a checksum: {report:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_snapshot_agrees_with_report() {
+        use tcpdemux_telemetry::{CounterId, HistogramId};
+
+        let out = run_lossy_link_with_telemetry(&LossyLinkConfig {
+            drop_chance: 0.25,
+            corrupt_chance: 0.05,
+            exchanges: 40,
+            seed: 7,
+            ..LossyLinkConfig::default()
+        });
+        assert_eq!(out.report.completed, 40, "{:?}", out.report);
+        assert_eq!(
+            out.client.counter(CounterId::Retransmits),
+            out.report.client_retransmits
+        );
+        assert_eq!(
+            out.server.counter(CounterId::Retransmits),
+            out.report.server_retransmits
+        );
+        // Loss recovery exercised the backoff path, so both the examined
+        // and the RTO histograms carry data.
+        assert!(!out.client.histogram(HistogramId::Examined).is_empty());
+        assert!(!out.client.histogram(HistogramId::RtoTicks).is_empty());
+        // Both sides opened exactly one connection.
+        assert_eq!(out.client.counter(CounterId::ConnOpened), 1);
+        assert_eq!(out.server.counter(CounterId::ConnOpened), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::time::SimTime;
 use tcpdemux_core::{Histogram, LookupResult, LookupStats, PacketKind, SuiteEntry};
 use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena, TcpState};
+use tcpdemux_telemetry::{CloseCause, Event, HistogramId, Recorder, Snapshot};
 
 /// One event in a server-side trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,34 +71,56 @@ pub struct AlgoReport {
     /// Statistics over acknowledgement arrivals only.
     pub ack_stats: LookupStats,
     /// Distribution of per-lookup costs (p50/p99/max expose the miss
-    /// penalty the mean hides — the paper's §3.4 pitfall).
+    /// penalty the mean hides — the paper's §3.4 pitfall). A copy of the
+    /// snapshot's `examined` histogram, kept as a field for convenience.
     pub histogram: Histogram,
     /// Number of lookups that failed to find a PCB (should be zero for
     /// well-formed traces; nonzero indicates a workload bug).
     pub lost_packets: u64,
+    /// Full telemetry for this algorithm's run: counters, histograms and
+    /// the trailing event trace, taken from [`SuiteEntry::recorder`]
+    /// after the measured trace (recorders are reset when a run starts,
+    /// so warm-up traffic never leaks in).
+    pub snapshot: Snapshot,
 }
 
+/// Empty per-algorithm reports, with every entry's recorder reset so the
+/// run ahead is the only thing its snapshot will contain.
 fn fresh_reports(suite: &[SuiteEntry]) -> Vec<AlgoReport> {
     suite
         .iter()
-        .map(|e| AlgoReport {
-            name: e.name.clone(),
-            stats: LookupStats::new(),
-            data_stats: LookupStats::new(),
-            ack_stats: LookupStats::new(),
-            histogram: Histogram::new(),
-            lost_packets: 0,
+        .map(|e| {
+            e.recorder.reset();
+            AlgoReport {
+                name: e.name.clone(),
+                stats: LookupStats::new(),
+                data_stats: LookupStats::new(),
+                ack_stats: LookupStats::new(),
+                histogram: Histogram::new(),
+                lost_packets: 0,
+                snapshot: Snapshot::empty(),
+            }
         })
         .collect()
 }
 
-fn record_arrival(report: &mut AlgoReport, kind: PacketKind, r: LookupResult) {
+/// Capture each entry's telemetry into its finished report. The cost
+/// histogram is sourced from the snapshot — the recorder is the single
+/// source of truth for distributions.
+fn seal_reports(suite: &[SuiteEntry], reports: &mut [AlgoReport]) {
+    for (entry, report) in suite.iter().zip(reports.iter_mut()) {
+        report.snapshot = entry.recorder.snapshot();
+        report.histogram = report.snapshot.histogram(HistogramId::Examined).clone();
+    }
+}
+
+fn record_arrival(report: &mut AlgoReport, recorder: &Recorder, kind: PacketKind, r: LookupResult) {
     let found = r.pcb.is_some();
     if !found {
         report.lost_packets += 1;
     }
     report.stats.record(r.examined, found, r.cache_hit);
-    report.histogram.record(r.examined);
+    recorder.demux_lookup(r.examined, found, r.cache_hit);
     match kind {
         PacketKind::Data => report.data_stats.record(r.examined, found, r.cache_hit),
         PacketKind::Ack => report.ack_stats.record(r.examined, found, r.cache_hit),
@@ -130,12 +153,16 @@ where
                     .or_insert_with(|| arena.insert(Pcb::new_in_state(key, TcpState::Established)));
                 for entry in suite.iter_mut() {
                     entry.demux.insert(key, id);
+                    entry.recorder.event(Event::ConnOpen);
                 }
             }
             TraceEvent::Close { key, .. } => {
                 if let Some(id) = live.remove(&key) {
                     for entry in suite.iter_mut() {
                         entry.demux.remove(&key);
+                        entry.recorder.event(Event::ConnClose {
+                            cause: CloseCause::Graceful,
+                        });
                     }
                     arena.remove(id);
                 }
@@ -148,11 +175,12 @@ where
             TraceEvent::Arrival { key, kind, .. } => {
                 for (entry, report) in suite.iter_mut().zip(reports.iter_mut()) {
                     let r = entry.demux.lookup(&key, kind);
-                    record_arrival(report, kind, r);
+                    record_arrival(report, &entry.recorder, kind, r);
                 }
             }
         }
     }
+    seal_reports(suite, &mut reports);
     reports
 }
 
@@ -193,8 +221,9 @@ where
         }
         for (entry, report) in suite.iter_mut().zip(reports.iter_mut()) {
             entry.demux.lookup_batch(pending, results);
+            entry.recorder.batch(pending.len() as u32);
             for (&(_, kind), &r) in pending.iter().zip(results.iter()) {
-                record_arrival(report, kind, r);
+                record_arrival(report, &entry.recorder, kind, r);
             }
         }
         pending.clear();
@@ -217,12 +246,16 @@ where
                         });
                         for entry in suite.iter_mut() {
                             entry.demux.insert(key, id);
+                            entry.recorder.event(Event::ConnOpen);
                         }
                     }
                     TraceEvent::Close { key, .. } => {
                         if let Some(id) = live.remove(&key) {
                             for entry in suite.iter_mut() {
                                 entry.demux.remove(&key);
+                                entry.recorder.event(Event::ConnClose {
+                                    cause: CloseCause::Graceful,
+                                });
                             }
                             arena.remove(id);
                         }
@@ -238,6 +271,7 @@ where
         }
     }
     flush(&mut pending, &mut results, suite, &mut reports);
+    seal_reports(suite, &mut reports);
     reports
 }
 
@@ -306,6 +340,20 @@ mod tests {
                 "{}",
                 report.name
             );
+            // The telemetry snapshot is the same story, structured.
+            use tcpdemux_telemetry::CounterId;
+            let snap = &report.snapshot;
+            assert_eq!(snap.counter(CounterId::Lookups), 3, "{}", report.name);
+            assert_eq!(snap.counter(CounterId::DemuxMisses), 1);
+            assert_eq!(snap.counter(CounterId::ConnOpened), 2);
+            assert_eq!(snap.counter(CounterId::ConnClosed), 1);
+            assert_eq!(
+                snap.counter(CounterId::PcbsExamined),
+                report.stats.pcbs_examined
+            );
+            assert_eq!(snap.histogram(HistogramId::Examined).count(), 3);
+            // Trace: 2 opens + 3 lookups + 1 close = 6 events.
+            assert_eq!(snap.events_recorded(), 6, "{}", report.name);
         }
     }
 

@@ -41,7 +41,8 @@
 //! internal [`TxPool`]. A caller that returns spent buffers via
 //! [`Stack::recycle`] makes steady-state transmission allocation-free:
 //! after warm-up, ACKs, data segments, and RSTs all reuse recycled
-//! capacity ([`Stack::tx_pool_stats`] pins this in tests).
+//! capacity (the `tx_pool` counters in [`Stack::stats`] pin this in
+//! tests).
 //!
 //! # Example
 //!
@@ -85,7 +86,13 @@ mod txpool;
 pub use fault::{checksum_covered_span, FaultInjector, FaultOutcome};
 pub use neighbor::NeighborCache;
 pub use socket::{SocketBuffer, SocketError};
-pub use stack::{BatchRxResult, RxOutcome, RxResult, Stack, StackConfig, StackError, TimeAdvance};
-pub use stats::StackStats;
+pub use stack::{
+    BatchRxResult, ConnectionInfo, ListenConfig, ListenerInfo, RxOutcome, RxResult, Stack,
+    StackConfig, StackError, TimeAdvance,
+};
+pub use stats::{StackStats, StatsSnapshot};
+// The telemetry types a Stack user touches through `Stack::stats()` and
+// `Stack::recorder()`, re-exported for convenience.
+pub use tcpdemux_telemetry::{CloseCause, CounterId, Event, HistogramId, Recorder, Snapshot};
 pub use timer::{TimerId, TimerWheel};
 pub use txpool::{TxPool, TxPoolStats};

@@ -1,15 +1,16 @@
 //! The receive path itself.
 
 use crate::socket::{SocketBuffer, SocketError};
-use crate::stats::StackStats;
+use crate::stats::{StackStats, StatsSnapshot};
 use crate::timer::TimerId;
-use crate::txpool::{TxPool, TxPoolStats};
+use crate::txpool::TxPool;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use tcpdemux_core::{Demux, LookupResult, PacketKind};
 use tcpdemux_pcb::{
     ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, RttEstimator, SeqNum, TcpEvent, TcpState,
 };
+use tcpdemux_telemetry::{CloseCause, Event, Recorder};
 use tcpdemux_wire::{
     build_tcp_frame_into, build_udp_frame_into, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags,
     TcpRepr, TcpSegment, UdpDatagram, UdpRepr, WireError,
@@ -285,6 +286,133 @@ impl StackConfig {
     }
 }
 
+/// One row of [`Stack::connection_table`]: a live connection's key,
+/// state, and queue/loss-recovery depths — the structured replacement for
+/// parsing a `netstat` text dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionInfo {
+    /// The connection's four-tuple.
+    pub key: ConnectionKey,
+    /// Current TCP state.
+    pub state: TcpState,
+    /// Bytes delivered to the socket and not yet read by the application.
+    pub rx_queued: usize,
+    /// Payload bytes sitting on the retransmission queue (sent, not yet
+    /// cumulatively acknowledged).
+    pub tx_queued: usize,
+    /// Segments on the retransmission queue (includes zero-payload SYN,
+    /// SYN-ACK, and FIN segments, which occupy sequence space).
+    pub inflight_segments: usize,
+    /// Consecutive RTO expiries without forward progress (0 = healthy).
+    pub rto_attempts: u32,
+}
+
+impl core::fmt::Display for ConnectionInfo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "tcp  {:<28} {:<24} {} rxq={} txq={} rto_attempts={}",
+            format!("{}:{}", self.key.local_addr, self.key.local_port),
+            format!("{}:{}", self.key.remote_addr, self.key.remote_port),
+            self.state,
+            self.rx_queued,
+            self.tx_queued,
+            self.rto_attempts,
+        )
+    }
+}
+
+/// One row of [`Stack::listener_table`]: a TCP listener (with backlog
+/// occupancy) or a bound unconnected UDP port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListenerInfo {
+    /// The bound local port.
+    pub port: u16,
+    /// [`IpProtocol::Tcp`] for listeners, [`IpProtocol::Udp`] for bound
+    /// datagram ports.
+    pub protocol: IpProtocol,
+    /// Maximum embryonic + unaccepted connections (TCP only; 0 for UDP).
+    pub backlog: usize,
+    /// Current embryonic + unaccepted connections (TCP only).
+    pub pending: usize,
+}
+
+impl core::fmt::Display for ListenerInfo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.protocol {
+            IpProtocol::Udp => write!(
+                f,
+                "udp  {:<28} {:<24} BOUND",
+                format!("*:{}", self.port),
+                "*:*"
+            ),
+            _ => {
+                if self.backlog == usize::MAX {
+                    write!(
+                        f,
+                        "tcp  {:<28} {:<24} LISTEN (backlog {}/unbounded)",
+                        format!("*:{}", self.port),
+                        "*:*",
+                        self.pending,
+                    )
+                } else {
+                    write!(
+                        f,
+                        "tcp  {:<28} {:<24} LISTEN (backlog {}/{})",
+                        format!("*:{}", self.port),
+                        "*:*",
+                        self.pending,
+                        self.backlog,
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Parameters for [`Stack::listen`], following the `StackConfig::with_*`
+/// builder idiom. A bare port converts (`stack.listen(80)`) and means an
+/// unbounded backlog; chain [`with_backlog`](Self::with_backlog) for BSD
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListenConfig {
+    /// The local port to listen on (all local addresses).
+    pub port: u16,
+    /// Maximum connections that may be embryonic (SYN-RECEIVED) or
+    /// established-but-unaccepted at once; SYNs beyond it are dropped
+    /// silently (the BSD behavior — the client retransmits).
+    pub backlog: usize,
+}
+
+impl ListenConfig {
+    /// Listen on `port` with no backlog limit — convenient for harnesses
+    /// that process connections without ever calling [`Stack::accept`].
+    pub fn port(port: u16) -> Self {
+        Self {
+            port,
+            backlog: usize::MAX,
+        }
+    }
+
+    /// Cap the backlog at `backlog` pending connections.
+    pub fn with_backlog(mut self, backlog: usize) -> Self {
+        self.backlog = backlog;
+        self
+    }
+
+    /// The classic BSD default backlog (4.2BSD's `SOMAXCONN` of
+    /// [`Stack::BSD_BACKLOG`]), for period-accurate semantics.
+    pub fn with_bsd_backlog(self) -> Self {
+        self.with_backlog(Stack::BSD_BACKLOG)
+    }
+}
+
+impl From<u16> for ListenConfig {
+    fn from(port: u16) -> Self {
+        Self::port(port)
+    }
+}
+
 /// A TCP listener: its wildcard key, capacity, and accept queue.
 #[derive(Debug)]
 struct Listener {
@@ -371,6 +499,9 @@ pub struct Stack {
     retx: HashMap<PcbId, RetxQueue>,
     neighbors: crate::neighbor::NeighborCache,
     now_ticks: u64,
+    /// Structured telemetry: every demux lookup, connection lifecycle
+    /// change, retransmission, and batch re-lookup records here.
+    recorder: Recorder,
 }
 
 impl Stack {
@@ -394,7 +525,23 @@ impl Stack {
             retx: HashMap::new(),
             neighbors: crate::neighbor::NeighborCache::with_defaults(),
             now_ticks: 0,
+            recorder: Recorder::new(),
         }
+    }
+
+    /// Attach an external telemetry recorder (e.g. one shared with a
+    /// bench harness or a suite entry), replacing the stack's own. All
+    /// subsequent recording goes to `recorder`.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// A handle to the stack's telemetry recorder. Clones share the
+    /// underlying store, so callers can snapshot, reset, or record
+    /// alongside the stack.
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.clone()
     }
 
     /// Advance the stack's clock to `tick`: fire TIME-WAIT expirations,
@@ -427,7 +574,7 @@ impl Stack {
                         self.arena.get(id).map(|p| p.state()),
                         Some(TcpState::TimeWait)
                     ) {
-                        self.reclaim(id, &key);
+                        self.reclaim(id, &key, CloseCause::Graceful);
                         advance.reclaimed += 1;
                     }
                 }
@@ -463,34 +610,46 @@ impl Stack {
             .collect()
     }
 
-    /// A `netstat -an`-style textual dump: listeners first, then every
-    /// connection with its state.
-    pub fn netstat(&self) -> String {
-        use core::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(out, "Active connections on {}", self.config.local_addr);
-        for listener in &self.listeners {
-            let _ = writeln!(
-                out,
-                "tcp  {:<28} {:<24} LISTEN (backlog {}/{})",
-                listener.key.to_string(),
-                "*:*",
-                listener.pending(),
-                listener.backlog
-            );
-        }
-        for udp in &self.udp_listeners {
-            let _ = writeln!(out, "udp  {:<28} {:<24} BOUND", udp.to_string(), "*:*");
-        }
-        for (key, state) in self.connections() {
-            let _ = writeln!(
-                out,
-                "tcp  {:<28} {:<24} {}",
-                format!("{}:{}", key.local_addr, key.local_port),
-                format!("{}:{}", key.remote_addr, key.remote_port),
-                state
-            );
-        }
+    /// Structured per-connection rows — what `netstat -an` would print,
+    /// but as data a test or sim can assert on: key, state, queue depths,
+    /// and loss-recovery state. Arena order. Each row's [`Display`] impl
+    /// renders the classic text line.
+    pub fn connection_table(&self) -> Vec<ConnectionInfo> {
+        self.arena
+            .iter()
+            .map(|(id, p)| ConnectionInfo {
+                key: p.key(),
+                state: p.state(),
+                rx_queued: self.sockets.get(&id).map_or(0, |s| s.available()),
+                tx_queued: self
+                    .retx
+                    .get(&id)
+                    .map_or(0, |q| q.segments.iter().map(|s| s.payload.len()).sum()),
+                inflight_segments: self.retx.get(&id).map_or(0, |q| q.segments.len()),
+                rto_attempts: p.rto_attempts,
+            })
+            .collect()
+    }
+
+    /// Structured per-listener rows: every TCP listener with its backlog
+    /// occupancy, then every bound (unconnected) UDP port.
+    pub fn listener_table(&self) -> Vec<ListenerInfo> {
+        let mut out: Vec<ListenerInfo> = self
+            .listeners
+            .iter()
+            .map(|l| ListenerInfo {
+                port: l.key.local_port,
+                protocol: IpProtocol::Tcp,
+                backlog: l.backlog,
+                pending: l.pending(),
+            })
+            .collect();
+        out.extend(self.udp_listeners.iter().map(|l| ListenerInfo {
+            port: l.local_port,
+            protocol: IpProtocol::Udp,
+            backlog: 0,
+            pending: 0,
+        }));
         out
     }
 
@@ -502,7 +661,7 @@ impl Stack {
         self.drop_retx(id);
         match self.config.time_wait_ticks {
             None => {
-                self.reclaim(id, key);
+                self.reclaim(id, key, CloseCause::Graceful);
                 true
             }
             Some(ticks) => {
@@ -618,14 +777,17 @@ impl Stack {
         buf
     }
 
-    /// Receive-path counters.
-    pub fn stats(&self) -> &StackStats {
-        &self.stats
-    }
-
-    /// The demultiplexer's own statistics.
-    pub fn demux_stats(&self) -> &tcpdemux_core::LookupStats {
-        self.demux.stats()
+    /// Everything observable about the stack right now, owned: the
+    /// receive-path counters, the demultiplexer's lookup statistics, the
+    /// transmit-pool counters, and the full telemetry snapshot. Capture
+    /// one before an operation and another after to diff any counter.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            stack: self.stats,
+            demux: *self.demux.stats(),
+            tx_pool: self.tx_pool.stats(),
+            telemetry: self.recorder.snapshot(),
+        }
     }
 
     /// Number of live connections (TCP in any state plus connected UDP).
@@ -658,23 +820,26 @@ impl Stack {
 
     /// The classic BSD default backlog (4.2BSD's `SOMAXCONN`), for
     /// callers who want period-accurate semantics via
-    /// [`listen_with_backlog`](Self::listen_with_backlog).
+    /// [`ListenConfig::with_bsd_backlog`].
     pub const BSD_BACKLOG: usize = 5;
 
-    /// Start a TCP listener on `port` (all local addresses) with no
-    /// backlog limit — convenient for harnesses that process connections
-    /// without ever calling [`accept`](Self::accept). Use
-    /// [`listen_with_backlog`](Self::listen_with_backlog) for BSD
-    /// semantics.
-    pub fn listen(&mut self, port: u16) -> Result<(), StackError> {
-        self.listen_with_backlog(port, usize::MAX)
-    }
-
-    /// Start a TCP listener with an explicit backlog: the maximum number
-    /// of connections that may be embryonic (SYN-RECEIVED) or established
-    ///-but-unaccepted at once. SYNs beyond it are dropped silently (the
-    /// BSD behavior — the client retransmits).
-    pub fn listen_with_backlog(&mut self, port: u16, backlog: usize) -> Result<(), StackError> {
+    /// Start a TCP listener. A bare port listens on all local addresses
+    /// with no backlog limit (`stack.listen(80)`); pass a [`ListenConfig`]
+    /// to bound the backlog:
+    ///
+    /// ```
+    /// # use tcpdemux_stack::{ListenConfig, Stack, StackConfig};
+    /// # use tcpdemux_core::BsdDemux;
+    /// # use std::net::Ipv4Addr;
+    /// # let mut stack = Stack::new(
+    /// #     StackConfig::new(Ipv4Addr::new(10, 0, 0, 1)),
+    /// #     Box::new(BsdDemux::new()),
+    /// # );
+    /// stack.listen(80).unwrap();
+    /// stack.listen(ListenConfig::port(1521).with_backlog(16)).unwrap();
+    /// ```
+    pub fn listen(&mut self, config: impl Into<ListenConfig>) -> Result<(), StackError> {
+        let ListenConfig { port, backlog } = config.into();
         if backlog == 0 {
             return Err(StackError::InvalidState(TcpState::Listen));
         }
@@ -736,6 +901,7 @@ impl Stack {
         let id = self.arena.insert(pcb);
         self.demux.insert(key, id);
         self.demux_gen += 1;
+        self.recorder.event(Event::ConnOpen);
         self.sockets.insert(id, SocketBuffer::new());
         Ok(id)
     }
@@ -778,6 +944,7 @@ impl Stack {
         let id = self.arena.insert(pcb);
         self.demux.insert(key, id);
         self.demux_gen += 1;
+        self.recorder.event(Event::ConnOpen);
         self.sockets.insert(id, SocketBuffer::new());
 
         let syn = TcpRepr {
@@ -899,18 +1066,25 @@ impl Stack {
             ..TcpRepr::default()
         };
         let frame = self.emit_tcp(&key, &repr, b"");
-        self.reclaim(pcb, &key);
+        self.reclaim(pcb, &key, CloseCause::LocalAbort);
         Ok(frame)
     }
 
-    fn reclaim(&mut self, pcb: PcbId, key: &ConnectionKey) {
-        self.reclaim_inner(pcb, key, false);
+    fn reclaim(&mut self, pcb: PcbId, key: &ConnectionKey, cause: CloseCause) {
+        self.reclaim_inner(pcb, key, false, cause);
     }
 
-    fn reclaim_inner(&mut self, pcb: PcbId, key: &ConnectionKey, keep_socket: bool) {
+    fn reclaim_inner(
+        &mut self,
+        pcb: PcbId,
+        key: &ConnectionKey,
+        keep_socket: bool,
+        cause: CloseCause,
+    ) {
         self.drop_retx(pcb);
         self.demux.remove(key);
         self.demux_gen += 1;
+        self.recorder.event(Event::ConnClose { cause });
         self.arena.remove(pcb);
         if !keep_socket {
             self.sockets.remove(&pcb);
@@ -1089,15 +1263,17 @@ impl Stack {
             // bytes that were delivered before the silence.
             let _ = p.on_event(TcpEvent::Timeout);
             self.stats.timeout_aborts += 1;
+            self.recorder.event(Event::Timeout);
             if let Some(sock) = self.sockets.get_mut(&pcb) {
                 sock.set_error(SocketError::TimedOut);
             }
             self.retx.insert(pcb, queue);
-            self.reclaim_inner(pcb, key, true);
+            self.reclaim_inner(pcb, key, true, CloseCause::Timeout);
             advance.aborted.push(pcb);
             return;
         }
         p.rto_attempts += 1;
+        let attempts = p.rto_attempts;
         let ack = p.rcv.nxt;
         let window = p.rcv.wnd;
         for seg in queue.segments.iter_mut() {
@@ -1122,9 +1298,15 @@ impl Stack {
                 .retransmits
                 .push(self.emit_tcp(key, &repr, &seg.payload));
             self.stats.retransmits += 1;
+            self.recorder.event(Event::Retransmit { attempt: attempts });
         }
         self.retx.insert(pcb, queue);
         self.arm_retx_timer(pcb, key);
+        // The re-armed timer reflects the doubled backoff: record it.
+        self.recorder.event(Event::RtoBackoff {
+            attempts,
+            rto_ticks: self.rto_ticks(pcb),
+        });
     }
 
     /// A connection's RTT estimator state (for instrumentation and
@@ -1146,15 +1328,10 @@ impl Stack {
     /// `receive`'s replies, `connect`'s SYN, …) to the stack's pool so
     /// later emissions reuse its capacity. Optional — un-recycled buffers
     /// simply cost an allocation each — but with recycling, steady-state
-    /// transmission allocates nothing (see [`Stack::tx_pool_stats`]).
+    /// transmission allocates nothing (the `tx_pool` counters in
+    /// [`Stack::stats`] pin this in tests).
     pub fn recycle(&mut self, buf: Vec<u8>) {
         self.tx_pool.recycle(buf);
-    }
-
-    /// Counters for the transmit-buffer pool: allocations (pool empty)
-    /// versus reuses of recycled capacity.
-    pub fn tx_pool_stats(&self) -> TxPoolStats {
-        self.tx_pool.stats()
     }
 
     /// Process one received frame.
@@ -1323,6 +1500,7 @@ impl Stack {
         }
         let mut lookups = std::mem::take(&mut self.rx_scratch.lookups);
         self.demux.lookup_batch(&keys, &mut lookups);
+        self.recorder.batch(keys.len() as u32);
         let gen_at_lookup = self.demux_gen;
 
         let mut out = BatchRxResult {
@@ -1390,6 +1568,7 @@ impl Stack {
             batched
         } else {
             out.relookups += 1;
+            self.recorder.event(Event::BatchRelookup);
             self.demux.lookup(key, kind)
         }
     }
@@ -1480,6 +1659,8 @@ impl Stack {
         lookup: LookupResult,
     ) -> RxResult {
         self.stats.pcbs_examined += u64::from(lookup.examined);
+        self.recorder
+            .demux_lookup(lookup.examined, lookup.pcb.is_some(), lookup.cache_hit);
 
         if let Some(id) = lookup.pcb {
             self.stats.demux_hits += 1;
@@ -1565,6 +1746,8 @@ impl Stack {
         lookup: LookupResult,
     ) -> RxResult {
         self.stats.pcbs_examined += u64::from(lookup.examined);
+        self.recorder
+            .demux_lookup(lookup.examined, lookup.pcb.is_some(), lookup.cache_hit);
 
         if let Some(id) = lookup.pcb {
             self.stats.demux_hits += 1;
@@ -1632,6 +1815,7 @@ impl Stack {
         let id = self.arena.insert(pcb);
         self.demux.insert(*key, id);
         self.demux_gen += 1;
+        self.recorder.event(Event::ConnOpen);
         self.sockets.insert(id, SocketBuffer::new());
         self.listeners[listener_idx].embryonic += 1;
         self.listener_of.insert(id, listener_idx);
@@ -1717,7 +1901,7 @@ impl Stack {
         // RST: tear down unconditionally (sequence validation of RSTs is
         // out of scope for the lookup study).
         if tcp.flags.contains(TcpFlags::RST) {
-            self.reclaim(id, key);
+            self.reclaim(id, key, CloseCause::Reset);
             return no_reply(RxOutcome::ResetReceived);
         }
 
@@ -1885,7 +2069,7 @@ impl Stack {
         if closed_now {
             match self.arena.get(id).unwrap().state() {
                 TcpState::Closed => {
-                    self.reclaim(id, key);
+                    self.reclaim(id, key, CloseCause::Graceful);
                     return no_reply(RxOutcome::Closed);
                 }
                 TcpState::TimeWait => {
@@ -1995,7 +2179,7 @@ mod tests {
         assert!(server.is_established(sp));
         assert_eq!(server.connection_count(), 1);
         assert_eq!(client.connection_count(), 1);
-        assert_eq!(server.stats().listener_hits, 1);
+        assert_eq!(server.stats().stack.listener_hits, 1);
     }
 
     #[test]
@@ -2023,9 +2207,9 @@ mod tests {
         server.receive(&r.replies[0]).unwrap();
 
         // Sequence spaces stayed consistent.
-        assert_eq!(server.stats().bytes_delivered, 17);
-        assert_eq!(client.stats().bytes_delivered, 2);
-        assert_eq!(server.stats().out_of_order_drops, 0);
+        assert_eq!(server.stats().stack.bytes_delivered, 17);
+        assert_eq!(client.stats().stack.bytes_delivered, 2);
+        assert_eq!(server.stats().stack.out_of_order_drops, 0);
     }
 
     #[test]
@@ -2039,8 +2223,12 @@ mod tests {
         let r2 = server.receive(&frame).unwrap();
         assert!(matches!(r2.outcome, RxOutcome::Duplicate { .. }));
         assert_eq!(r2.replies.len(), 1, "duplicate is re-acked");
-        assert_eq!(server.stats().out_of_order_drops, 1);
-        assert_eq!(server.stats().bytes_delivered, 5, "no double delivery");
+        assert_eq!(server.stats().stack.out_of_order_drops, 1);
+        assert_eq!(
+            server.stats().stack.bytes_delivered,
+            5,
+            "no double delivery"
+        );
     }
 
     #[test]
@@ -2092,7 +2280,7 @@ mod tests {
         let r = server.receive(&frame).unwrap();
         assert!(matches!(r.outcome, RxOutcome::ResetSent));
         assert_eq!(r.replies.len(), 1);
-        assert_eq!(server.stats().resets_sent, 1);
+        assert_eq!(server.stats().stack.resets_sent, 1);
 
         // The RST comes back and kills the half-open client connection.
         let r = client.receive(&r.replies[0]).unwrap();
@@ -2114,8 +2302,8 @@ mod tests {
         let (_cp, syn) = client.connect(Ipv4Addr::new(10, 0, 0, 99), 80).unwrap();
         let r = server.receive(&syn).unwrap();
         assert!(matches!(r.outcome, RxOutcome::NotForUs));
-        assert_eq!(server.stats().not_for_us, 1);
-        assert_eq!(server.stats().resets_sent, 0);
+        assert_eq!(server.stats().stack.not_for_us, 1);
+        assert_eq!(server.stats().stack.resets_sent, 0);
     }
 
     #[test]
@@ -2126,12 +2314,12 @@ mod tests {
         let mut bad = syn.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0x01;
-        let lookups_before = server.demux_stats().lookups;
+        let lookups_before = server.stats().demux.lookups;
         let err = server.receive(&bad).unwrap_err();
         assert_eq!(err, WireError::BadChecksum);
-        assert_eq!(server.stats().tcp_errors, 1);
+        assert_eq!(server.stats().stack.tcp_errors, 1);
         assert_eq!(
-            server.demux_stats().lookups,
+            server.stats().demux.lookups,
             lookups_before,
             "corrupted frames must not reach the demultiplexer"
         );
@@ -2142,7 +2330,7 @@ mod tests {
         let (mut server, _client) = pair();
         let err = server.receive(&[0x45, 0x00]).unwrap_err();
         assert_eq!(err, WireError::Truncated);
-        assert_eq!(server.stats().ip_errors, 1);
+        assert_eq!(server.stats().stack.ip_errors, 1);
     }
 
     #[test]
@@ -2161,7 +2349,7 @@ mod tests {
         ip.emit(&mut packet).unwrap();
         let r = server.receive(&buf).unwrap();
         assert!(matches!(r.outcome, RxOutcome::UnhandledProtocol));
-        assert_eq!(server.stats().bad_protocol, 1);
+        assert_eq!(server.stats().stack.bad_protocol, 1);
     }
 
     #[test]
@@ -2187,7 +2375,7 @@ mod tests {
             r.outcome,
             RxOutcome::DeliveredUnconnected { bytes: 8 }
         ));
-        assert_eq!(server.stats().listener_hits, 1);
+        assert_eq!(server.stats().stack.listener_hits, 1);
     }
 
     #[test]
@@ -2405,7 +2593,7 @@ mod tests {
         ipx[13] = 0x37;
         let r = server.receive_ethernet(&ipx).unwrap();
         assert!(matches!(r.outcome, RxOutcome::UnhandledProtocol));
-        assert_eq!(server.stats().bad_protocol, 1);
+        assert_eq!(server.stats().stack.bad_protocol, 1);
 
         // Runt frame.
         assert!(server.receive_ethernet(&framed[..10]).is_err());
@@ -2443,8 +2631,8 @@ mod tests {
         let frame = client.emit_icmp(SERVER, &ping);
         let r = server.receive(&frame).unwrap();
         assert!(matches!(r.outcome, RxOutcome::EchoReplied));
-        assert_eq!(server.stats().icmp_in, 1);
-        assert_eq!(server.stats().icmp_echo_replies, 1);
+        assert_eq!(server.stats().stack.icmp_in, 1);
+        assert_eq!(server.stats().stack.icmp_echo_replies, 1);
 
         // The reply makes it back with the payload intact.
         let r = client.receive(&r.replies[0]).unwrap();
@@ -2521,7 +2709,7 @@ mod tests {
         let last = frame.len() - 1;
         frame[last] ^= 0x10;
         assert_eq!(server.receive(&frame).unwrap_err(), WireError::BadChecksum);
-        assert_eq!(server.stats().icmp_in, 0);
+        assert_eq!(server.stats().stack.icmp_in, 0);
     }
 
     #[test]
@@ -2635,7 +2823,9 @@ mod tests {
     #[test]
     fn accept_queue_dequeues_in_order() {
         let (mut server, _client) = pair();
-        server.listen_with_backlog(80, 16).unwrap();
+        server
+            .listen(ListenConfig::port(80).with_backlog(16))
+            .unwrap();
         let _clients = connect_n(&mut server, 3, 80);
         assert_eq!(server.accept_queue_len(80), 3);
         let first = server.accept(80).unwrap();
@@ -2652,7 +2842,9 @@ mod tests {
     #[test]
     fn backlog_full_drops_syn() {
         let (mut server, _client) = pair();
-        server.listen_with_backlog(80, 2).unwrap();
+        server
+            .listen(ListenConfig::port(80).with_backlog(2))
+            .unwrap();
         // Two connections fill the backlog (established, unaccepted).
         let _clients = connect_n(&mut server, 2, 80);
         // A third SYN is dropped silently.
@@ -2662,7 +2854,7 @@ mod tests {
         let r = server.receive(&syn).unwrap();
         assert!(matches!(r.outcome, RxOutcome::SynDropped));
         assert!(r.replies.is_empty(), "silent drop, no SYN-ACK, no RST");
-        assert_eq!(server.stats().syn_drops, 1);
+        assert_eq!(server.stats().stack.syn_drops, 1);
         assert_eq!(server.connection_count(), 2);
 
         // Accepting one frees a slot; the retransmitted SYN now succeeds.
@@ -2674,7 +2866,9 @@ mod tests {
     #[test]
     fn embryonic_connections_count_against_backlog() {
         let (mut server, _client) = pair();
-        server.listen_with_backlog(80, 2).unwrap();
+        server
+            .listen(ListenConfig::port(80).with_backlog(2))
+            .unwrap();
         // Two half-open connections (SYN sent, handshake never finished).
         for i in 0..2u8 {
             let addr = Ipv4Addr::new(10, 9, 0, i);
@@ -2695,7 +2889,9 @@ mod tests {
     #[test]
     fn dying_embryo_releases_backlog_slot() {
         let (mut server, _client) = pair();
-        server.listen_with_backlog(80, 1).unwrap();
+        server
+            .listen(ListenConfig::port(80).with_backlog(1))
+            .unwrap();
         let addr = Ipv4Addr::new(10, 9, 0, 1);
         let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
         let (cp, syn) = c.connect(SERVER, 80).unwrap();
@@ -2715,7 +2911,9 @@ mod tests {
     #[test]
     fn data_before_accept_is_buffered() {
         let (mut server, _client) = pair();
-        server.listen_with_backlog(80, 4).unwrap();
+        server
+            .listen(ListenConfig::port(80).with_backlog(4))
+            .unwrap();
         let mut clients = connect_n(&mut server, 1, 80);
         let (client, cp) = &mut clients[0];
         let frame = client.send(*cp, b"early data").unwrap();
@@ -2729,28 +2927,49 @@ mod tests {
     #[test]
     fn zero_backlog_rejected() {
         let (mut server, _client) = pair();
-        assert!(server.listen_with_backlog(80, 0).is_err());
+        assert!(server
+            .listen(ListenConfig::port(80).with_backlog(0))
+            .is_err());
     }
 
     #[test]
-    fn netstat_dump_shows_listeners_and_connections() {
+    fn introspection_tables_show_listeners_and_connections() {
         let (mut server, mut client) = pair();
-        server.listen_with_backlog(1521, 8).unwrap();
+        server
+            .listen(ListenConfig::port(1521).with_backlog(8))
+            .unwrap();
         server.udp_bind(514).unwrap();
         let (_cp, syn) = client.connect(SERVER, 1521).unwrap();
         server.receive(&syn).unwrap();
 
-        let dump = server.netstat();
-        assert!(dump.contains("Active connections on 10.0.0.1"), "{dump}");
-        assert!(dump.contains("*:1521 (listen)"), "{dump}");
-        assert!(dump.contains("backlog 1/8"), "{dump}");
-        assert!(dump.contains("*:514 (listen)"), "{dump}");
-        assert!(dump.contains("SYN-RECEIVED"), "{dump}");
-        assert!(dump.contains("10.0.0.2:"), "{dump}");
+        let listeners = server.listener_table();
+        assert_eq!(listeners.len(), 2);
+        let tcp = listeners
+            .iter()
+            .find(|l| l.protocol == IpProtocol::Tcp)
+            .unwrap();
+        assert_eq!((tcp.port, tcp.backlog, tcp.pending), (1521, 8, 1));
+        assert!(tcp.to_string().contains("LISTEN (backlog 1/8)"));
+        let udp = listeners
+            .iter()
+            .find(|l| l.protocol == IpProtocol::Udp)
+            .unwrap();
+        assert_eq!(udp.port, 514);
+        assert!(udp.to_string().contains("udp  *:514"));
 
-        let conns = server.connections();
+        let conns = server.connection_table();
         assert_eq!(conns.len(), 1);
-        assert_eq!(conns[0].1, TcpState::SynReceived);
+        let row = &conns[0];
+        assert_eq!(row.state, TcpState::SynReceived);
+        assert_eq!(row.key.remote_addr, CLIENT);
+        assert_eq!(row.rx_queued, 0);
+        // The SYN-ACK sits unacknowledged on the retransmission queue: one
+        // zero-payload in-flight segment.
+        assert_eq!((row.tx_queued, row.inflight_segments), (0, 1));
+        assert_eq!(row.rto_attempts, 0);
+        let line = row.to_string();
+        assert!(line.contains("SYN-RECEIVED"), "{line}");
+        assert!(line.contains("10.0.0.2:"), "{line}");
     }
 
     #[test]
@@ -2760,10 +2979,10 @@ mod tests {
         let frame = client.send(cp, b"x").unwrap();
         let r = server.receive(&frame).unwrap();
         assert!(r.pcbs_examined >= 1);
-        assert!(server.stats().pcbs_examined >= 1);
+        assert!(server.stats().stack.pcbs_examined >= 1);
         // The SYN's lookup scanned an empty structure (0 examined), so the
         // mean sits below 1 here; it must still be positive.
-        assert!(server.stats().mean_pcbs_examined() > 0.0);
+        assert!(server.stats().stack.mean_pcbs_examined() > 0.0);
     }
 
     #[test]
@@ -2892,8 +3111,8 @@ mod tests {
                 assert_rx_equal(a, b, i);
             }
             assert_eq!(
-                sequential.stats(),
-                batched.stats(),
+                sequential.stats().stack,
+                batched.stats().stack,
                 "stack counters must agree at batch size {batch_size}"
             );
             assert_eq!(batched.connection_count(), sequential.connection_count());
@@ -2907,11 +3126,11 @@ mod tests {
         let frames: Vec<_> = (0..16)
             .map(|i| client.send(cp, format!("row {i}").as_bytes()).unwrap())
             .collect();
-        let before = server.demux_stats().lookups;
+        let before = server.stats().demux.lookups;
         let batch = server.receive_batch(&frames);
         assert_eq!(batch.relookups, 0, "no table changes mid-batch");
         assert_eq!(batch.batched_lookups, 16);
-        assert_eq!(server.demux_stats().lookups, before + 16, "one per frame");
+        assert_eq!(server.stats().demux.lookups, before + 16, "one per frame");
         for r in &batch.results {
             assert!(matches!(
                 r.as_ref().unwrap().outcome,
@@ -2947,7 +3166,7 @@ mod tests {
         ));
         assert_eq!(batch.relookups, 1, "the ACK re-looked-up after the SYN");
         assert_eq!(batch.batched_lookups, 1);
-        assert_eq!(server.stats().resets_sent, 0);
+        assert_eq!(server.stats().stack.resets_sent, 0);
     }
 
     #[test]
@@ -2968,21 +3187,21 @@ mod tests {
         };
 
         exchange(&mut server, &mut client, 4); // warm-up
-        let client_base = client.tx_pool_stats().allocations;
-        let server_base = server.tx_pool_stats().allocations;
+        let client_base = client.stats().tx_pool.allocations;
+        let server_base = server.stats().tx_pool.allocations;
         exchange(&mut server, &mut client, 100);
         assert_eq!(
-            client.tx_pool_stats().allocations,
+            client.stats().tx_pool.allocations,
             client_base,
             "client data frames reuse recycled buffers"
         );
         assert_eq!(
-            server.tx_pool_stats().allocations,
+            server.stats().tx_pool.allocations,
             server_base,
             "server ACKs reuse recycled buffers"
         );
-        assert!(client.tx_pool_stats().reuses >= 100);
-        assert!(server.tx_pool_stats().reuses >= 100);
+        assert!(client.stats().tx_pool.reuses >= 100);
+        assert!(server.stats().tx_pool.reuses >= 100);
     }
 
     #[test]
@@ -3029,7 +3248,7 @@ mod tests {
 
         let fired = client.advance_time(due);
         assert_eq!(fired.retransmits.len(), 1, "the queued segment re-emits");
-        assert_eq!(client.stats().retransmits, 1);
+        assert_eq!(client.stats().stack.retransmits, 1);
 
         // The retransmission delivers; the ACK retires the segment.
         let r = server.receive(&fired.retransmits[0]).unwrap();
@@ -3046,7 +3265,7 @@ mod tests {
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
         // One clean sample from the SYN→SYN-ACK round trip.
         assert_eq!(client.rtt_estimator(cp).unwrap().samples(), 1);
-        assert_eq!(client.stats().rtt_samples, 1);
+        assert_eq!(client.stats().stack.rtt_samples, 1);
 
         // Lose the original, deliver the retransmission, ACK it: the
         // sample count must not move — the ACK is ambiguous.
@@ -3057,7 +3276,7 @@ mod tests {
         let r = client.receive(&r.replies[0]).unwrap();
         assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
         assert_eq!(client.rtt_estimator(cp).unwrap().samples(), 1);
-        assert_eq!(client.stats().rtt_samples, 1);
+        assert_eq!(client.stats().stack.rtt_samples, 1);
 
         // A later clean exchange samples again.
         let frame = client.send(cp, b"clean").unwrap();
@@ -3096,8 +3315,8 @@ mod tests {
         // max_retries(3) means 3 retransmissions, then the fourth expiry
         // aborts; the intervals double: 200, 400, 800, then 1600 to the
         // aborting expiry.
-        assert_eq!(client.stats().retransmits, 3);
-        assert_eq!(client.stats().timeout_aborts, 1);
+        assert_eq!(client.stats().stack.retransmits, 3);
+        assert_eq!(client.stats().stack.timeout_aborts, 1);
         let gaps: Vec<u64> = std::iter::once(deadlines[0])
             .chain(deadlines.windows(2).map(|w| w[1] - w[0]))
             .collect();
@@ -3117,6 +3336,105 @@ mod tests {
         assert_eq!(sock.error(), Some(SocketError::TimedOut));
         assert_eq!(sock.read_all(), b"!");
         assert!(client.socket(cp).is_none());
+    }
+
+    #[test]
+    fn telemetry_records_lifecycle_and_loss_recovery() {
+        use tcpdemux_telemetry::{CounterId, Event};
+
+        let (mut server, mut client) = pair();
+        let (cp, sp) = handshake(&mut server, &mut client, 80);
+
+        // Handshake: each side opened one connection, and every received
+        // segment went through exactly one recorded demux lookup.
+        let ct = client.stats().telemetry;
+        let st = server.stats().telemetry;
+        assert_eq!(ct.counter(CounterId::ConnOpened), 1);
+        assert_eq!(st.counter(CounterId::ConnOpened), 1);
+        assert_eq!(ct.counter(CounterId::Lookups), 1, "SYN-ACK");
+        assert_eq!(st.counter(CounterId::Lookups), 2, "SYN + handshake ACK");
+        assert_eq!(
+            st.counter(CounterId::PcbsExamined),
+            server.stats().stack.pcbs_examined,
+            "telemetry and legacy counters agree on the paper's cost metric"
+        );
+
+        // Loss recovery: a lost segment retransmits once with backoff.
+        let _lost = client.send(cp, b"gone").unwrap();
+        let due = client.next_timer_deadline().unwrap();
+        let fired = client.advance_time(due);
+        let r = server.receive(&fired.retransmits[0]).unwrap();
+        client.receive(&r.replies[0]).unwrap();
+        let ct = client.stats().telemetry;
+        assert_eq!(ct.counter(CounterId::Retransmits), 1);
+        assert_eq!(ct.counter(CounterId::RtoBackoffs), 1);
+        assert!(
+            ct.events()
+                .iter()
+                .any(|e| matches!(e.event, Event::Retransmit { attempt: 1 })),
+            "retransmit event traced"
+        );
+        assert!(ct
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::RtoBackoff { attempts: 1, .. })));
+
+        // Graceful close: both sides record a Graceful ConnClose.
+        let fin = client.close(cp).unwrap();
+        let r = server.receive(&fin).unwrap();
+        let r = client.receive(&r.replies[0]).unwrap();
+        assert!(r.replies.is_empty());
+        let fin2 = server.close(sp).unwrap();
+        let r = client.receive(&fin2).unwrap();
+        server.receive(&r.replies[0]).unwrap();
+        for stack in [&client, &server] {
+            let t = stack.stats().telemetry;
+            assert_eq!(t.counter(CounterId::ConnClosed), 1);
+            assert_eq!(t.counter(CounterId::ConnAborted), 0);
+            assert!(t.events().iter().any(|e| matches!(
+                e.event,
+                Event::ConnClose {
+                    cause: tcpdemux_telemetry::CloseCause::Graceful
+                }
+            )));
+        }
+
+        // The event trace and the counters never drift: replaying the
+        // trace's lookup events reproduces the lookup counter.
+        let traced_lookups = ct
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::DemuxHit { .. } | Event::DemuxMiss { .. }))
+            .count() as u64;
+        assert_eq!(ct.events_dropped(), 0);
+        assert_eq!(traced_lookups, ct.counter(CounterId::Lookups));
+    }
+
+    #[test]
+    fn telemetry_records_timeout_abort_cause() {
+        use tcpdemux_telemetry::{CloseCause, CounterId, Event};
+
+        let (mut server, client) = pair();
+        let config = client.config;
+        drop(client);
+        let mut client = Stack::new(config.with_max_retries(1), Box::new(BsdDemux::new()));
+        let (cp, _sp) = handshake(&mut server, &mut client, 80);
+        client.send(cp, b"void").unwrap();
+        loop {
+            let due = client.next_timer_deadline().expect("timer armed");
+            if !client.advance_time(due).aborted.is_empty() {
+                break;
+            }
+        }
+        let t = client.stats().telemetry;
+        assert_eq!(t.counter(CounterId::TimeoutAborts), 1);
+        assert_eq!(t.counter(CounterId::ConnAborted), 1);
+        assert!(t.events().iter().any(|e| matches!(
+            e.event,
+            Event::ConnClose {
+                cause: CloseCause::Timeout
+            }
+        )));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Receive-path accounting.
 
+use crate::txpool::TxPoolStats;
 use core::fmt;
+use tcpdemux_core::LookupStats;
+use tcpdemux_telemetry::Snapshot;
 
 /// Counters for everything that can happen to an arriving frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,6 +77,40 @@ impl fmt::Display for StackStats {
             self.retransmits,
             self.mean_pcbs_examined(),
         )
+    }
+}
+
+/// Everything observable about a [`Stack`](crate::Stack) at one instant,
+/// returned owned by [`Stack::stats`](crate::Stack::stats).
+///
+/// This is the one introspection surface: the receive-path counters, the
+/// demultiplexer's own lookup statistics, the transmit-pool counters, and
+/// the full telemetry snapshot (event trace, histograms, and the
+/// enumerated counter set) — replacing the former trio of borrow-returning
+/// accessors. Being owned, it can be captured before an operation and
+/// compared after, cloned into reports, or shipped across threads.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Receive-path counters.
+    pub stack: StackStats,
+    /// The demultiplexer's accumulated lookup statistics.
+    pub demux: LookupStats,
+    /// Transmit-buffer pool counters.
+    pub tx_pool: TxPoolStats,
+    /// Structured telemetry: counters, histograms, event trace.
+    pub telemetry: Snapshot,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stack: {}", self.stack)?;
+        writeln!(f, "demux: {}", self.demux)?;
+        writeln!(
+            f,
+            "tx_pool: allocations={} reuses={} free={}",
+            self.tx_pool.allocations, self.tx_pool.reuses, self.tx_pool.free
+        )?;
+        write!(f, "{}", self.telemetry)
     }
 }
 

@@ -1,10 +1,12 @@
-//! A power-of-two histogram of per-lookup costs.
+//! A power-of-two histogram of `u32` samples.
 //!
-//! The mean hides the paper's §3.4 pitfall — "the hit ratio is only part
-//! of the story; ... the miss penalty dominates" — a structure can have
-//! a wonderful average with a terrible tail. This histogram records each
-//! lookup's examined count in log₂ buckets so experiments can report
-//! p50/p90/p99/max alongside the mean.
+//! Born in `tcpdemux-core` as the per-lookup cost histogram and promoted
+//! here so every subsystem records distributions the same way. The mean
+//! hides the paper's §3.4 pitfall — "the hit ratio is only part of the
+//! story; ... the miss penalty dominates" — a structure can have a
+//! wonderful average with a terrible tail. This histogram records each
+//! sample in log₂ buckets so experiments can report p50/p90/p99/max
+//! alongside the mean.
 
 use core::fmt;
 
@@ -67,6 +69,17 @@ impl Histogram {
         self.total
     }
 
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact sum of all recorded samples (with [`count`](Self::count),
+    /// lets exporters stay integer-only and readers derive the mean).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Exact mean of the recorded samples.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -79,6 +92,16 @@ impl Histogram {
     /// Exact maximum sample.
     pub fn max(&self) -> u32 {
         self.max
+    }
+
+    /// The occupied buckets, as `(bucket_floor, count)` pairs in
+    /// ascending floor order — the exporter-facing view of the shape.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(bucket, &count)| (Self::bucket_floor(bucket), count))
     }
 
     /// The value at quantile `q ∈ [0, 1]`, resolved to the lower bound of
@@ -136,9 +159,12 @@ mod tests {
     fn empty_histogram() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.sum(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
     }
 
     #[test]
@@ -165,6 +191,7 @@ mod tests {
         assert!((h.mean() - 250.75).abs() < 1e-12);
         assert_eq!(h.max(), 1000);
         assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1003);
     }
 
     #[test]
@@ -219,6 +246,18 @@ mod tests {
     }
 
     #[test]
+    fn nonzero_buckets_cover_every_sample() {
+        let mut h = Histogram::new();
+        for v in [0u32, 1, 1, 7, 100] {
+            h.record(v);
+        }
+        let buckets: Vec<(u32, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (4, 1), (64, 1)]);
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
     fn display_summary() {
         let mut h = Histogram::new();
         h.record(7);
@@ -256,6 +295,87 @@ mod tests {
             }
             let expect = sum as f64 / values.len() as f64;
             assert!((h.mean() - expect).abs() < 1e-9);
+        });
+    }
+
+    /// Every value lands in the bucket whose range contains it:
+    /// `floor ≤ v`, and `v < 2·floor` (or `v ≤ 1` for the two unit
+    /// buckets). Pins the bucketing before any exporter depends on it.
+    #[test]
+    fn prop_bucket_boundaries_contain_their_values() {
+        check("histogram_prop_bucket_boundaries", |rng| {
+            let v = if rng.bool() {
+                rng.u32()
+            } else {
+                rng.u32_below(4096)
+            };
+            let bucket = Histogram::bucket(v);
+            let floor = Histogram::bucket_floor(bucket);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            if bucket >= 2 {
+                assert!(
+                    u64::from(v) < 2 * u64::from(floor),
+                    "value {v} above bucket [{}..{})",
+                    floor,
+                    2 * u64::from(floor),
+                );
+            } else {
+                // Buckets 0 and 1 hold exactly the values 0 and 1.
+                assert_eq!(v as usize, bucket);
+            }
+            // And a quantile query for a single-sample histogram lands on
+            // that bucket's floor.
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), floor.min(v));
+        });
+    }
+
+    /// Merge is associative and commutative, and merging equals
+    /// recording the concatenated sample stream — so sharded recorders
+    /// can combine in any order without changing any report.
+    #[test]
+    fn prop_merge_is_associative_and_matches_concatenation() {
+        check("histogram_prop_merge_associative", |rng| {
+            let streams: Vec<Vec<u32>> = (0..3)
+                .map(|_| rng.vec_of(0, 50, |r| r.u32_below(100_000)))
+                .collect();
+            let hists: Vec<Histogram> = streams
+                .iter()
+                .map(|vs| {
+                    let mut h = Histogram::new();
+                    for &v in vs {
+                        h.record(v);
+                    }
+                    h
+                })
+                .collect();
+
+            // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+            let mut left = hists[0].clone();
+            left.merge(&hists[1]);
+            left.merge(&hists[2]);
+            let mut bc = hists[1].clone();
+            bc.merge(&hists[2]);
+            let mut right = hists[0].clone();
+            right.merge(&bc);
+            assert_eq!(left, right);
+
+            // a ⊔ b == b ⊔ a
+            let mut ab = hists[0].clone();
+            ab.merge(&hists[1]);
+            let mut ba = hists[1].clone();
+            ba.merge(&hists[0]);
+            assert_eq!(ab, ba);
+
+            // Merging == recording the concatenated stream.
+            let mut concat = Histogram::new();
+            for vs in &streams {
+                for &v in vs {
+                    concat.record(v);
+                }
+            }
+            assert_eq!(left, concat);
         });
     }
 }

@@ -96,8 +96,8 @@ fn main() {
     assert_eq!(received.len(), payload.len());
     assert_eq!(received, payload, "byte-exact delivery");
 
-    let stats = server.stats();
-    let demux = server.demux_stats();
+    let snap = server.stats();
+    let (stats, demux) = (snap.stack, snap.demux);
     println!("transferred {} bytes in {} segments", received.len(), 263);
     println!(
         "link: {} passed, {} dropped, {} corrupted; {} retransmissions",

@@ -143,12 +143,16 @@ fn main() {
     );
 
     // The bystander heard the broadcast ARP but none of the unicast TCP.
-    assert_eq!(bystander.stats().not_for_us, 0, "unicast never reached it");
+    assert_eq!(
+        bystander.stats().stack.not_for_us,
+        0,
+        "unicast never reached it"
+    );
     assert_eq!(bystander.connection_count(), 0);
     println!(
         "\nframes: server in={} out={}, demux mean = {:.2} PCBs examined",
-        server.stats().frames_in,
-        server.stats().frames_out,
-        server.demux_stats().mean_examined()
+        server.stats().stack.frames_in,
+        server.stats().stack.frames_out,
+        server.stats().demux.mean_examined()
     );
 }

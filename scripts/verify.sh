@@ -10,14 +10,17 @@
 #   4. the TPC/A simulation is deterministic: two runs with the same
 #      seed produce byte-identical output;
 #   5. loss recovery holds under a widened fault-injection seed sweep
-#      (32 independent fault streams through the lossy-link scenario).
+#      (32 independent fault streams through the lossy-link scenario);
+#   6. the structured telemetry export of the fixed-seed lossy-link run
+#      matches the checked-in golden byte for byte (counters, histogram
+#      buckets, and the event trace).
 #
 # Run from anywhere inside the repo. Exits non-zero on first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/5 dependency audit (cargo metadata) =="
+echo "== 1/6 dependency audit (cargo metadata) =="
 # --no-deps still lists every workspace member's declared dependencies.
 # Any dependency whose `source` is non-null comes from a registry or
 # git — both are forbidden; in-tree path deps have `"source": null`.
@@ -37,15 +40,15 @@ if bad:
 print("ok: %d workspace crates, all dependencies in-tree" % len(meta["packages"]))
 '
 
-echo "== 2/5 formatting + lints (rustfmt, clippy -D warnings) =="
+echo "== 2/6 formatting + lints (rustfmt, clippy -D warnings) =="
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 3/5 offline tier-1 (release build + tests) =="
+echo "== 3/6 offline tier-1 (release build + tests) =="
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-echo "== 4/5 same-seed determinism (byte-identical sim output) =="
+echo "== 4/6 same-seed determinism (byte-identical sim output) =="
 run_a=$(mktemp)
 run_b=$(mktemp)
 trap 'rm -f "$run_a" "$run_b"' EXIT
@@ -58,9 +61,23 @@ if ! cmp -s "$run_a" "$run_b"; then
 fi
 echo "ok: two same-seed runs are byte-identical ($(wc -c <"$run_a") bytes)"
 
-echo "== 5/5 multi-seed fault-injection sweep (TCPDEMUX_FAULT_SEEDS=32) =="
+echo "== 5/6 multi-seed fault-injection sweep (TCPDEMUX_FAULT_SEEDS=32) =="
 TCPDEMUX_FAULT_SEEDS=32 cargo test -q --release --offline \
   --test fault_injection --test loss_recovery
 echo "ok: loss recovery and checksum rejection hold across 32 fault seeds"
+
+echo "== 6/6 golden telemetry export (fixed-seed lossy-link run) =="
+golden="crates/bench/goldens/telemetry_lossy.jsonl"
+export_run=$(mktemp)
+trap 'rm -f "$run_a" "$run_b" "$export_run"' EXIT
+cargo run -q --release --offline -p tcpdemux-bench --bin telemetry_export >"$export_run"
+if ! cmp -s "$export_run" "$golden"; then
+  echo "FAIL: telemetry export drifted from $golden:"
+  diff "$golden" "$export_run" | head -20
+  echo "(if the change is intentional, regenerate with:"
+  echo "   cargo run --release -p tcpdemux-bench --bin telemetry_export > $golden)"
+  exit 1
+fi
+echo "ok: telemetry export matches golden ($(wc -c <"$export_run") bytes)"
 
 echo "verify.sh: all checks passed"

@@ -18,6 +18,7 @@
 //! | [`analytic`] | Every equation of the paper's §3 |
 //! | [`sim`] | Discrete-event workload simulation (TPC/A, trains, …) |
 //! | [`stack`] | A miniature TCP receive path around the demultiplexers |
+//! | [`telemetry`] | Counters, histograms, and event tracing (structured observability) |
 //!
 //! ## Quickstart
 //!
@@ -60,5 +61,7 @@ pub use tcpdemux_pcb as pcb;
 pub use tcpdemux_sim as sim;
 /// The miniature TCP receive path.
 pub use tcpdemux_stack as stack;
+/// Structured observability: counters, histograms, event tracing.
+pub use tcpdemux_telemetry as telemetry;
 /// Wire formats: IPv4, TCP, UDP.
 pub use tcpdemux_wire as wire;

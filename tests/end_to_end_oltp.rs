@@ -77,13 +77,13 @@ fn run_oltp(demux: Box<dyn Demux>, n: u16, rounds: usize) -> f64 {
         .collect();
 
     // Measure from here on.
-    let baseline = *server.demux_stats();
+    let baseline = server.stats().demux;
     for _round in 0..rounds {
         for (i, client) in clients.iter_mut().enumerate() {
             transaction(&mut server, client, server_pcbs[i]);
         }
     }
-    let stats = server.demux_stats();
+    let stats = server.stats().demux;
     let lookups = stats.lookups - baseline.lookups;
     let examined = stats.pcbs_examined - baseline.pcbs_examined;
     examined as f64 / lookups as f64

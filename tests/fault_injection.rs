@@ -32,7 +32,7 @@ fn corruption_never_reaches_the_demux() {
     let (mut server, mut client, cp) = connected_pair();
     let mut corrupting_link = FaultInjector::new(0.0, 1.0, 99);
 
-    let lookups_before = server.demux_stats().lookups;
+    let lookups_before = server.stats().demux.lookups;
     let mut rejected = 0u64;
     for i in 0..200u32 {
         let frame = client.send(cp, format!("query {i}").as_bytes()).unwrap();
@@ -52,9 +52,12 @@ fn corruption_never_reaches_the_demux() {
         }
     }
     assert_eq!(rejected, 200);
-    assert_eq!(server.stats().tcp_errors + server.stats().ip_errors, 200);
+    assert_eq!(
+        server.stats().stack.tcp_errors + server.stats().stack.ip_errors,
+        200
+    );
     // Each clean copy costs exactly one lookup: corrupted frames none.
-    assert_eq!(server.demux_stats().lookups, lookups_before + 200);
+    assert_eq!(server.stats().demux.lookups, lookups_before + 200);
 }
 
 #[test]
@@ -89,7 +92,7 @@ fn drops_leave_state_recoverable() {
     );
     assert!(lossy_link.dropped() > 0, "the link did drop frames");
     assert_eq!(
-        server.stats().out_of_order_drops,
+        server.stats().stack.out_of_order_drops,
         0,
         "stop-and-wait: no gaps"
     );
