@@ -1,0 +1,271 @@
+//! A3b — multicore scaling study: reader threads × locking strategy.
+//!
+//! Sweeps 1–8 reader threads over every [`ConcurrentDemux`] variant
+//! (global lock, lock-per-chain, reader–writer shards, and the lock-free
+//! `EpochDemux`) on the TPC/A key population, with a fixed total lookup
+//! budget divided among the threads. Three sections:
+//!
+//! 1. **read-only** — the paper's steady-state regime: every connection
+//!    installed, threads only look up;
+//! 2. **read + churn** — one writer inserts/removes/replaces while the
+//!    readers run, the regime epoch reclamation exists for;
+//! 3. **reclamation telemetry** — the epoch runtime's counters for the
+//!    churn run, exported through `tcpdemux-telemetry`.
+//!
+//! `TCPDEMUX_SMOKE=1` shrinks the sweep to a single quick repetition so
+//! `scripts/verify.sh` can exercise the whole path offline on every run.
+//! Note the honest caveat printed with the results: on a single-core
+//! container the sweep measures *oversubscribed* threads (lock handoff
+//! and futex overhead), not true parallel speedup — the per-lookup cost
+//! of the lock-free path is the portable signal.
+
+use std::time::Instant;
+use tcpdemux_bench::harness::bb;
+use tcpdemux_core::concurrent::{concurrent_suite, ConcurrentDemux, EpochDemux};
+use tcpdemux_core::PacketKind;
+use tcpdemux_hash::quality::tpca_key_population;
+use tcpdemux_hash::Multiplicative;
+use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena};
+use tcpdemux_telemetry::{CounterId, HistogramId, Recorder};
+
+const CHAINS: usize = 64;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Params {
+    connections: usize,
+    lookups_total: usize,
+    churn_ops: usize,
+    reps: usize,
+}
+
+fn params() -> Params {
+    if std::env::var("TCPDEMUX_SMOKE").is_ok() {
+        Params {
+            connections: 200,
+            lookups_total: 8_000,
+            churn_ops: 2_000,
+            reps: 1,
+        }
+    } else {
+        Params {
+            connections: 2000,
+            lookups_total: 400_000,
+            churn_ops: 50_000,
+            reps: 5,
+        }
+    }
+}
+
+fn populate(demux: &dyn ConcurrentDemux, keys: &[ConnectionKey]) {
+    let mut arena = PcbArena::with_capacity(keys.len());
+    for &key in keys {
+        let id = arena.insert(Pcb::new(key));
+        demux.insert(key, id);
+    }
+    std::mem::forget(arena);
+}
+
+/// Fixed total lookups divided across `threads`; returns wall ns/lookup
+/// (median of `reps`).
+fn read_only_ns(
+    demux: &dyn ConcurrentDemux,
+    keys: &[ConnectionKey],
+    threads: usize,
+    p: &Params,
+) -> f64 {
+    let per_thread = p.lookups_total / threads;
+    let mut samples: Vec<f64> = (0..p.reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    s.spawn(move || {
+                        let n = keys.len();
+                        for i in 0..per_thread {
+                            let key = &keys[(t * 4099 + i * 7919) % n];
+                            bb(demux.lookup(key, PacketKind::Data));
+                        }
+                    });
+                }
+            });
+            start.elapsed().as_nanos() as f64 / (per_thread * threads) as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Same division of reader work, plus one writer thread churning the top
+/// eighth of the key population (remove → reinsert cycles) for the whole
+/// measured window. Returns reader wall ns/lookup.
+fn churn_ns(
+    demux: &dyn ConcurrentDemux,
+    keys: &[ConnectionKey],
+    threads: usize,
+    p: &Params,
+) -> f64 {
+    let per_thread = p.lookups_total / threads;
+    let churned = &keys[keys.len() - keys.len() / 8..];
+    let mut samples: Vec<f64> = (0..p.reps)
+        .map(|_| {
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut arena = PcbArena::with_capacity(churned.len());
+                    let mut i = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let key = churned[i % churned.len()];
+                        demux.remove(&key);
+                        demux.insert(key, arena.insert(Pcb::new(key)));
+                        i += 1;
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    std::mem::forget(arena);
+                });
+                let readers: Vec<_> = (0..threads)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let n = keys.len();
+                            for i in 0..per_thread {
+                                let key = &keys[(t * 4099 + i * 7919) % n];
+                                bb(demux.lookup(key, PacketKind::Data));
+                            }
+                        })
+                    })
+                    .collect();
+                // The writer churns for exactly as long as the readers run.
+                for r in readers {
+                    r.join().expect("reader thread");
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            start.elapsed().as_nanos() as f64 / (per_thread * threads) as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn print_table(title: &str, rows: &[(String, Vec<f64>)], names: &[String]) {
+    println!("\n== {title} ==");
+    print!("{:<10}", "threads");
+    for name in names {
+        print!(" {name:>22}");
+    }
+    println!();
+    for (label, cells) in rows {
+        print!("{label:<10}");
+        for v in cells {
+            print!(" {v:>19.1} ns");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let p = params();
+    let keys = tpca_key_population(p.connections);
+    println!(
+        "A3b multicore scaling: {} connections, {CHAINS} chains, {} lookups/run, {} rep(s)",
+        p.connections, p.lookups_total, p.reps,
+    );
+    println!(
+        "available parallelism: {} (single-core runs measure oversubscription, not speedup)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    let suite = concurrent_suite(CHAINS);
+    let names: Vec<String> = suite.iter().map(|d| d.name()).collect();
+    for demux in &suite {
+        populate(demux.as_ref(), &keys);
+    }
+
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let cells: Vec<f64> = suite
+            .iter()
+            .map(|d| read_only_ns(d.as_ref(), &keys, threads, &p))
+            .collect();
+        rows.push((threads.to_string(), cells));
+    }
+    print_table("read-only lookups, wall ns per lookup", &rows, &names);
+
+    // The acceptance signal: epoch vs the lock-per-chain shards.
+    let epoch_col = names.iter().position(|n| n.starts_with("epoch(")).unwrap();
+    let shard_col = names
+        .iter()
+        .position(|n| n.starts_with("sharded-sequent"))
+        .unwrap();
+    println!("\nsharded/epoch per-lookup ratio (>1.0 means the lock-free path is faster):");
+    for (label, cells) in &rows {
+        println!(
+            "  {label:>2} threads: {:>6.2}x",
+            cells[shard_col] / cells[epoch_col]
+        );
+    }
+
+    let mut churn_rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let cells: Vec<f64> = suite
+            .iter()
+            .map(|d| churn_ns(d.as_ref(), &keys, threads, &p))
+            .collect();
+        churn_rows.push((threads.to_string(), cells));
+    }
+    print_table(
+        "lookups under concurrent churn, wall ns per reader lookup",
+        &churn_rows,
+        &names,
+    );
+
+    // Reclamation telemetry for a dedicated churn run on the epoch demux.
+    let recorder = Recorder::with_ring_capacity(0);
+    let epoch = EpochDemux::new(Multiplicative, CHAINS).with_recorder(recorder.clone());
+    populate(&epoch, &keys);
+    let churned = &keys[keys.len() - keys.len() / 8..];
+    let mut arena = PcbArena::with_capacity(p.churn_ops);
+    for i in 0..p.churn_ops {
+        let key = churned[i % churned.len()];
+        epoch.remove(&key);
+        epoch.insert(key, arena.insert(Pcb::new(key)));
+    }
+    epoch.flush_reclamation();
+    let stats = epoch.reclamation_stats();
+    let snap = recorder.snapshot();
+    println!(
+        "\n== epoch reclamation telemetry ({} churn ops) ==",
+        p.churn_ops
+    );
+    println!(
+        "  epoch_retired    {}",
+        snap.counter(CounterId::EpochRetired)
+    );
+    println!(
+        "  epoch_reclaimed  {}",
+        snap.counter(CounterId::EpochReclaimed)
+    );
+    println!(
+        "  epoch_advances   {}",
+        snap.counter(CounterId::EpochAdvances)
+    );
+    let h = snap.histogram(HistogramId::EpochDeferred);
+    println!(
+        "  deferred depth   p50={} p99={} max={} (samples={})",
+        h.quantile(0.50),
+        h.quantile(0.99),
+        h.max(),
+        h.count()
+    );
+    println!(
+        "  runtime          retired={} reclaimed={} deferred={} max_deferred={} advances={}",
+        stats.retired, stats.reclaimed, stats.deferred, stats.max_deferred, stats.advances
+    );
+    assert_eq!(
+        stats.deferred, 0,
+        "quiescent flush must reclaim the whole backlog"
+    );
+}

@@ -1,4 +1,4 @@
-//! Lock-per-chain concurrent demultiplexing.
+//! Concurrent demultiplexing: locked chains through lock-free reads.
 //!
 //! The Sequent algorithm was built for a *parallel* TCP implementation
 //! (\[Dov90\]: "A high capacity TCP/IP in parallel STREAMS"): hash chains do
@@ -6,10 +6,17 @@
 //! different chains can be demultiplexed by different processors without
 //! contention. [`ShardedDemux`] reproduces that design with one mutex per
 //! chain; [`GlobalLockDemux`] wraps any single-threaded [`Demux`] in one
-//! big lock as the baseline the parallel design is measured against.
+//! big lock as the baseline the parallel design is measured against; and
+//! [`EpochDemux`] completes the lineage — the same chains with **no** read
+//! lock at all, readers protected by the [`crate::epoch`] reclamation
+//! runtime (the RCU shape McKenney later built at Sequent).
+//!
+//! All variants tally statistics through [`AtomicLookupStats`] *outside*
+//! their data locks, so the accounting itself is never a contention point
+//! the scaling benchmarks would mismeasure.
 
 use crate::batch;
-use crate::stats::LookupStats;
+use crate::stats::{AtomicLookupStats, LookupStats};
 use crate::{Demux, LookupResult, PacketKind, SequentDemux};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tcpdemux_hash::{KeyHasher, Multiplicative};
@@ -34,6 +41,8 @@ fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(PoisonError::into_inner)
 }
+
+pub use crate::epoch_demux::EpochDemux;
 
 /// A thread-safe demultiplexer: the concurrent analogue of [`Demux`].
 ///
@@ -74,7 +83,6 @@ pub trait ConcurrentDemux: Sync + Send {
 struct Shard {
     list: crate::list::PcbList,
     cache: Option<(ConnectionKey, PcbId)>,
-    stats: LookupStats,
 }
 
 impl Shard {
@@ -82,7 +90,6 @@ impl Shard {
         Self {
             list: crate::list::PcbList::new(),
             cache: None,
-            stats: LookupStats::new(),
         }
     }
 }
@@ -91,10 +98,13 @@ impl Shard {
 ///
 /// Packets for different connections usually hash to different chains and
 /// proceed in parallel; the per-chain one-entry cache lives under the same
-/// lock as its chain, so cache coherence is free.
+/// lock as its chain, so cache coherence is free. Statistics live in a
+/// shared [`AtomicLookupStats`] and are recorded *after* the shard lock is
+/// released, so tallying never extends a critical section.
 pub struct ShardedDemux<H> {
     hasher: H,
     shards: Vec<Mutex<Shard>>,
+    stats: AtomicLookupStats,
 }
 
 impl<H: KeyHasher> ShardedDemux<H> {
@@ -104,6 +114,7 @@ impl<H: KeyHasher> ShardedDemux<H> {
         Self {
             hasher,
             shards: (0..chains).map(|_| Mutex::new(Shard::new())).collect(),
+            stats: AtomicLookupStats::new(),
         }
     }
 
@@ -138,39 +149,33 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     }
 
     fn lookup(&self, key: &ConnectionKey, _kind: PacketKind) -> LookupResult {
-        let mut shard = lock(self.shard(key));
-        if let Some((ck, id)) = shard.cache {
-            if ck == *key {
-                shard.stats.record(1, true, true);
-                return LookupResult {
+        let result = {
+            let mut shard = lock(self.shard(key));
+            let cached = shard.cache.and_then(|(ck, id)| (ck == *key).then_some(id));
+            if let Some(id) = cached {
+                LookupResult {
                     pcb: Some(id),
                     examined: 1,
                     cache_hit: true,
-                };
-            }
-        }
-        let cache_probes = u32::from(shard.cache.is_some());
-        let (found, scanned) = shard.list.find(key);
-        let examined = cache_probes + scanned;
-        match found {
-            Some(id) => {
-                shard.cache = Some((*key, id));
-                shard.stats.record(examined, true, false);
+                }
+            } else {
+                let cache_probes = u32::from(shard.cache.is_some());
+                let (found, scanned) = shard.list.find(key);
+                let examined = cache_probes + scanned;
+                if let Some(id) = found {
+                    shard.cache = Some((*key, id));
+                }
                 LookupResult {
-                    pcb: Some(id),
+                    pcb: found,
                     examined,
                     cache_hit: false,
                 }
             }
-            None => {
-                shard.stats.record(examined, false, false);
-                LookupResult {
-                    pcb: None,
-                    examined,
-                    cache_hit: false,
-                }
-            }
-        }
+        };
+        // The guard is gone; tallying is pure relaxed atomics.
+        self.stats
+            .record(result.examined, result.pcb.is_some(), result.cache_hit);
+        result
     }
 
     fn lookup_batch(&self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
@@ -178,6 +183,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
         out.resize(keys.len(), LookupResult::miss(0));
         let mut order = Vec::new();
         let mut scanned = Vec::new();
+        let mut tallies = LookupStats::new();
         batch::group_by_bucket(&mut order, keys, |k| {
             self.hasher.bucket(k, self.shards.len())
         });
@@ -190,6 +196,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
             }
             // One lock acquisition per shard touched, held for the whole
             // group — the concurrent analogue of the single chain walk.
+            // Tallies accumulate locally and merge after the last unlock.
             let mut guard = lock(&self.shards[b]);
             let shard = &mut *guard;
             batch::chain_group_lookup(
@@ -200,10 +207,11 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
                 order[i..j].iter().map(|&(_, idx)| idx as usize),
                 keys,
                 out,
-                &mut shard.stats,
+                &mut tallies,
             );
             i = j;
         }
+        self.stats.merge_tallies(&tallies);
     }
 
     fn len(&self) -> usize {
@@ -215,11 +223,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
     }
 
     fn stats_snapshot(&self) -> LookupStats {
-        let mut total = LookupStats::new();
-        for shard in &self.shards {
-            total.merge(&lock(shard).stats);
-        }
-        total
+        self.stats.snapshot()
     }
 }
 
@@ -233,19 +237,13 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for ShardedDemux<H> {
 /// lookups take shared locks and proceed in parallel *within* a chain,
 /// at the cost of the cache's hit-rate savings — profitable exactly when
 /// traffic is train-free (the OLTP regime) and reader concurrency is
-/// high. Statistics are kept in per-shard atomics so the read path
-/// never upgrades its lock.
+/// high. Statistics live in an [`AtomicLookupStats`] recorded after the
+/// shared lock is released, so the read path never upgrades its lock.
 pub struct RwShardedDemux<H> {
     hasher: H,
     shards: Vec<RwLock<crate::list::PcbList>>,
-    lookups: AtomicU64,
-    found: AtomicU64,
-    not_found: AtomicU64,
-    examined: AtomicU64,
-    worst: AtomicU32,
+    stats: AtomicLookupStats,
 }
-
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 impl<H: KeyHasher> RwShardedDemux<H> {
     /// Create with `chains` shards (must be nonzero).
@@ -256,11 +254,7 @@ impl<H: KeyHasher> RwShardedDemux<H> {
             shards: (0..chains)
                 .map(|_| RwLock::new(crate::list::PcbList::new()))
                 .collect(),
-            lookups: AtomicU64::new(0),
-            found: AtomicU64::new(0),
-            not_found: AtomicU64::new(0),
-            examined: AtomicU64::new(0),
-            worst: AtomicU32::new(0),
+            stats: AtomicLookupStats::new(),
         }
     }
 
@@ -288,15 +282,8 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for RwShardedDemux<H> {
 
     fn lookup(&self, key: &ConnectionKey, _kind: PacketKind) -> LookupResult {
         let (found, examined) = read(self.shard(key)).find(key);
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.examined
-            .fetch_add(u64::from(examined), Ordering::Relaxed);
-        if found.is_some() {
-            self.found.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.not_found.fetch_add(1, Ordering::Relaxed);
-        }
-        self.worst.fetch_max(examined, Ordering::Relaxed);
+        // The temporary read guard is already gone here.
+        self.stats.record(examined, found.is_some(), false);
         LookupResult {
             pcb: found,
             examined,
@@ -335,13 +322,7 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for RwShardedDemux<H> {
             );
             i = j;
         }
-        self.lookups.fetch_add(tallies.lookups, Ordering::Relaxed);
-        self.found.fetch_add(tallies.found, Ordering::Relaxed);
-        self.not_found
-            .fetch_add(tallies.not_found, Ordering::Relaxed);
-        self.examined
-            .fetch_add(tallies.pcbs_examined, Ordering::Relaxed);
-        self.worst.fetch_max(tallies.worst_case, Ordering::Relaxed);
+        self.stats.merge_tallies(&tallies);
     }
 
     fn len(&self) -> usize {
@@ -353,21 +334,20 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for RwShardedDemux<H> {
     }
 
     fn stats_snapshot(&self) -> LookupStats {
-        LookupStats {
-            lookups: self.lookups.load(Ordering::Relaxed),
-            cache_hits: 0,
-            found: self.found.load(Ordering::Relaxed),
-            not_found: self.not_found.load(Ordering::Relaxed),
-            pcbs_examined: self.examined.load(Ordering::Relaxed),
-            worst_case: self.worst.load(Ordering::Relaxed),
-        }
+        self.stats.snapshot()
     }
 }
 
 /// Any single-threaded [`Demux`] behind one global lock — the
 /// pre-parallel-STREAMS baseline.
+///
+/// Statistics are tallied into an [`AtomicLookupStats`] from the returned
+/// [`LookupResult`]s after the big lock drops (the inner structure still
+/// keeps its own private totals, which this wrapper ignores), so reading
+/// [`GlobalLockDemux::stats_snapshot`] never contends with the data path.
 pub struct GlobalLockDemux<D> {
     inner: Mutex<D>,
+    stats: AtomicLookupStats,
 }
 
 impl<D: Demux> GlobalLockDemux<D> {
@@ -375,6 +355,7 @@ impl<D: Demux> GlobalLockDemux<D> {
     pub fn new(inner: D) -> Self {
         Self {
             inner: Mutex::new(inner),
+            stats: AtomicLookupStats::new(),
         }
     }
 }
@@ -389,13 +370,22 @@ impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
     }
 
     fn lookup(&self, key: &ConnectionKey, kind: PacketKind) -> LookupResult {
-        lock(&self.inner).lookup(key, kind)
+        let result = lock(&self.inner).lookup(key, kind);
+        self.stats
+            .record(result.examined, result.pcb.is_some(), result.cache_hit);
+        result
     }
 
     fn lookup_batch(&self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
         // One lock acquisition for the whole batch, delegating to the
-        // inner structure's own (possibly specialized) batch path.
+        // inner structure's own (possibly specialized) batch path; the
+        // tallies replay from the results after the lock drops.
         lock(&self.inner).lookup_batch(keys, out);
+        let mut tallies = LookupStats::new();
+        for r in out.iter() {
+            tallies.record(r.examined, r.pcb.is_some(), r.cache_hit);
+        }
+        self.stats.merge_tallies(&tallies);
     }
 
     fn len(&self) -> usize {
@@ -407,14 +397,15 @@ impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
     }
 
     fn stats_snapshot(&self) -> LookupStats {
-        *lock(&self.inner).stats()
+        self.stats.snapshot()
     }
 }
 
 /// One instance of every thread-safe variant, for experiments that drive
-/// them generically (the A3 bench and its ablations): the lock-per-chain
-/// design, the cache-free reader–writer variant, and the global-lock
-/// baseline, all at the same chain count with [`Multiplicative`] hashing.
+/// them generically (the A3/A3b benches and their ablations): the
+/// lock-per-chain design, the cache-free reader–writer variant, the
+/// global-lock baseline, and the lock-free-read [`EpochDemux`], all at the
+/// same chain count with [`Multiplicative`] hashing.
 pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
     vec![
         Box::new(ShardedDemux::new(Multiplicative, chains)),
@@ -423,6 +414,7 @@ pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
             Multiplicative,
             chains,
         ))),
+        Box::new(EpochDemux::new(Multiplicative, chains)),
     ]
 }
 
@@ -666,11 +658,12 @@ mod tests {
     fn suite_drives_all_variants_generically() {
         let mut arena = PcbArena::new();
         let suite = concurrent_suite(19);
-        assert_eq!(suite.len(), 3);
+        assert_eq!(suite.len(), 4);
         let names: Vec<String> = suite.iter().map(|d| d.name()).collect();
         assert!(names.iter().any(|n| n.starts_with("sharded-sequent")));
         assert!(names.iter().any(|n| n.starts_with("rw-sharded")));
         assert!(names.iter().any(|n| n.starts_with("global-lock")));
+        assert!(names.iter().any(|n| n.starts_with("epoch(")));
         for demux in &suite {
             let ids = populate_concurrent(demux.as_ref(), &mut arena, 50);
             for (i, &id) in ids.iter().enumerate() {

@@ -13,6 +13,7 @@
 //! | [`HashedMtfDemux`] | §3.5, the combination the paper weighs | `H` hash chains with move-to-front |
 //! | [`DirectDemux`] | §3.5, connection-ID strawman (TP4/X.25/XTP) | direct index, 1 probe by construction |
 //! | [`concurrent::ShardedDemux`] | \[Dov90\] parallel-TCP setting | hash chains with per-chain locks |
+//! | [`concurrent::EpochDemux`] | RCU lineage (McKenney, Sequent) | hash chains, lock-free lookups over [`epoch`]-reclaimed nodes |
 //!
 //! The figure of merit throughout the paper — and therefore the unit this
 //! crate counts — is the **number of PCBs examined** per lookup. A cache
@@ -66,6 +67,8 @@ mod batch;
 mod bsd;
 pub mod concurrent;
 mod direct;
+pub mod epoch;
+mod epoch_demux;
 mod hashed_mtf;
 mod list;
 mod mtf;
@@ -82,7 +85,7 @@ pub use list::PcbList;
 pub use mtf::MtfDemux;
 pub use sequent::SequentDemux;
 pub use srcache::SendRecvDemux;
-pub use stats::LookupStats;
+pub use stats::{AtomicLookupStats, LookupStats};
 pub use suite::{extended_suite, standard_suite, SuiteEntry};
 // The per-lookup cost histogram was born in this crate and moved to the
 // telemetry subsystem; re-exported so cost-distribution code keeps one

@@ -26,6 +26,24 @@ impl PcbId {
     pub fn index(self) -> usize {
         self.index as usize
     }
+
+    /// Pack the handle into a `u64` (generation in the high word, index in
+    /// the low word). Lock-free structures store handles in `AtomicU64`
+    /// cells; the round trip through [`PcbId::from_bits`] is lossless.
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.generation) << 32) | u64::from(self.index)
+    }
+
+    /// Reconstruct a handle packed by [`PcbId::to_bits`].
+    ///
+    /// The bits are not validated against any arena — like any `PcbId`,
+    /// the handle only resolves if the generation still matches.
+    pub fn from_bits(bits: u64) -> Self {
+        Self {
+            index: bits as u32,
+            generation: (bits >> 32) as u32,
+        }
+    }
 }
 
 impl fmt::Display for PcbId {
@@ -222,6 +240,21 @@ mod tests {
         assert!(other.get(id).is_none());
         assert!(other.remove(id).is_none());
         let _ = arena;
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let mut arena = PcbArena::new();
+        let a = arena.insert(pcb(1));
+        arena.remove(a).unwrap();
+        let b = arena.insert(pcb(2)); // same slot, generation 1
+        for id in [a, b] {
+            assert_eq!(PcbId::from_bits(id.to_bits()), id);
+        }
+        assert_ne!(a.to_bits(), b.to_bits(), "generation must survive packing");
+        // The stale handle reconstructed from bits still refuses to resolve.
+        assert!(arena.get(PcbId::from_bits(a.to_bits())).is_none());
+        assert!(arena.get(PcbId::from_bits(b.to_bits())).is_some());
     }
 
     #[test]

@@ -44,11 +44,18 @@ pub enum CounterId {
     Batches,
     /// Batched frames re-looked-up after a mid-batch table change.
     BatchRelookups,
+    /// Demux chain nodes retired to the epoch runtime (unlinked, awaiting
+    /// a grace period).
+    EpochRetired,
+    /// Retired nodes whose grace period elapsed and were recycled.
+    EpochReclaimed,
+    /// Global epoch advances of the reclamation runtime.
+    EpochAdvances,
 }
 
 impl CounterId {
     /// Every counter, in export order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 16] = [
         CounterId::Lookups,
         CounterId::CacheHits,
         CounterId::DemuxHits,
@@ -62,6 +69,9 @@ impl CounterId {
         CounterId::TimeoutAborts,
         CounterId::Batches,
         CounterId::BatchRelookups,
+        CounterId::EpochRetired,
+        CounterId::EpochReclaimed,
+        CounterId::EpochAdvances,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -80,6 +90,9 @@ impl CounterId {
             CounterId::TimeoutAborts => "timeout_aborts",
             CounterId::Batches => "batches",
             CounterId::BatchRelookups => "batch_relookups",
+            CounterId::EpochRetired => "epoch_retired",
+            CounterId::EpochReclaimed => "epoch_reclaimed",
+            CounterId::EpochAdvances => "epoch_advances",
         }
     }
 }

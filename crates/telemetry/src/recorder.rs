@@ -22,14 +22,18 @@ pub enum HistogramId {
     /// Re-armed retransmission timeouts, in stack ticks, one sample per
     /// RTO backoff.
     RtoTicks,
+    /// Depth of the epoch runtime's deferred-retire list, sampled after
+    /// each writer operation's bounded drain.
+    EpochDeferred,
 }
 
 impl HistogramId {
     /// Every histogram, in export order.
-    pub const ALL: [HistogramId; 3] = [
+    pub const ALL: [HistogramId; 4] = [
         HistogramId::Examined,
         HistogramId::RxBatchSize,
         HistogramId::RtoTicks,
+        HistogramId::EpochDeferred,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -38,6 +42,7 @@ impl HistogramId {
             HistogramId::Examined => "examined",
             HistogramId::RxBatchSize => "rx_batch_size",
             HistogramId::RtoTicks => "rto_ticks",
+            HistogramId::EpochDeferred => "epoch_deferred",
         }
     }
 }
@@ -61,7 +66,7 @@ impl Telemetry {
     fn new(ring_capacity: usize) -> Self {
         Self {
             counters: Counters::new(),
-            histograms: [Histogram::new(), Histogram::new(), Histogram::new()],
+            histograms: std::array::from_fn(|_| Histogram::new()),
             ring: EventRing::with_capacity(ring_capacity),
         }
     }
@@ -197,6 +202,25 @@ impl Recorder {
         let mut t = self.lock();
         t.counters.incr(CounterId::Batches);
         t.histograms[HistogramId::RxBatchSize as usize].record(size);
+    }
+
+    /// Record one epoch-reclamation step: `retired` nodes handed to the
+    /// runtime, `reclaimed` nodes recycled by the bounded drain,
+    /// `advances` global-epoch advances (0 or 1 per step), and the
+    /// deferred-list `deferred_depth` left afterwards (sampled into the
+    /// `epoch_deferred` histogram). One lock acquisition for all four.
+    pub fn epoch_reclamation(
+        &self,
+        retired: u64,
+        reclaimed: u64,
+        advances: u64,
+        deferred_depth: u32,
+    ) {
+        let mut t = self.lock();
+        t.counters.add(CounterId::EpochRetired, retired);
+        t.counters.add(CounterId::EpochReclaimed, reclaimed);
+        t.counters.add(CounterId::EpochAdvances, advances);
+        t.histograms[HistogramId::EpochDeferred as usize].record(deferred_depth);
     }
 
     /// An owned, independent copy of everything recorded so far.

@@ -47,7 +47,7 @@ impl Snapshot {
     pub fn empty() -> Self {
         Self::assemble(
             Counters::new(),
-            [Histogram::new(), Histogram::new(), Histogram::new()],
+            std::array::from_fn(|_| Histogram::new()),
             Vec::new(),
             0,
             0,
@@ -230,34 +230,34 @@ mod tests {
         let snap = sample_recorder().snapshot();
         let text = snap.to_json_lines();
         let lines: Vec<&str> = text.lines().collect();
-        // 13 counters + 3 histograms + 1 events header + 6 events.
-        assert_eq!(lines.len(), 13 + 3 + 1 + 6, "{text}");
+        // 16 counters + 4 histograms + 1 events header + 6 events.
+        assert_eq!(lines.len(), 16 + 4 + 1 + 6, "{text}");
         assert_eq!(
             lines[0],
             "{\"type\":\"counter\",\"name\":\"lookups\",\"value\":3}"
         );
         assert!(
-            lines[13].starts_with(
+            lines[16].starts_with(
                 "{\"type\":\"histogram\",\"name\":\"examined\",\"count\":3,\"sum\":60,\"max\":40,"
             ),
             "{}",
-            lines[13]
+            lines[16]
         );
         assert!(
-            lines[13].contains("\"buckets\":[[1,1],[16,1],[32,1]]"),
+            lines[16].contains("\"buckets\":[[1,1],[16,1],[32,1]]"),
             "{}",
-            lines[13]
+            lines[16]
         );
         assert_eq!(
-            lines[16],
+            lines[20],
             "{\"type\":\"events\",\"recorded\":6,\"dropped\":0}"
         );
         assert_eq!(
-            lines[17],
+            lines[21],
             "{\"type\":\"event\",\"seq\":0,\"kind\":\"demux_hit\",\"examined\":1,\"cache_hit\":true}"
         );
         assert_eq!(
-            lines[22],
+            lines[26],
             "{\"type\":\"event\",\"seq\":5,\"kind\":\"conn_close\",\"cause\":\"timeout\"}"
         );
     }
@@ -273,9 +273,9 @@ mod tests {
     fn empty_snapshot_still_exports_full_schema() {
         let text = Snapshot::empty().to_json_lines();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 13 + 3 + 1);
-        assert!(lines[14].contains("\"count\":0"));
-        assert!(lines[14].contains("\"buckets\":[]"));
+        assert_eq!(lines.len(), 16 + 4 + 1);
+        assert!(lines[17].contains("\"count\":0"));
+        assert!(lines[17].contains("\"buckets\":[]"));
     }
 
     #[test]

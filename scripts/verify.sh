@@ -4,7 +4,7 @@
 # Verifies, with the network assumed absent:
 #   1. the workspace declares no registry dependencies anywhere
 #      (path/workspace deps only — the hermeticity contract in
-#      Cargo.toml and DESIGN.md §7);
+#      Cargo.toml and DESIGN.md §8);
 #   2. formatting and lints are clean (rustfmt --check, clippy -D warnings);
 #   3. tier-1 passes fully offline: release build + full test suite;
 #   4. the TPC/A simulation is deterministic: two runs with the same
@@ -13,14 +13,18 @@
 #      (32 independent fault streams through the lossy-link scenario);
 #   6. the structured telemetry export of the fixed-seed lossy-link run
 #      matches the checked-in golden byte for byte (counters, histogram
-#      buckets, and the event trace).
+#      buckets, and the event trace);
+#   7. the lock-free concurrent read path survives a widened stress
+#      sweep (16 seeds of multi-threaded churn against the epoch-
+#      reclaimed demux) and the multicore scaling study runs end to end
+#      in smoke mode.
 #
 # Run from anywhere inside the repo. Exits non-zero on first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 dependency audit (cargo metadata) =="
+echo "== 1/7 dependency audit (cargo metadata) =="
 # --no-deps still lists every workspace member's declared dependencies.
 # Any dependency whose `source` is non-null comes from a registry or
 # git — both are forbidden; in-tree path deps have `"source": null`.
@@ -40,15 +44,15 @@ if bad:
 print("ok: %d workspace crates, all dependencies in-tree" % len(meta["packages"]))
 '
 
-echo "== 2/6 formatting + lints (rustfmt, clippy -D warnings) =="
+echo "== 2/7 formatting + lints (rustfmt, clippy -D warnings) =="
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 3/6 offline tier-1 (release build + tests) =="
+echo "== 3/7 offline tier-1 (release build + tests) =="
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-echo "== 4/6 same-seed determinism (byte-identical sim output) =="
+echo "== 4/7 same-seed determinism (byte-identical sim output) =="
 run_a=$(mktemp)
 run_b=$(mktemp)
 trap 'rm -f "$run_a" "$run_b"' EXIT
@@ -61,12 +65,12 @@ if ! cmp -s "$run_a" "$run_b"; then
 fi
 echo "ok: two same-seed runs are byte-identical ($(wc -c <"$run_a") bytes)"
 
-echo "== 5/6 multi-seed fault-injection sweep (TCPDEMUX_FAULT_SEEDS=32) =="
+echo "== 5/7 multi-seed fault-injection sweep (TCPDEMUX_FAULT_SEEDS=32) =="
 TCPDEMUX_FAULT_SEEDS=32 cargo test -q --release --offline \
   --test fault_injection --test loss_recovery
 echo "ok: loss recovery and checksum rejection hold across 32 fault seeds"
 
-echo "== 6/6 golden telemetry export (fixed-seed lossy-link run) =="
+echo "== 6/7 golden telemetry export (fixed-seed lossy-link run) =="
 golden="crates/bench/goldens/telemetry_lossy.jsonl"
 export_run=$(mktemp)
 trap 'rm -f "$run_a" "$run_b" "$export_run"' EXIT
@@ -79,5 +83,10 @@ if ! cmp -s "$export_run" "$golden"; then
   exit 1
 fi
 echo "ok: telemetry export matches golden ($(wc -c <"$export_run") bytes)"
+
+echo "== 7/7 epoch stress sweep + scaling-study smoke (TCPDEMUX_STRESS_SEEDS=16) =="
+TCPDEMUX_STRESS_SEEDS=16 cargo test -q --release --offline --test epoch_stress
+TCPDEMUX_SMOKE=1 cargo run -q --release --offline -p tcpdemux-bench --bin mt_scaling >/dev/null
+echo "ok: 16-seed concurrent churn clean; mt_scaling smoke run completed"
 
 echo "verify.sh: all checks passed"

@@ -9,6 +9,7 @@
 //! note_send) applied to both twins between batches.
 
 use std::net::Ipv4Addr;
+use tcpdemux::demux::concurrent::concurrent_suite;
 use tcpdemux::demux::{extended_suite, LookupResult, PacketKind};
 use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena};
 use tcpdemux_testprop::check_cases;
@@ -189,4 +190,99 @@ fn batch_boundaries_do_not_matter() {
             );
         }
     });
+}
+
+/// The same batch≡sequential property for every `ConcurrentDemux`
+/// variant — including the lock-free `EpochDemux`, whose batch path walks
+/// each chain snapshot once under a single epoch pin. Driven from one
+/// thread, so the sequential twin is a well-defined oracle; the
+/// multi-threaded behaviour is covered by `tests/epoch_stress.rs`.
+#[test]
+fn concurrent_batch_lookup_matches_sequential_lookup() {
+    check_cases(
+        "concurrent_batch_lookup_matches_sequential_lookup",
+        32,
+        |rng| {
+            let mut arena = PcbArena::new();
+            let chains = rng.usize_in(1, 24);
+            let seq_suite = concurrent_suite(chains);
+            let batch_suite = concurrent_suite(chains);
+
+            let population: Vec<ConnectionKey> = (0..rng.u8_in(1, 80)).map(key).collect();
+            let mut installed = Vec::new();
+            for &ck in &population {
+                if rng.chance(0.7) {
+                    let id = arena.insert(Pcb::new(ck));
+                    installed.push(ck);
+                    for demux in seq_suite.iter().chain(batch_suite.iter()) {
+                        demux.insert(ck, id);
+                    }
+                }
+            }
+
+            let rounds = rng.usize_in(1, 10);
+            let mut script = Vec::new();
+            for _ in 0..rounds {
+                let batch: Vec<(ConnectionKey, PacketKind)> = rng.vec_of(0, 40, |rng| {
+                    let ck = *rng.choose(&population);
+                    let kind = if rng.bool() {
+                        PacketKind::Ack
+                    } else {
+                        PacketKind::Data
+                    };
+                    (ck, kind)
+                });
+                let mutations = rng.vec_of(0, 4, |rng| match rng.u8_in(0, 1) {
+                    0 => Mutation::Insert(rng.u8()),
+                    _ => Mutation::Remove(rng.u8()),
+                });
+                script.push((batch, mutations));
+            }
+
+            for (seq, bat) in seq_suite.iter().zip(&batch_suite) {
+                assert_eq!(seq.name(), bat.name());
+                let mut installed = installed.clone();
+                let mut out = Vec::new();
+                for (batch, mutations) in &script {
+                    let sequential: Vec<LookupResult> = batch
+                        .iter()
+                        .map(|(ck, kind)| seq.lookup(ck, *kind))
+                        .collect();
+                    bat.lookup_batch(batch, &mut out);
+                    assert_eq!(
+                        sequential,
+                        out,
+                        "batched results diverged for {}",
+                        seq.name()
+                    );
+                    for m in mutations {
+                        match *m {
+                            Mutation::Insert(n) => {
+                                let ck = key(n);
+                                if !installed.contains(&ck) {
+                                    let id = arena.insert(Pcb::new(ck));
+                                    installed.push(ck);
+                                    seq.insert(ck, id);
+                                    bat.insert(ck, id);
+                                }
+                            }
+                            Mutation::Remove(n) => {
+                                let ck = key(n);
+                                installed.retain(|&k| k != ck);
+                                assert_eq!(seq.remove(&ck), bat.remove(&ck));
+                            }
+                            Mutation::NoteSend(_) => unreachable!("not generated here"),
+                        }
+                    }
+                }
+                assert_eq!(
+                    seq.stats_snapshot(),
+                    bat.stats_snapshot(),
+                    "accumulated LookupStats diverged for {}",
+                    seq.name()
+                );
+                assert_eq!(seq.len(), bat.len());
+            }
+        },
+    );
 }
