@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::net::Ipv4Addr;
-use tcpdemux_bench::harness::{bench, group};
+use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_core::{Demux, PacketKind, SequentDemux};
 use tcpdemux_hash::Multiplicative;
 use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena};
@@ -198,5 +198,15 @@ fn main() {
     println!(
         "summary: stack  batch-32 {stack_b32:.1} ns/pkt vs per-packet {stack_seq:.1} ns/pkt ({:.2}x)",
         stack_seq / stack_b32
+    );
+    maybe_write_json(
+        "batch_rx",
+        0xBA7C,
+        &[
+            ("chains", "19"),
+            ("connections", "2000"),
+            ("stack_frames", "4096"),
+            ("batch_sizes", "1/8/32/128"),
+        ],
     );
 }

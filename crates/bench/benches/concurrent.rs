@@ -9,7 +9,7 @@
 //! lengthens sampling for lower variance.
 
 use std::hint::black_box;
-use tcpdemux_bench::harness::{bench, group};
+use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_core::concurrent::{concurrent_suite, ConcurrentDemux};
 use tcpdemux_core::PacketKind;
 use tcpdemux_hash::quality::tpca_key_population;
@@ -102,4 +102,14 @@ fn bench_scaling() {
 
 fn main() {
     bench_scaling();
+    maybe_write_json(
+        "concurrent",
+        0,
+        &[
+            ("connections", "2000"),
+            ("chains", "64"),
+            ("lookups_total", "400000"),
+            ("threads", "1/2/4/8"),
+        ],
+    );
 }

@@ -7,7 +7,7 @@
 //! lengthens sampling for lower variance.
 
 use std::hint::black_box;
-use tcpdemux_bench::harness::{bench, group};
+use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_core::{
     AdaptiveDemux, BsdDemux, Demux, DirectDemux, HashedMtfDemux, MtfDemux, PacketKind,
     SendRecvDemux, SequentDemux,
@@ -83,4 +83,14 @@ fn bench_packet_trains() {
 fn main() {
     bench_algorithms();
     bench_packet_trains();
+    // Key population and access patterns are fully deterministic (TPC/A
+    // population, fixed strides) — no RNG seed in this bin.
+    maybe_write_json(
+        "demux_lookup",
+        0,
+        &[
+            ("connections", "100/1000/2000"),
+            ("pattern", "oltp-stride-7919 + train"),
+        ],
+    );
 }

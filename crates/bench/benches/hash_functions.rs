@@ -7,7 +7,7 @@
 //! lengthens sampling for lower variance.
 
 use std::hint::black_box;
-use tcpdemux_bench::harness::{bench, group};
+use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_hash::{all_hashers, quality::tpca_key_population};
 
 fn bench_hashers() {
@@ -41,4 +41,9 @@ fn bench_bucket_reduction() {
 fn main() {
     bench_hashers();
     bench_bucket_reduction();
+    maybe_write_json(
+        "hash_functions",
+        0,
+        &[("keys", "1024"), ("bucket_chains", "19/100/499")],
+    );
 }

@@ -7,7 +7,7 @@
 
 use std::hint::black_box;
 use std::net::Ipv4Addr;
-use tcpdemux_bench::harness::{bench, group};
+use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_core::{BsdDemux, Demux, SequentDemux};
 use tcpdemux_hash::Multiplicative;
 use tcpdemux_stack::{Stack, StackConfig};
@@ -84,4 +84,5 @@ fn bench_parse_reject() {
 fn main() {
     bench_receive();
     bench_parse_reject();
+    maybe_write_json("stack_rx", 0, &[("listener_port", "1521")]);
 }

@@ -7,7 +7,7 @@
 
 use std::hint::black_box;
 use std::net::Ipv4Addr;
-use tcpdemux_bench::harness::{bench, group};
+use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_wire::{
     build_tcp_frame, FrameBuilder, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags, TcpRepr, TcpSegment,
 };
@@ -66,4 +66,5 @@ fn bench_emit() {
 fn main() {
     bench_parse();
     bench_emit();
+    maybe_write_json("wire_parse", 0, &[("payloads", "ack-40B/oltp-120B")]);
 }

@@ -6,12 +6,19 @@
 //! shape: goodput degrades smoothly with loss until the exponential
 //! backoff starts dominating the wall clock, and every corrupted frame
 //! is caught by a checksum rather than delivered.
+//!
+//! `TCPDEMUX_SMOKE=1` shrinks the sweep; `--json <path>` emits the
+//! per-drop-rate wall times as a `BENCH_loss_recovery.json` snapshot.
 
+use std::time::Instant;
+use tcpdemux_bench::harness::{maybe_write_json, record, smoke, Measurement};
 use tcpdemux_bench::table::Table;
 use tcpdemux_sim::lossy::{run_lossy_link, LossyLinkConfig};
 
+const SEED: u64 = 0xD00D_5EED;
+
 fn main() {
-    let exchanges = 100;
+    let exchanges = if smoke() { 20 } else { 100 };
     println!("Loss recovery sweep — {exchanges} request/response exchanges, 5% corruption\n");
     let mut table = Table::new(vec![
         "drop",
@@ -26,13 +33,20 @@ fn main() {
         "aborted",
     ]);
     for drop in [0.0, 0.05, 0.10, 0.20, 0.30, 0.40] {
+        let start = Instant::now();
         let report = run_lossy_link(&LossyLinkConfig {
             drop_chance: drop,
             corrupt_chance: 0.05,
             exchanges,
-            seed: 0xD00D_5EED,
+            seed: SEED,
             ..LossyLinkConfig::default()
         });
+        let elapsed_ns = start.elapsed().as_nanos() as f64;
+        record(Measurement::from_samples(
+            &format!("loss_recovery/drop={:.0}%", drop * 100.0),
+            &[elapsed_ns],
+            1,
+        ));
         table.row(vec![
             format!("{:.0}%", drop * 100.0),
             report.completed.to_string(),
@@ -51,4 +65,15 @@ fn main() {
     println!("Ticks are stack milliseconds; the in-memory link has zero latency, so");
     println!("all elapsed time is RTO waits. 'cksum-rej' equal to 'corrupt' means no");
     println!("mangled frame ever reached the demultiplexer.");
+
+    let exchanges_str = exchanges.to_string();
+    maybe_write_json(
+        "loss_recovery",
+        SEED,
+        &[
+            ("exchanges", exchanges_str.as_str()),
+            ("corrupt_chance", "0.05"),
+            ("drop_rates", "0/5/10/20/30/40%"),
+        ],
+    );
 }

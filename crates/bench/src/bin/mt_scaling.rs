@@ -20,7 +20,7 @@
 //! of the lock-free path is the portable signal.
 
 use std::time::Instant;
-use tcpdemux_bench::harness::bb;
+use tcpdemux_bench::harness::{bb, maybe_write_json, record, Measurement};
 use tcpdemux_core::concurrent::{concurrent_suite, ConcurrentDemux, EpochDemux};
 use tcpdemux_core::PacketKind;
 use tcpdemux_hash::quality::tpca_key_population;
@@ -65,16 +65,16 @@ fn populate(demux: &dyn ConcurrentDemux, keys: &[ConnectionKey]) {
     std::mem::forget(arena);
 }
 
-/// Fixed total lookups divided across `threads`; returns wall ns/lookup
-/// (median of `reps`).
-fn read_only_ns(
+/// Fixed total lookups divided across `threads`; returns one wall
+/// ns/lookup sample per repetition (summarized at the call site).
+fn read_only_samples(
     demux: &dyn ConcurrentDemux,
     keys: &[ConnectionKey],
     threads: usize,
     p: &Params,
-) -> f64 {
+) -> Vec<f64> {
     let per_thread = p.lookups_total / threads;
-    let mut samples: Vec<f64> = (0..p.reps)
+    (0..p.reps)
         .map(|_| {
             let start = Instant::now();
             std::thread::scope(|s| {
@@ -90,23 +90,21 @@ fn read_only_ns(
             });
             start.elapsed().as_nanos() as f64 / (per_thread * threads) as f64
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+        .collect()
 }
 
 /// Same division of reader work, plus one writer thread churning the top
 /// eighth of the key population (remove → reinsert cycles) for the whole
-/// measured window. Returns reader wall ns/lookup.
-fn churn_ns(
+/// measured window. Returns one reader wall ns/lookup sample per rep.
+fn churn_samples(
     demux: &dyn ConcurrentDemux,
     keys: &[ConnectionKey],
     threads: usize,
     p: &Params,
-) -> f64 {
+) -> Vec<f64> {
     let per_thread = p.lookups_total / threads;
     let churned = &keys[keys.len() - keys.len() / 8..];
-    let mut samples: Vec<f64> = (0..p.reps)
+    (0..p.reps)
         .map(|_| {
             let stop = std::sync::atomic::AtomicBool::new(false);
             let start = Instant::now();
@@ -145,9 +143,17 @@ fn churn_ns(
             });
             start.elapsed().as_nanos() as f64 / (per_thread * threads) as f64
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+        .collect()
+}
+
+/// Summarize one cell's samples into a recorded [`Measurement`] and
+/// return its median for the printed table.
+fn cell(label: String, samples: &[f64], p: &Params, threads: usize) -> f64 {
+    let iters = (p.lookups_total / threads * threads) as u64;
+    let m = Measurement::from_samples(&label, samples, iters);
+    let median = m.median_ns;
+    record(m);
+    median
 }
 
 fn print_table(title: &str, rows: &[(String, Vec<f64>)], names: &[String]) {
@@ -188,7 +194,11 @@ fn main() {
     for &threads in &THREAD_COUNTS {
         let cells: Vec<f64> = suite
             .iter()
-            .map(|d| read_only_ns(d.as_ref(), &keys, threads, &p))
+            .map(|d| {
+                let samples = read_only_samples(d.as_ref(), &keys, threads, &p);
+                let label = format!("mt_scaling/read-only/t={threads}/{}", d.name());
+                cell(label, &samples, &p, threads)
+            })
             .collect();
         rows.push((threads.to_string(), cells));
     }
@@ -212,7 +222,11 @@ fn main() {
     for &threads in &THREAD_COUNTS {
         let cells: Vec<f64> = suite
             .iter()
-            .map(|d| churn_ns(d.as_ref(), &keys, threads, &p))
+            .map(|d| {
+                let samples = churn_samples(d.as_ref(), &keys, threads, &p);
+                let label = format!("mt_scaling/churn/t={threads}/{}", d.name());
+                cell(label, &samples, &p, threads)
+            })
             .collect();
         churn_rows.push((threads.to_string(), cells));
     }
@@ -267,5 +281,22 @@ fn main() {
     assert_eq!(
         stats.deferred, 0,
         "quiescent flush must reclaim the whole backlog"
+    );
+
+    let connections = p.connections.to_string();
+    let lookups_total = p.lookups_total.to_string();
+    let churn_ops = p.churn_ops.to_string();
+    let reps = p.reps.to_string();
+    maybe_write_json(
+        "mt_scaling",
+        0,
+        &[
+            ("chains", "64"),
+            ("connections", connections.as_str()),
+            ("lookups_total", lookups_total.as_str()),
+            ("churn_ops", churn_ops.as_str()),
+            ("reps", reps.as_str()),
+            ("threads", "1/2/4/8"),
+        ],
     );
 }

@@ -111,6 +111,10 @@ impl<H: KeyHasher> ShardedDemux<H> {
     /// Create with `chains` shards (must be nonzero).
     pub fn new(hasher: H, chains: usize) -> Self {
         assert!(chains > 0, "chain count must be nonzero");
+        assert!(
+            chains <= u32::MAX as usize,
+            "chain count must fit in u32 (batch grouping packs bucket indices)"
+        );
         Self {
             hasher,
             shards: (0..chains).map(|_| Mutex::new(Shard::new())).collect(),
@@ -249,6 +253,10 @@ impl<H: KeyHasher> RwShardedDemux<H> {
     /// Create with `chains` shards (must be nonzero).
     pub fn new(hasher: H, chains: usize) -> Self {
         assert!(chains > 0, "chain count must be nonzero");
+        assert!(
+            chains <= u32::MAX as usize,
+            "chain count must fit in u32 (batch grouping packs bucket indices)"
+        );
         Self {
             hasher,
             shards: (0..chains)

@@ -396,6 +396,11 @@ impl<H: KeyHasher> EpochDemux<H> {
                 return (Some((id_bits, cur, examined)), examined);
             }
             cur = n.next.load(Ordering::SeqCst);
+            // One-ahead prefetch: the successor's cache line starts
+            // loading while this iteration's word compares retire.
+            if cur != NIL {
+                crate::prefetch::prefetch_read(self.node(cur));
+            }
         }
         (None, examined)
     }
@@ -510,6 +515,9 @@ impl<H: KeyHasher> EpochDemux<H> {
                     let id_bits = n.id.load(Ordering::SeqCst);
                     let this = cur;
                     cur = n.next.load(Ordering::SeqCst);
+                    if cur != NIL {
+                        crate::prefetch::prefetch_read(self.node(cur));
+                    }
                     scanned.push((w, id_bits, this));
                     if w == words {
                         found = Some((id_bits, this, scanned.len() as u32));
@@ -702,6 +710,20 @@ impl<H: KeyHasher + Sync + Send> ConcurrentDemux for EpochDemux<H> {
         batch::group_by_bucket(&mut order, keys, |k| self.bucket(k));
         // One pin for the whole batch, one chain walk per group.
         let guard = self.runtime.pin();
+        // Prefetch pass: with the batch grouped and the epoch pinned,
+        // every chain head this batch will walk is known — hint them all
+        // into cache before the first walk so the per-group scans below
+        // overlap their leading misses instead of serializing them.
+        let mut prev = None;
+        for &(b, _) in &order {
+            if prev != Some(b) {
+                prev = Some(b);
+                let head = self.heads[b as usize].load(Ordering::SeqCst);
+                if head != NIL {
+                    crate::prefetch::prefetch_read(self.node(head));
+                }
+            }
+        }
         let mut i = 0;
         while i < order.len() {
             let chain = order[i].0 as usize;

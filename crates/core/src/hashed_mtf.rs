@@ -25,9 +25,15 @@ pub struct HashedMtfDemux<H> {
 }
 
 impl<H: KeyHasher> HashedMtfDemux<H> {
-    /// Create a structure with `chains` hash chains (must be nonzero).
+    /// Create a structure with `chains` hash chains (must be nonzero and
+    /// at most `u32::MAX` — chain indices are packed into 32 bits on the
+    /// batch path).
     pub fn new(hasher: H, chains: usize) -> Self {
         assert!(chains > 0, "chain count must be nonzero");
+        assert!(
+            chains <= u32::MAX as usize,
+            "chain count must fit in u32 (batch grouping packs bucket indices)"
+        );
         Self {
             hasher,
             chains: (0..chains).map(|_| PcbList::new()).collect(),
@@ -97,6 +103,16 @@ impl<H: KeyHasher> Demux for HashedMtfDemux<H> {
         let chains = self.chains.len();
         let mut order = std::mem::take(&mut self.order);
         batch::group_by_bucket(&mut order, keys, |k| self.hasher.bucket(k, chains));
+        // Hint every distinct chain head this batch touches into cache
+        // before the first walk, so the per-chain groups below start
+        // their scans without a dependent miss each.
+        let mut prev = None;
+        for &(b, _) in &order {
+            if prev != Some(b) {
+                prev = Some(b);
+                self.chains[b as usize].prefetch_head();
+            }
+        }
         for &(b, idx) in &order {
             let (idx, b) = (idx as usize, b as usize);
             let (found, examined) = self.chains[b].find_move_to_front(&keys[idx].0);

@@ -1,46 +1,98 @@
-//! An index-based doubly-linked PCB list.
+//! An index-based doubly-linked PCB list with a struct-of-arrays layout.
 //!
 //! Every list-structured algorithm in the paper (BSD, move-to-front, the
 //! send/receive cache, and each Sequent hash chain) needs the same three
 //! operations a kernel's `inpcb` queue provides: scan from the head
 //! counting entries examined, unlink in O(1) once found, and insert at the
-//! head in O(1). `PcbList` provides exactly that, with nodes in a `Vec` and
-//! explicit index links (no unsafe, no pointer chasing across allocations).
+//! head in O(1). `PcbList` provides exactly that, with explicit index
+//! links (no unsafe, no pointer chasing across allocations).
 //!
 //! The scan order is the *list* order, which is what the paper's analysis
 //! is about: the cost of a lookup is the 1-based position of the key.
+//!
+//! # Struct-of-arrays hot lane
+//!
+//! Storage is split for mechanical sympathy. The *hot* lane is one
+//! `Vec<u64>` word per slot packing `(tag << 32) | next`, so a chain walk
+//! touches a single contiguous array of 8-byte words: one load yields
+//! both the 32-bit key tag (a prefilter — the full 96-bit
+//! [`ConnectionKey`] is compared only when the tag matches) and the next
+//! slot index. Everything a walk does *not* need on the common
+//! non-matching step — the full key, the PCB handle, the back link, the
+//! liveness flag — lives in parallel *cold* arrays touched only on a tag
+//! hit or a structural mutation. Eight slots of hot lane share a cache
+//! line where the old array-of-structs layout fit two nodes.
+//!
+//! The tag prefilter is invisible in the paper's cost model: a tag
+//! comparison *is* the examination of that position, so `examined`
+//! counts are byte-identical to a full-key walk (a property test pins
+//! this against a Vec-of-pairs oracle, including crafted tag
+//! collisions).
 
 use tcpdemux_pcb::{ConnectionKey, PcbId};
 
-const NIL: u32 = u32::MAX;
+/// Sentinel slot index meaning "no slot" (shared with the batch walker).
+pub(crate) const NIL: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
-struct Node {
-    key: ConnectionKey,
-    id: PcbId,
-    prev: u32,
-    next: u32,
-    live: bool,
+// Additive-multiplicative mixer over the three key words. The weights are
+// the usual odd 32-bit mixing constants; because each word contributes
+// linearly (mod 2^32) the test suite can *craft* tag collisions
+// deterministically with a modular inverse instead of birthday-searching.
+const TAG_M0: u32 = 0x9E37_79B9;
+const TAG_M1: u32 = 0x85EB_CA6B;
+const TAG_M2: u32 = 0xC2B2_AE35;
+
+/// The 32-bit prefilter tag stored in a slot's hot word alongside the
+/// next link. Equal keys always have equal tags; unequal keys collide
+/// with probability ~2^-32, in which case the walk falls back to the
+/// full-key comparison and stays correct.
+#[inline]
+pub(crate) fn key_tag(key: &ConnectionKey) -> u32 {
+    let [w0, w1, w2] = key.as_words();
+    w0.wrapping_mul(TAG_M0)
+        .wrapping_add(w1.wrapping_mul(TAG_M1))
+        .wrapping_add(w2.wrapping_mul(TAG_M2))
 }
 
-/// A doubly-linked list of `(ConnectionKey, PcbId)` pairs.
-#[derive(Debug, Clone, Default)]
+#[inline]
+fn pack(tag: u32, next: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(next)
+}
+
+/// A doubly-linked list of `(ConnectionKey, PcbId)` pairs in
+/// struct-of-arrays form: `hot[i]` packs `(tag << 32) | next`, the cold
+/// arrays hold everything a non-matching walk step never touches.
+#[derive(Debug, Clone)]
 pub struct PcbList {
-    nodes: Vec<Node>,
+    hot: Vec<u64>,
+    keys: Vec<ConnectionKey>,
+    ids: Vec<PcbId>,
+    prev: Vec<u32>,
+    live: Vec<bool>,
     free: Vec<u32>,
-    head: Option<u32>,
-    tail: Option<u32>,
+    head: u32,
+    tail: u32,
     len: usize,
+}
+
+impl Default for PcbList {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PcbList {
     /// An empty list.
     pub fn new() -> Self {
         Self {
-            nodes: Vec::new(),
+            hot: Vec::new(),
+            keys: Vec::new(),
+            ids: Vec::new(),
+            prev: Vec::new(),
+            live: Vec::new(),
             free: Vec::new(),
-            head: None,
-            tail: None,
+            head: NIL,
+            tail: NIL,
             len: 0,
         }
     }
@@ -57,89 +109,92 @@ impl PcbList {
 
     /// The entry at the head, if any.
     pub fn front(&self) -> Option<(ConnectionKey, PcbId)> {
-        self.head.map(|h| {
-            let node = &self.nodes[h as usize];
-            (node.key, node.id)
+        (self.head != NIL).then(|| {
+            let i = self.head as usize;
+            (self.keys[i], self.ids[i])
         })
+    }
+
+    #[inline]
+    fn next_of(&self, idx: u32) -> u32 {
+        self.hot[idx as usize] as u32
+    }
+
+    #[inline]
+    fn set_next(&mut self, idx: u32, next: u32) {
+        let word = &mut self.hot[idx as usize];
+        *word = (*word & !0xFFFF_FFFFu64) | u64::from(next);
+    }
+
+    /// Claim a slot (recycling freed ones) holding `key`/`id`, unlinked
+    /// (`prev = next = NIL`), live. Returns its index.
+    fn alloc(&mut self, key: ConnectionKey, id: PcbId) -> u32 {
+        let tag = key_tag(&key);
+        match self.free.pop() {
+            Some(idx) => {
+                let i = idx as usize;
+                self.hot[i] = pack(tag, NIL);
+                self.keys[i] = key;
+                self.ids[i] = id;
+                self.prev[i] = NIL;
+                self.live[i] = true;
+                idx
+            }
+            None => {
+                let idx = self.hot.len() as u32;
+                self.hot.push(pack(tag, NIL));
+                self.keys.push(key);
+                self.ids.push(id);
+                self.prev.push(NIL);
+                self.live.push(true);
+                idx
+            }
+        }
     }
 
     /// Insert at the head (newest-first, the BSD convention).
     pub fn push_front(&mut self, key: ConnectionKey, id: PcbId) {
-        let idx = match self.free.pop() {
-            Some(idx) => {
-                let node = &mut self.nodes[idx as usize];
-                node.key = key;
-                node.id = id;
-                node.prev = NIL;
-                node.next = NIL;
-                node.live = true;
-                idx
-            }
-            None => {
-                let idx = self.nodes.len() as u32;
-                self.nodes.push(Node {
-                    key,
-                    id,
-                    prev: NIL,
-                    next: NIL,
-                    live: true,
-                });
-                idx
-            }
-        };
-        match self.head {
-            Some(old) => {
-                self.nodes[old as usize].prev = idx;
-                self.nodes[idx as usize].next = old;
-            }
-            None => self.tail = Some(idx),
+        let idx = self.alloc(key, id);
+        if self.head == NIL {
+            self.tail = idx;
+        } else {
+            self.prev[self.head as usize] = idx;
+            self.set_next(idx, self.head);
         }
-        self.head = Some(idx);
+        self.head = idx;
         self.len += 1;
     }
 
     /// Insert at the tail.
     pub fn push_back(&mut self, key: ConnectionKey, id: PcbId) {
-        self.push_front(key, id);
-        // push_front then move to back: only used at setup time, so the
-        // extra relink cost is irrelevant; reuse the unlink machinery.
-        let idx = self.head.expect("just pushed");
-        self.unlink(idx);
-        let node = &mut self.nodes[idx as usize];
-        node.prev = NIL;
-        node.next = NIL;
-        node.live = true;
-        match self.tail {
-            Some(old) => {
-                self.nodes[old as usize].next = idx;
-                self.nodes[idx as usize].prev = old;
-            }
-            None => self.head = Some(idx),
+        let idx = self.alloc(key, id);
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            self.set_next(self.tail, idx);
+            self.prev[idx as usize] = self.tail;
         }
-        self.tail = Some(idx);
+        self.tail = idx;
         self.len += 1;
     }
 
     fn unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let node = &self.nodes[idx as usize];
-            debug_assert!(node.live);
-            (node.prev, node.next)
-        };
+        debug_assert!(self.live[idx as usize]);
+        let prev = self.prev[idx as usize];
+        let next = self.next_of(idx);
         if prev == NIL {
-            self.head = (next != NIL).then_some(next);
+            self.head = next;
         } else {
-            self.nodes[prev as usize].next = next;
+            self.set_next(prev, next);
         }
         if next == NIL {
-            self.tail = (prev != NIL).then_some(prev);
+            self.tail = prev;
         } else {
-            self.nodes[next as usize].prev = prev;
+            self.prev[next as usize] = prev;
         }
-        let node = &mut self.nodes[idx as usize];
-        node.live = false;
-        node.prev = NIL;
-        node.next = NIL;
+        self.live[idx as usize] = false;
+        self.prev[idx as usize] = NIL;
+        self.set_next(idx, NIL);
         self.len -= 1;
     }
 
@@ -147,15 +202,16 @@ impl PcbList {
     /// 1-based position at which it was found (the number of entries
     /// examined), or `None` along with the full list length examined.
     pub fn find(&self, key: &ConnectionKey) -> (Option<PcbId>, u32) {
+        let tag = key_tag(key);
         let mut cursor = self.head;
         let mut examined = 0u32;
-        while let Some(idx) = cursor {
-            let node = &self.nodes[idx as usize];
+        while cursor != NIL {
+            let word = self.hot[cursor as usize];
             examined += 1;
-            if node.key == *key {
-                return (Some(node.id), examined);
+            if (word >> 32) as u32 == tag && self.keys[cursor as usize] == *key {
+                return (Some(self.ids[cursor as usize]), examined);
             }
-            cursor = (node.next != NIL).then_some(node.next);
+            cursor = word as u32;
         }
         (None, examined)
     }
@@ -163,44 +219,46 @@ impl PcbList {
     /// Scan for `key`; if found, unlink it and re-insert at the head
     /// (Crowcroft's move-to-front). Returns the handle and entries examined.
     pub fn find_move_to_front(&mut self, key: &ConnectionKey) -> (Option<PcbId>, u32) {
+        let tag = key_tag(key);
         let mut cursor = self.head;
         let mut examined = 0u32;
-        while let Some(idx) = cursor {
+        while cursor != NIL {
+            let word = self.hot[cursor as usize];
             examined += 1;
-            if self.nodes[idx as usize].key == *key {
-                let id = self.nodes[idx as usize].id;
-                if self.head != Some(idx) {
-                    self.unlink(idx);
+            if (word >> 32) as u32 == tag && self.keys[cursor as usize] == *key {
+                let id = self.ids[cursor as usize];
+                if self.head != cursor {
+                    self.unlink(cursor);
                     // Relink at head reusing the same slot.
-                    let old_head = self.head.expect("nonempty: key was behind head");
-                    self.nodes[old_head as usize].prev = idx;
-                    let node = &mut self.nodes[idx as usize];
-                    node.next = old_head;
-                    node.prev = NIL;
-                    node.live = true;
-                    self.head = Some(idx);
+                    let old_head = self.head;
+                    debug_assert_ne!(old_head, NIL, "nonempty: key was behind head");
+                    self.prev[old_head as usize] = cursor;
+                    self.set_next(cursor, old_head);
+                    self.prev[cursor as usize] = NIL;
+                    self.live[cursor as usize] = true;
+                    self.head = cursor;
                     self.len += 1;
                 }
                 return (Some(id), examined);
             }
-            let next = self.nodes[idx as usize].next;
-            cursor = (next != NIL).then_some(next);
+            cursor = word as u32;
         }
         (None, examined)
     }
 
     /// Remove `key` from the list, returning its handle if present.
     pub fn remove(&mut self, key: &ConnectionKey) -> Option<PcbId> {
+        let tag = key_tag(key);
         let mut cursor = self.head;
-        while let Some(idx) = cursor {
-            let node = &self.nodes[idx as usize];
-            if node.key == *key {
-                let id = node.id;
-                self.unlink(idx);
-                self.free.push(idx);
+        while cursor != NIL {
+            let word = self.hot[cursor as usize];
+            if (word >> 32) as u32 == tag && self.keys[cursor as usize] == *key {
+                let id = self.ids[cursor as usize];
+                self.unlink(cursor);
+                self.free.push(cursor);
                 return Some(id);
             }
-            cursor = (node.next != NIL).then_some(node.next);
+            cursor = word as u32;
         }
         None
     }
@@ -208,13 +266,14 @@ impl PcbList {
     /// Replace the handle stored for `key`, returning the old handle.
     /// Position in the list is unchanged.
     pub fn replace(&mut self, key: &ConnectionKey, id: PcbId) -> Option<PcbId> {
+        let tag = key_tag(key);
         let mut cursor = self.head;
-        while let Some(idx) = cursor {
-            let node = &mut self.nodes[idx as usize];
-            if node.key == *key {
-                return Some(core::mem::replace(&mut node.id, id));
+        while cursor != NIL {
+            let word = self.hot[cursor as usize];
+            if (word >> 32) as u32 == tag && self.keys[cursor as usize] == *key {
+                return Some(core::mem::replace(&mut self.ids[cursor as usize], id));
             }
-            cursor = (node.next != NIL).then_some(node.next);
+            cursor = word as u32;
         }
         None
     }
@@ -226,23 +285,75 @@ impl PcbList {
             cursor: self.head,
         }
     }
+
+    // ---- raw-slot access for the batched walker (crate-internal) ----
+    //
+    // `chain_group_lookup` drives the walk itself so it can interleave
+    // prefetches and reuse already-scanned prefixes across a grouped
+    // batch; these accessors expose the SoA lanes without giving up the
+    // list's invariants.
+
+    /// The head slot index, or [`NIL`] when empty.
+    pub(crate) fn head_slot(&self) -> u32 {
+        self.head
+    }
+
+    /// The packed `(tag << 32) | next` hot word of a live slot.
+    pub(crate) fn hot_word(&self, idx: u32) -> u64 {
+        self.hot[idx as usize]
+    }
+
+    /// The full key stored in a slot (cold lane; read on tag hit only).
+    pub(crate) fn key_at(&self, idx: u32) -> &ConnectionKey {
+        &self.keys[idx as usize]
+    }
+
+    /// The PCB handle stored in a slot (cold lane).
+    pub(crate) fn id_at(&self, idx: u32) -> PcbId {
+        self.ids[idx as usize]
+    }
+
+    /// The three SoA lanes as raw slices: packed hot words, keys, ids.
+    ///
+    /// The interleaved batch walker borrows these once per chain so its
+    /// per-step loop indexes flat slices instead of re-deriving the
+    /// chain reference (two dependent loads) on every entry.
+    pub(crate) fn lanes(&self) -> (&[u64], &[ConnectionKey], &[PcbId]) {
+        (&self.hot, &self.keys, &self.ids)
+    }
+
+    /// Hint the head slot's hot word into cache ahead of a walk.
+    pub(crate) fn prefetch_head(&self) {
+        if self.head != NIL {
+            crate::prefetch::prefetch_read(&self.hot[self.head as usize]);
+        }
+    }
+
+    /// Hint an arbitrary slot's hot word into cache (no-op on [`NIL`]).
+    pub(crate) fn prefetch_slot(&self, idx: u32) {
+        if idx != NIL {
+            crate::prefetch::prefetch_read(&self.hot[idx as usize]);
+        }
+    }
 }
 
 /// Iterator over a [`PcbList`] in list order.
 #[derive(Debug)]
 pub struct ListIter<'a> {
     list: &'a PcbList,
-    cursor: Option<u32>,
+    cursor: u32,
 }
 
 impl Iterator for ListIter<'_> {
     type Item = (ConnectionKey, PcbId);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let idx = self.cursor?;
-        let node = &self.list.nodes[idx as usize];
-        self.cursor = (node.next != NIL).then_some(node.next);
-        Some((node.key, node.id))
+        if self.cursor == NIL {
+            return None;
+        }
+        let i = self.cursor as usize;
+        self.cursor = self.list.next_of(self.cursor);
+        Some((self.list.keys[i], self.list.ids[i]))
     }
 }
 
@@ -250,6 +361,7 @@ impl Iterator for ListIter<'_> {
 mod tests {
     use super::*;
     use crate::test_util::key;
+    use std::net::Ipv4Addr;
     use tcpdemux_pcb::{Pcb, PcbArena};
     use tcpdemux_testprop::check;
 
@@ -364,7 +476,7 @@ mod tests {
         list.push_front(key(0), ids[0]);
         list.remove(&key(0));
         list.push_front(key(1), ids[1]);
-        assert_eq!(list.nodes.len(), 1, "slot not recycled");
+        assert_eq!(list.hot.len(), 1, "slot not recycled");
         assert_eq!(list.find(&key(1)), (Some(ids[1]), 1));
     }
 
@@ -384,12 +496,75 @@ mod tests {
         assert_eq!(list.replace(&key(42), replacement), None);
     }
 
+    /// Multiplicative inverse mod 2^32 of an odd `a`, by Newton
+    /// iteration: each step doubles the number of correct low bits and
+    /// `x = a` is already correct mod 8, so five steps reach 2^32.
+    fn inv_u32(a: u32) -> u32 {
+        assert!(a % 2 == 1);
+        let mut x = a;
+        for _ in 0..5 {
+            x = x.wrapping_mul(2u32.wrapping_sub(a.wrapping_mul(x)));
+        }
+        assert_eq!(a.wrapping_mul(x), 1);
+        x
+    }
+
+    /// Because the tag is linear in the key words (mod 2^32), a second
+    /// key with w2' = w2 + 1 and w1' = w1 - M2·M1⁻¹ has the *same* tag.
+    /// The walk must fall through the false tag hit to the full-key
+    /// comparison and keep exact `examined` counts.
+    #[test]
+    fn crafted_tag_collision_walks_correctly() {
+        let base = ConnectionKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1521,
+            Ipv4Addr::new(10, 0, 9, 9),
+            40001,
+        );
+        let [w0, w1, w2] = base.as_words();
+        let w1c = w1.wrapping_sub(TAG_M2.wrapping_mul(inv_u32(TAG_M1)));
+        let w2c = w2.wrapping_add(1);
+        let collider = ConnectionKey::new(
+            Ipv4Addr::from(w0),
+            (w2c >> 16) as u16,
+            Ipv4Addr::from(w1c),
+            w2c as u16,
+        );
+        assert_ne!(base, collider, "must be distinct keys");
+        assert_eq!(
+            key_tag(&base),
+            key_tag(&collider),
+            "construction must collide tags"
+        );
+
+        let mut arena = PcbArena::new();
+        let id_base = arena.insert(Pcb::new(base));
+        let id_coll = arena.insert(Pcb::new(collider));
+        let mut list = PcbList::new();
+        // Order: collider first, so a lookup of `base` takes a false
+        // tag hit at position 1 before matching at position 2.
+        list.push_front(base, id_base);
+        list.push_front(collider, id_coll);
+
+        assert_eq!(list.find(&collider), (Some(id_coll), 1));
+        assert_eq!(list.find(&base), (Some(id_base), 2));
+        // Same through the mutating paths.
+        assert_eq!(list.replace(&base, id_base), Some(id_base));
+        let (found, examined) = list.find_move_to_front(&base);
+        assert_eq!((found, examined), (Some(id_base), 2));
+        assert_eq!(list.find(&base), (Some(id_base), 1));
+        assert_eq!(list.remove(&collider), Some(id_coll));
+        assert_eq!(list.find(&collider), (None, 1));
+    }
+
     /// Model-based test: a sequence of operations on PcbList agrees
     /// with a Vec-based reference model, including scan positions.
+    /// This is the oracle pinning the SoA layout to the pre-refactor
+    /// walk semantics across insert/remove/reorder churn.
     #[test]
     fn prop_matches_vec_model() {
         check("list_prop_matches_vec_model", |rng| {
-            let ops = rng.vec_of(0, 200, |r| (r.u8_in(0, 4), r.u32_below(24)));
+            let ops = rng.vec_of(0, 200, |r| (r.u8_in(0, 6), r.u32_below(24)));
             let mut arena = PcbArena::new();
             let mut list = PcbList::new();
             let mut model: Vec<(ConnectionKey, PcbId)> = Vec::new();
@@ -431,6 +606,25 @@ mod tests {
                                 assert_eq!(got, None);
                                 assert_eq!(examined as usize, model.len());
                             }
+                        }
+                    }
+                    3 => {
+                        // push_back if absent
+                        if !model.iter().any(|(mk, _)| *mk == k) {
+                            let id = arena.insert(Pcb::new(k));
+                            list.push_back(k, id);
+                            model.push((k, id));
+                        }
+                    }
+                    4 => {
+                        let replacement = arena.insert(Pcb::new(k));
+                        let got = list.replace(&k, replacement);
+                        match model.iter().position(|(mk, _)| *mk == k) {
+                            Some(pos) => {
+                                assert_eq!(got, Some(model[pos].1));
+                                model[pos].1 = replacement;
+                            }
+                            None => assert_eq!(got, None),
                         }
                     }
                     _ => {

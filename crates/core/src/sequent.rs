@@ -32,9 +32,15 @@ impl<H: KeyHasher> SequentDemux<H> {
     /// The installation default number of hash chains in Sequent's product.
     pub const DEFAULT_CHAINS: usize = 19;
 
-    /// Create a structure with `chains` hash chains (must be nonzero).
+    /// Create a structure with `chains` hash chains (must be nonzero and
+    /// at most `u32::MAX` — chain indices are packed into 32 bits on the
+    /// batch path).
     pub fn new(hasher: H, chains: usize) -> Self {
         assert!(chains > 0, "chain count must be nonzero");
+        assert!(
+            chains <= u32::MAX as usize,
+            "chain count must fit in u32 (batch grouping packs bucket indices)"
+        );
         Self {
             hasher,
             chains: (0..chains).map(|_| PcbList::new()).collect(),
@@ -149,30 +155,34 @@ impl<H: KeyHasher> Demux for SequentDemux<H> {
         out.clear();
         out.resize(keys.len(), LookupResult::miss(0));
         let chains = self.chains.len();
-        batch::group_by_bucket(&mut self.scratch.order, keys, |k| {
+        batch::group_by_bucket_counted(&mut self.scratch, keys, chains, |k| {
             self.hasher.bucket(k, chains)
         });
-        let mut i = 0;
-        while i < self.scratch.order.len() {
-            let b = self.scratch.order[i].0 as usize;
-            let mut j = i;
-            while j < self.scratch.order.len() && self.scratch.order[j].0 as usize == b {
-                j += 1;
+        // Prefetch pass: the grouped order names every chain this batch
+        // will touch. Hint each distinct chain's head slot and cache
+        // word into L1 *before* any walk starts, so the walks below find
+        // their first nodes already in flight (memory-level parallelism)
+        // instead of taking one dependent miss per chain.
+        let mut prev = None;
+        for &(b, _) in &self.scratch.order {
+            if prev != Some(b) {
+                prev = Some(b);
+                self.chains[b as usize].prefetch_head();
+                crate::prefetch::prefetch_read(&self.caches[b as usize]);
             }
-            batch::chain_group_lookup(
-                &self.chains[b],
-                &mut self.caches[b],
-                self.cache_enabled,
-                &mut self.scratch.scanned,
-                self.scratch.order[i..j]
-                    .iter()
-                    .map(|&(_, idx)| idx as usize),
-                keys,
-                out,
-                &mut self.stats,
-            );
-            i = j;
         }
+        // Walk every touched chain simultaneously — one step per chain
+        // per round — so the dependent next-pointer loads of different
+        // chains overlap in flight instead of serializing at L1 latency.
+        batch::interleaved_batch_lookup(
+            &self.chains,
+            &mut self.caches,
+            self.cache_enabled,
+            &mut self.scratch,
+            keys,
+            out,
+            &mut self.stats,
+        );
     }
 
     fn len(&self) -> usize {
@@ -201,7 +211,8 @@ mod tests {
     use super::*;
     use crate::test_util::{key, populate};
     use tcpdemux_hash::{Multiplicative, XorFold};
-    use tcpdemux_pcb::PcbArena;
+    use tcpdemux_pcb::{Pcb, PcbArena};
+    use tcpdemux_testprop::check;
 
     #[test]
     fn cache_hit_costs_one() {
@@ -364,6 +375,107 @@ mod tests {
                 cached.lookup(&key(i), PacketKind::Data).pcb.is_some(),
                 uncached.lookup(&key(i), PacketKind::Data).pcb.is_some()
             );
+        }
+    }
+
+    /// Model-based oracle for the whole demux: chains as Vec-of-pairs,
+    /// caches as plain Options, stats rebuilt with the same `record`
+    /// calls. Pins the SoA chain layout + tag prefilter to the exact
+    /// pre-refactor walk semantics — every `LookupResult` field and the
+    /// final accumulated `LookupStats` — across insert/remove/reorder
+    /// churn, with the cache both enabled and disabled.
+    #[test]
+    fn prop_matches_chain_model() {
+        for cache_enabled in [true, false] {
+            let name = if cache_enabled {
+                "sequent_prop_matches_chain_model_cached"
+            } else {
+                "sequent_prop_matches_chain_model_nocache"
+            };
+            check(name, |rng| {
+                const CHAINS: usize = 7;
+                let hasher = Multiplicative;
+                let mut arena = PcbArena::new();
+                let mut demux = SequentDemux::new(hasher, CHAINS);
+                if !cache_enabled {
+                    demux = demux.without_cache();
+                }
+                let mut chains: Vec<Vec<(ConnectionKey, PcbId)>> = vec![Vec::new(); CHAINS];
+                let mut caches: Vec<Option<(ConnectionKey, PcbId)>> = vec![None; CHAINS];
+                let mut stats = LookupStats::new();
+
+                let ops = rng.vec_of(0, 300, |r| (r.u8_in(0, 5), r.u32_below(32)));
+                for (op, n) in ops {
+                    let k = key(n);
+                    let b = hasher.bucket(&k, CHAINS);
+                    match op {
+                        0 | 1 => {
+                            let id = arena.insert(Pcb::new(k));
+                            demux.insert(k, id);
+                            match chains[b].iter().position(|(mk, _)| *mk == k) {
+                                Some(pos) => {
+                                    chains[b][pos].1 = id;
+                                    if let Some((ck, cid)) = &mut caches[b] {
+                                        if *ck == k {
+                                            *cid = id;
+                                        }
+                                    }
+                                }
+                                None => chains[b].insert(0, (k, id)),
+                            }
+                        }
+                        2 => {
+                            let got = demux.remove(&k);
+                            if caches[b].map(|(ck, _)| ck == k).unwrap_or(false) {
+                                caches[b] = None;
+                            }
+                            match chains[b].iter().position(|(mk, _)| *mk == k) {
+                                Some(pos) => assert_eq!(got, Some(chains[b].remove(pos).1)),
+                                None => assert_eq!(got, None),
+                            }
+                        }
+                        _ => {
+                            let got = demux.lookup(&k, PacketKind::Data);
+                            let want = match caches[b] {
+                                Some((ck, id)) if ck == k => {
+                                    stats.record(1, true, true);
+                                    LookupResult {
+                                        pcb: Some(id),
+                                        examined: 1,
+                                        cache_hit: true,
+                                    }
+                                }
+                                _ => {
+                                    let probe = u32::from(caches[b].is_some());
+                                    match chains[b].iter().position(|(mk, _)| *mk == k) {
+                                        Some(pos) => {
+                                            let id = chains[b][pos].1;
+                                            let examined = probe + pos as u32 + 1;
+                                            if cache_enabled {
+                                                caches[b] = Some((k, id));
+                                            }
+                                            stats.record(examined, true, false);
+                                            LookupResult {
+                                                pcb: Some(id),
+                                                examined,
+                                                cache_hit: false,
+                                            }
+                                        }
+                                        None => {
+                                            let examined = probe + chains[b].len() as u32;
+                                            stats.record(examined, false, false);
+                                            LookupResult::miss(examined)
+                                        }
+                                    }
+                                }
+                            };
+                            assert_eq!(got, want);
+                        }
+                    }
+                    assert_eq!(demux.len(), chains.iter().map(Vec::len).sum::<usize>());
+                }
+                assert_eq!(*demux.stats(), stats);
+            });
         }
     }
 

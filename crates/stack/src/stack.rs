@@ -1491,13 +1491,15 @@ impl Stack {
 
         let mut keys = std::mem::take(&mut self.rx_scratch.keys);
         keys.clear();
-        for c in &classified {
-            match c {
-                Classified::Tcp { key, kind, .. } => keys.push((*key, *kind)),
-                Classified::Udp { key, .. } => keys.push((*key, PacketKind::Data)),
-                Classified::Done(_) => {}
-            }
-        }
+        // One tight pass over the classified batch: a branch-light
+        // filter_map the compiler can keep in registers, so extracting
+        // (and, downstream in the demux, hashing) the whole batch's keys
+        // pipelines instead of re-deciding per packet inside push calls.
+        keys.extend(classified.iter().filter_map(|c| match c {
+            Classified::Tcp { key, kind, .. } => Some((*key, *kind)),
+            Classified::Udp { key, .. } => Some((*key, PacketKind::Data)),
+            Classified::Done(_) => None,
+        }));
         let mut lookups = std::mem::take(&mut self.rx_scratch.lookups);
         self.demux.lookup_batch(&keys, &mut lookups);
         self.recorder.batch(keys.len() as u32);

@@ -10,7 +10,11 @@
 
 use std::net::Ipv4Addr;
 use tcpdemux::demux::concurrent::concurrent_suite;
-use tcpdemux::demux::{extended_suite, LookupResult, PacketKind};
+use tcpdemux::demux::{
+    extended_suite, AdaptiveDemux, BsdDemux, Demux, DirectDemux, HashedMtfDemux, LookupResult,
+    MtfDemux, PacketKind, SendRecvDemux, SequentDemux,
+};
+use tcpdemux::hash::{Multiplicative, XorFold};
 use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena};
 use tcpdemux_testprop::check_cases;
 
@@ -20,6 +24,17 @@ fn key(n: u8) -> ConnectionKey {
         1521,
         Ipv4Addr::new(10, 3, n >> 6, n),
         41_000 + u16::from(n & 0x3),
+    )
+}
+
+/// Keys from a family disjoint from [`key`]'s (different remote subnet),
+/// so a lookup of one is a guaranteed table miss.
+fn miss_key(n: u8) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::new(172, 16, n >> 6, n),
+        51_000 + u16::from(n & 0x3),
     )
 }
 
@@ -190,6 +205,145 @@ fn batch_boundaries_do_not_matter() {
             );
         }
     });
+}
+
+/// One explicitly-constructed tier list for the miss-ratio sweep: every
+/// single-threaded algorithm family, including the cache-disabled
+/// Sequent ablation (not in `extended_suite`), a tiny-table Sequent so
+/// chains actually collide, and an adaptive table small enough to
+/// trigger growth mid-sweep.
+fn sweep_tiers() -> Vec<Box<dyn Demux>> {
+    vec![
+        Box::new(BsdDemux::new()),
+        Box::new(MtfDemux::new()),
+        Box::new(SendRecvDemux::new()),
+        Box::new(SequentDemux::new(Multiplicative, 19)),
+        Box::new(SequentDemux::new(Multiplicative, 19).without_cache()),
+        Box::new(SequentDemux::new(XorFold, 5)),
+        Box::new(SequentDemux::new(XorFold, 5).without_cache()),
+        Box::new(HashedMtfDemux::new(Multiplicative, 19)),
+        Box::new(AdaptiveDemux::new(Multiplicative, 4, 4)),
+        Box::new(DirectDemux::new()),
+    ]
+}
+
+/// Satellite sweep for the batch accounting audit: drive every tier —
+/// cache-enabled and cache-disabled, plus every concurrent variant
+/// including `EpochDemux` — at miss ratios of 0%, 30%, and 100%, and
+/// assert the batched path reproduces the sequential `examined` counts
+/// and accumulated `LookupStats` exactly. Miss-heavy traffic is where
+/// the probe-plus-full-chain-length accounting (and the scanned-prefix
+/// replay for repeated missing keys) would drift first.
+#[test]
+fn batch_accounting_matches_sequential_across_miss_ratios() {
+    for miss_pct in [0u32, 30, 100] {
+        let name = format!("batch_accounting_miss_ratio_{miss_pct}");
+        check_cases(&name, 16, |rng| {
+            let mut arena = PcbArena::new();
+            let population: Vec<ConnectionKey> = (0..rng.u8_in(1, 60)).map(key).collect();
+            let absent: Vec<ConnectionKey> = (0..60).map(miss_key).collect();
+
+            // One shared stream: each slot is a miss with probability
+            // miss_pct, drawn from the disjoint never-installed family.
+            let stream: Vec<(ConnectionKey, PacketKind)> = rng.vec_of(1, 120, |rng| {
+                let ck = if rng.chance(f64::from(miss_pct) / 100.0) {
+                    *rng.choose(&absent)
+                } else {
+                    *rng.choose(&population)
+                };
+                let kind = if rng.bool() {
+                    PacketKind::Ack
+                } else {
+                    PacketKind::Data
+                };
+                (ck, kind)
+            });
+            let cuts: Vec<usize> = {
+                let mut cuts = Vec::new();
+                let mut i = 0;
+                while i < stream.len() {
+                    let step = rng.usize_in(1, 40).min(stream.len() - i);
+                    i += step;
+                    cuts.push(i);
+                }
+                cuts
+            };
+
+            // Single-threaded tiers.
+            let mut seq_tiers = sweep_tiers();
+            let mut batch_tiers = sweep_tiers();
+            let mut ids = Vec::new();
+            for &ck in &population {
+                let id = arena.insert(Pcb::new(ck));
+                ids.push(id);
+                for demux in seq_tiers.iter_mut().chain(batch_tiers.iter_mut()) {
+                    demux.insert(ck, id);
+                }
+            }
+            for (seq, bat) in seq_tiers.iter_mut().zip(batch_tiers.iter_mut()) {
+                assert_eq!(seq.name(), bat.name());
+                let mut out = Vec::new();
+                let mut start = 0;
+                for &end in &cuts {
+                    let batch = &stream[start..end];
+                    start = end;
+                    let sequential: Vec<LookupResult> = batch
+                        .iter()
+                        .map(|(ck, kind)| seq.lookup(ck, *kind))
+                        .collect();
+                    bat.lookup_batch(batch, &mut out);
+                    assert_eq!(
+                        sequential,
+                        out,
+                        "miss_pct={miss_pct}: batched results diverged for {}",
+                        seq.name()
+                    );
+                }
+                assert_eq!(
+                    seq.stats(),
+                    bat.stats(),
+                    "miss_pct={miss_pct}: LookupStats diverged for {}",
+                    seq.name()
+                );
+            }
+
+            // Concurrent tiers (sharded, rw-sharded, global-lock, epoch).
+            let chains = rng.usize_in(1, 24);
+            let seq_conc = concurrent_suite(chains);
+            let batch_conc = concurrent_suite(chains);
+            for (&ck, &id) in population.iter().zip(&ids) {
+                for demux in seq_conc.iter().chain(batch_conc.iter()) {
+                    demux.insert(ck, id);
+                }
+            }
+            for (seq, bat) in seq_conc.iter().zip(&batch_conc) {
+                assert_eq!(seq.name(), bat.name());
+                let mut out = Vec::new();
+                let mut start = 0;
+                for &end in &cuts {
+                    let batch = &stream[start..end];
+                    start = end;
+                    let sequential: Vec<LookupResult> = batch
+                        .iter()
+                        .map(|(ck, kind)| seq.lookup(ck, *kind))
+                        .collect();
+                    bat.lookup_batch(batch, &mut out);
+                    assert_eq!(
+                        sequential,
+                        out,
+                        "miss_pct={miss_pct}: batched results diverged for {}",
+                        seq.name()
+                    );
+                }
+                assert_eq!(
+                    seq.stats_snapshot(),
+                    bat.stats_snapshot(),
+                    "miss_pct={miss_pct}: LookupStats diverged for {}",
+                    seq.name()
+                );
+            }
+        });
+    }
 }
 
 /// The same batch≡sequential property for every `ConcurrentDemux`

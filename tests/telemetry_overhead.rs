@@ -9,7 +9,12 @@
 //!
 //! This file deliberately holds a single `#[test]`: the allocation
 //! counter is process-global, and a sibling test running on another
-//! thread would pollute the measurement.
+//! thread would pollute the measurement. Even so, the libtest harness
+//! itself runs threads in this process and occasionally allocates
+//! inside the measured window, so the measurement retries: a genuine
+//! allocation in the record path would fire on every one of the
+//! 10,000 loop iterations and fail all attempts, while harness noise
+//! (a handful of allocations at a random moment) clears within a few.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,8 +50,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_recording_is_allocation_free() {
+/// One measured attempt: warm a fresh recorder, then count allocations
+/// across a 10,000-iteration record burst. Returns the allocation delta
+/// after asserting the data really landed (the loop was not optimized
+/// away).
+fn measure_one_attempt() -> u64 {
     let recorder = Recorder::new();
 
     // Warm up: wrap the event ring so every subsequent push overwrites
@@ -66,15 +74,29 @@ fn steady_state_recording_is_allocation_free() {
         });
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
-    assert_eq!(
-        after - before,
-        0,
-        "recording must not touch the heap in steady state"
-    );
 
-    // The data really landed (the loop was not optimized away).
     let snapshot = recorder.snapshot();
     assert_eq!(snapshot.histogram(HistogramId::Examined).count(), 10_000);
     assert_eq!(snapshot.histogram(HistogramId::RtoTicks).count(), 10_000);
     assert_eq!(snapshot.histogram(HistogramId::RxBatchSize).count(), 10_000);
+
+    after - before
+}
+
+#[test]
+fn steady_state_recording_is_allocation_free() {
+    const ATTEMPTS: usize = 5;
+    let mut deltas = Vec::with_capacity(ATTEMPTS);
+    for _ in 0..ATTEMPTS {
+        let delta = measure_one_attempt();
+        if delta == 0 {
+            return;
+        }
+        deltas.push(delta);
+    }
+    panic!(
+        "recording must not touch the heap in steady state: every \
+         attempt saw allocations (deltas {deltas:?}); a real record-path \
+         allocation would show up ~10,000 times per attempt"
+    );
 }
