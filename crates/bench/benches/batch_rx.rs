@@ -116,14 +116,9 @@ const STACK_FRAMES: usize = 4096;
 /// stream of pure-ACK frames for them (idempotent under replay: no data
 /// advances, no replies owed, exactly one demux lookup each).
 fn stack_setup() -> (Stack, Vec<Vec<u8>>) {
-    let mut server = Stack::new(
-        StackConfig::new(SERVER),
-        Box::new(SequentDemux::new(Multiplicative, CHAINS)),
-    );
-    let mut client = Stack::new(
-        StackConfig::new(CLIENT),
-        Box::new(SequentDemux::new(Multiplicative, CHAINS)),
-    );
+    let demux = || Box::new(SequentDemux::new(Multiplicative, CHAINS)) as _;
+    let mut server = Stack::with_config(StackConfig::new(SERVER).with_demux(demux));
+    let mut client = Stack::with_config(StackConfig::new(CLIENT).with_demux(demux));
     server.listen(1521).unwrap();
     let mut ports = Vec::new();
     for _ in 0..STACK_CONNS {

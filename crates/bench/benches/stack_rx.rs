@@ -8,22 +8,23 @@
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use tcpdemux_bench::harness::{bench, group, maybe_write_json};
-use tcpdemux_core::{BsdDemux, Demux, SequentDemux};
+use tcpdemux_core::{BsdDemux, SequentDemux};
 use tcpdemux_hash::Multiplicative;
-use tcpdemux_stack::{Stack, StackConfig};
+use tcpdemux_stack::{DemuxFactory, Stack, StackConfig};
 use tcpdemux_wire::{build_tcp_frame, IpProtocol, Ipv4Repr, TcpFlags, TcpRepr};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
 /// Build a server with `n` established connections and return data frames
 /// (one in-order segment per connection, sequence numbers valid).
-fn server_with_connections(demux: Box<dyn Demux>, n: u16) -> (Stack, Vec<Vec<u8>>) {
-    let mut server = Stack::new(StackConfig::new(SERVER), demux);
+fn server_with_connections(demux: DemuxFactory, n: u16) -> (Stack, Vec<Vec<u8>>) {
+    let mut server = Stack::with_config(StackConfig::new(SERVER).with_demux(move || demux()));
     server.listen(1521).unwrap();
     let mut clients = Vec::new();
     for i in 0..n {
         let addr = Ipv4Addr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8);
-        let mut client = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let mut client =
+            Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
         let (cp, syn) = client.connect(SERVER, 1521).unwrap();
         let synack = server.receive(&syn).unwrap().replies;
         let ack = client.receive(&synack[0]).unwrap().replies;
@@ -43,9 +44,12 @@ fn server_with_connections(demux: Box<dyn Demux>, n: u16) -> (Stack, Vec<Vec<u8>
 fn bench_receive() {
     group("stack/rx");
     for &n in &[64u16, 512, 2000] {
-        let cases: Vec<(&str, Box<dyn Demux>)> = vec![
-            ("bsd", Box::new(BsdDemux::new())),
-            ("sequent19", Box::new(SequentDemux::new(Multiplicative, 19))),
+        let cases: Vec<(&str, DemuxFactory)> = vec![
+            ("bsd", std::sync::Arc::new(|| Box::new(BsdDemux::new()))),
+            (
+                "sequent19",
+                std::sync::Arc::new(|| Box::new(SequentDemux::new(Multiplicative, 19))),
+            ),
         ];
         for (label, demux) in cases {
             let (mut server, frames) = server_with_connections(demux, n);
@@ -71,10 +75,7 @@ fn bench_parse_reject() {
     let mut frame = build_tcp_frame(&ip, &tcp, b"corrupt me");
     let last = frame.len() - 1;
     frame[last] ^= 0xff;
-    let mut server = Stack::new(
-        StackConfig::new(SERVER),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(SERVER));
     group("stack/rx/reject");
     bench("stack/rx/reject-corrupt", || {
         black_box(server.receive(black_box(&frame)).unwrap_err());

@@ -77,6 +77,7 @@ mod list;
 mod mtf;
 pub mod prefetch;
 mod sequent;
+pub mod spsc;
 mod srcache;
 mod stats;
 mod suite;
@@ -88,6 +89,7 @@ pub use hashed_mtf::HashedMtfDemux;
 pub use list::PcbList;
 pub use mtf::MtfDemux;
 pub use sequent::SequentDemux;
+pub use spsc::{spsc_ring, RingStats, SpscConsumer, SpscProducer};
 pub use srcache::SendRecvDemux;
 pub use stats::{AtomicLookupStats, LookupStats};
 pub use suite::{extended_suite, standard_suite, SuiteEntry};
@@ -138,7 +140,11 @@ impl LookupResult {
 /// lock-per-chain variant. Keys are unique: inserting a key that is already
 /// present replaces its PCB handle (matching BSD `in_pcbconnect` semantics,
 /// where a fully-specified PCB exists at most once).
-pub trait Demux {
+///
+/// The `Send` bound exists for the sharded runtime: each shard owns its
+/// demux exclusively (single-threaded use), but shard ownership moves to
+/// a worker thread, so the structure itself must be transferable.
+pub trait Demux: Send {
     /// Add a connection. Called when a PCB becomes fully specified.
     fn insert(&mut self, key: ConnectionKey, id: PcbId);
 

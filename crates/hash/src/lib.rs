@@ -30,16 +30,20 @@
 
 mod funcs;
 pub mod quality;
+pub mod steer;
 
 pub use funcs::{AddFold, Crc32, Multiplicative, Pearson, Pjw, RemotePortOnly, XorFold};
+pub use steer::{shard_for, symmetric_hash};
 
 use tcpdemux_pcb::ConnectionKey;
 
 /// A hash function over connection keys.
 ///
 /// Implementations must be pure: the same key always hashes to the same
-/// value. `bucket` reduces the 32-bit hash to a chain index.
-pub trait KeyHasher {
+/// value. `bucket` reduces the 32-bit hash to a chain index. `Send`
+/// because demultiplexers embed their hasher and shard ownership moves
+/// between threads in the sharded runtime.
+pub trait KeyHasher: Send {
     /// Hash a connection key to 32 bits.
     fn hash(&self, key: &ConnectionKey) -> u32;
 
@@ -56,7 +60,7 @@ pub trait KeyHasher {
     }
 }
 
-impl<T: KeyHasher + ?Sized> KeyHasher for &T {
+impl<T: KeyHasher + Sync + ?Sized> KeyHasher for &T {
     fn hash(&self, key: &ConnectionKey) -> u32 {
         (**self).hash(key)
     }

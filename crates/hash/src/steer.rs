@@ -1,0 +1,81 @@
+//! RSS-style symmetric flow steering.
+//!
+//! A sharded stack runtime must send *both* directions of a connection to
+//! the same shard: the SYN a listener sees and the SYN-ACK the client
+//! sends back describe the same flow with the endpoints swapped. Classic
+//! Toeplitz RSS achieves this with a specially-structured key; here we
+//! get the same property structurally, by canonicalizing the key before
+//! hashing — the (address, port) endpoint pair is sorted, so a key and
+//! its [`reversed`](ConnectionKey::reversed) twin collapse to identical
+//! words before [`Multiplicative`] (the strongest mixer in [`crate`]'s
+//! family per the χ² study) ever sees them.
+//!
+//! Because canonicalization is symmetric in the two *endpoints* — not in
+//! "local" vs "remote" — two hosts running the same shard count also
+//! agree on the shard index for a given flow, which the shard-placement
+//! tests exploit.
+
+use crate::{KeyHasher, Multiplicative};
+use tcpdemux_pcb::ConnectionKey;
+
+/// Hash a connection key identically in both flow directions:
+/// `symmetric_hash(k) == symmetric_hash(&k.reversed())` for every key.
+pub fn symmetric_hash(key: &ConnectionKey) -> u32 {
+    let a = (u32::from(key.local_addr), key.local_port);
+    let b = (u32::from(key.remote_addr), key.remote_port);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let canonical = ConnectionKey::new(lo.0.into(), lo.1, hi.0.into(), hi.1);
+    Multiplicative.hash(&canonical)
+}
+
+/// Reduce the symmetric hash to a shard index in `[0, shards)`.
+///
+/// Modulo reduction, like [`KeyHasher::bucket`] — the shard counts in
+/// play (1–8) are tiny, so bias is negligible. `shards` must be nonzero.
+pub fn shard_for(key: &ConnectionKey, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be nonzero");
+    (symmetric_hash(key) as usize) % shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(a: [u8; 4], ap: u16, b: [u8; 4], bp: u16) -> ConnectionKey {
+        ConnectionKey::new(Ipv4Addr::from(a), ap, Ipv4Addr::from(b), bp)
+    }
+
+    #[test]
+    fn symmetric_in_both_directions() {
+        let k = key([10, 0, 0, 1], 1521, [10, 0, 3, 7], 40111);
+        assert_eq!(symmetric_hash(&k), symmetric_hash(&k.reversed()));
+        for shards in 1..=8 {
+            assert_eq!(shard_for(&k, shards), shard_for(&k.reversed(), shards));
+        }
+    }
+
+    #[test]
+    fn same_addresses_different_ports() {
+        // Endpoint ordering must break ties on the port when the
+        // addresses are equal (loopback-style flows).
+        let k = key([10, 0, 0, 1], 80, [10, 0, 0, 1], 40000);
+        assert_eq!(symmetric_hash(&k), symmetric_hash(&k.reversed()));
+    }
+
+    #[test]
+    fn distinct_flows_spread() {
+        // Not a uniformity proof (quality.rs does that for the base
+        // hashes) — just a guard against a degenerate constant.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u16 {
+            let k = key([10, 0, 0, 2], 40_000 + i, [10, 0, 0, 1], 1521);
+            seen.insert(shard_for(&k, 8));
+        }
+        assert!(
+            seen.len() >= 4,
+            "64 flows landed on {} shard(s)",
+            seen.len()
+        );
+    }
+}

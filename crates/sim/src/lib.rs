@@ -49,6 +49,7 @@ pub mod polling;
 pub mod replicate;
 pub mod rng;
 pub mod runner;
+pub mod shards;
 pub mod time;
 pub mod tpca;
 pub mod trace_io;
@@ -58,5 +59,8 @@ pub use lossy::{
     run_lossy_link, run_lossy_link_with_telemetry, LossyLinkConfig, LossyLinkReport,
     LossyLinkTelemetry,
 };
-pub use runner::{run_trace, AlgoReport, TraceEvent};
+pub use runner::{merged_snapshot, reset_recorders, run_trace, AlgoReport, TraceEvent};
+pub use shards::{
+    run_shard_scenario, ConnStreams, ShardScenarioConfig, ShardScenarioReport, ShardWorkload,
+};
 pub use time::SimTime;

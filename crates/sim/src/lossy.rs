@@ -174,13 +174,15 @@ pub fn run_lossy_link_with_telemetry(cfg: &LossyLinkConfig) -> LossyLinkTelemetr
 fn run_stacks(cfg: &LossyLinkConfig) -> (LossyLinkReport, Stack, Stack) {
     let server_addr = Ipv4Addr::new(10, 0, 0, 1);
     let client_addr = Ipv4Addr::new(10, 0, 5, 5);
-    let mut server = Stack::new(
-        StackConfig::new(server_addr).with_max_retries(cfg.max_retries),
-        sequent(),
+    let mut server = Stack::with_config(
+        StackConfig::new(server_addr)
+            .with_max_retries(cfg.max_retries)
+            .with_demux(|| sequent()),
     );
-    let mut client = Stack::new(
-        StackConfig::new(client_addr).with_max_retries(cfg.max_retries),
-        sequent(),
+    let mut client = Stack::with_config(
+        StackConfig::new(client_addr)
+            .with_max_retries(cfg.max_retries)
+            .with_demux(|| sequent()),
     );
     server.listen(PORT).expect("fresh stack");
 

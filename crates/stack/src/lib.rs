@@ -48,20 +48,14 @@
 //!
 //! ```
 //! use tcpdemux_stack::{Stack, StackConfig};
-//! use tcpdemux_core::SequentDemux;
-//! use tcpdemux_hash::Multiplicative;
 //! use std::net::Ipv4Addr;
 //!
 //! let server_addr = Ipv4Addr::new(10, 0, 0, 1);
 //! let client_addr = Ipv4Addr::new(10, 0, 0, 2);
-//! let mut server = Stack::new(
-//!     StackConfig::new(server_addr),
-//!     Box::new(SequentDemux::new(Multiplicative, 19)),
-//! );
-//! let mut client = Stack::new(
-//!     StackConfig::new(client_addr),
-//!     Box::new(SequentDemux::new(Multiplicative, 19)),
-//! );
+//! // One construction path: the config carries the demux factory (the
+//! // paper's sequent(19) by default), recorder, and shard id.
+//! let mut server = Stack::with_config(StackConfig::new(server_addr));
+//! let mut client = Stack::with_config(StackConfig::new(client_addr));
 //! server.listen(1521).unwrap();
 //! let (client_pcb, syn) = client.connect(server_addr, 1521).unwrap();
 //!
@@ -77,6 +71,8 @@
 
 mod fault;
 pub mod neighbor;
+mod runtime;
+pub mod shard;
 mod socket;
 mod stack;
 mod stats;
@@ -85,14 +81,17 @@ mod txpool;
 
 pub use fault::{checksum_covered_span, FaultInjector, FaultOutcome};
 pub use neighbor::NeighborCache;
+pub use runtime::{RingFull, ShardedStack};
+pub use shard::{steering_key, PlacementStats, ShardId, SteerTable};
 pub use socket::{SocketBuffer, SocketError};
 pub use stack::{
-    BatchRxResult, ConnectionInfo, ListenConfig, ListenerInfo, RxOutcome, RxResult, Stack,
-    StackConfig, StackError, TimeAdvance,
+    BatchRxResult, ConnectionInfo, DemuxFactory, ListenConfig, ListenerInfo, RxOutcome, RxResult,
+    Stack, StackConfig, StackError, TimeAdvance,
 };
 pub use stats::{StackStats, StatsSnapshot};
 // The telemetry types a Stack user touches through `Stack::stats()` and
 // `Stack::recorder()`, re-exported for convenience.
+pub use tcpdemux_core::spsc::RingStats;
 pub use tcpdemux_telemetry::{CloseCause, CounterId, Event, HistogramId, Recorder, Snapshot};
 pub use timer::{TimerId, TimerWheel};
 pub use txpool::{TxPool, TxPoolStats};

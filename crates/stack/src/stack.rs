@@ -1,12 +1,15 @@
 //! The receive path itself.
 
+use crate::shard::ShardId;
 use crate::socket::{SocketBuffer, SocketError};
 use crate::stats::{StackStats, StatsSnapshot};
 use crate::timer::TimerId;
 use crate::txpool::TxPool;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
-use tcpdemux_core::{Demux, LookupResult, PacketKind};
+use std::sync::Arc;
+use tcpdemux_core::{Demux, LookupResult, PacketKind, SequentDemux};
+use tcpdemux_hash::Multiplicative;
 use tcpdemux_pcb::{
     ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, RttEstimator, SeqNum, TcpEvent, TcpState,
 };
@@ -211,8 +214,20 @@ struct RetxQueue {
     timer: Option<TimerId>,
 }
 
-/// Stack construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// How a [`StackConfig`] builds each stack's demultiplexer. A *factory*
+/// rather than a boxed instance because [`ShardedStack`] builds one
+/// independent demux per shard from a single config.
+///
+/// [`ShardedStack`]: crate::ShardedStack
+pub type DemuxFactory = Arc<dyn Fn() -> Box<dyn Demux> + Send + Sync>;
+
+/// Stack construction parameters — the *one* construction path for both
+/// a single [`Stack`] ([`Stack::with_config`]) and a K-shard
+/// [`ShardedStack`](crate::ShardedStack). Carries everything a stack
+/// needs, including its demultiplexer factory, its telemetry
+/// [`Recorder`], and the typed [`ShardId`] it reports in introspection
+/// rows.
+#[derive(Clone)]
 pub struct StackConfig {
     /// This host's IPv4 address.
     pub local_addr: Ipv4Addr,
@@ -233,10 +248,39 @@ pub struct StackConfig {
     /// FINs, refusing key reuse) until [`Stack::advance_time`] passes
     /// `n` ticks.
     pub time_wait_ticks: Option<u64>,
+    /// Which shard this stack is, for introspection rows; a standalone
+    /// stack is shard 0. [`ShardedStack`](crate::ShardedStack) overrides
+    /// this per shard.
+    pub shard: ShardId,
+    /// Capacity of each shard's ingress SPSC ring (frames); unused by a
+    /// standalone [`Stack`], which has no ingress queue.
+    pub ring_capacity: usize,
+    /// Telemetry destination; `None` means a private recorder.
+    recorder: Option<Recorder>,
+    /// Builds the demultiplexer (one per shard).
+    demux: DemuxFactory,
+}
+
+impl core::fmt::Debug for StackConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StackConfig")
+            .field("local_addr", &self.local_addr)
+            .field("window", &self.window)
+            .field("mss", &self.mss)
+            .field("ephemeral_base", &self.ephemeral_base)
+            .field("max_retries", &self.max_retries)
+            .field("time_wait_ticks", &self.time_wait_ticks)
+            .field("shard", &self.shard)
+            .field("ring_capacity", &self.ring_capacity)
+            .field("recorder", &self.recorder.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl StackConfig {
-    /// Defaults appropriate for tests and simulation.
+    /// Defaults appropriate for tests and simulation: the paper's default
+    /// hashed demultiplexer (`sequent(19)` over [`Multiplicative`]), a
+    /// private recorder, shard 0.
     pub fn new(local_addr: Ipv4Addr) -> Self {
         Self {
             local_addr,
@@ -245,7 +289,51 @@ impl StackConfig {
             ephemeral_base: 49152,
             max_retries: 8,
             time_wait_ticks: None,
+            shard: ShardId::default(),
+            ring_capacity: 1024,
+            recorder: None,
+            demux: Arc::new(|| Box::new(SequentDemux::new(Multiplicative, 19))),
         }
+    }
+
+    /// Use `factory` to build this stack's demultiplexer (per shard, for
+    /// a sharded runtime).
+    pub fn with_demux(
+        mut self,
+        factory: impl Fn() -> Box<dyn Demux> + Send + Sync + 'static,
+    ) -> Self {
+        self.demux = Arc::new(factory);
+        self
+    }
+
+    /// Send telemetry to `recorder` (e.g. one shared with a bench harness
+    /// or suite entry) instead of a private one.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Tag this stack as `shard` in introspection rows.
+    pub fn with_shard(mut self, shard: ShardId) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Size each ingress SPSC ring at `capacity` frames (sharded runtime
+    /// only).
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Build one demultiplexer instance from the configured factory.
+    pub(crate) fn build_demux(&self) -> Box<dyn Demux> {
+        (self.demux)()
+    }
+
+    /// The configured recorder, if any.
+    pub(crate) fn recorder(&self) -> Option<Recorder> {
+        self.recorder.clone()
     }
 
     /// Abort a connection after `max_retries` retransmissions of the same
@@ -291,6 +379,8 @@ impl StackConfig {
 /// parsing a `netstat` text dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConnectionInfo {
+    /// The shard owning this connection (shard 0 for a plain [`Stack`]).
+    pub shard: ShardId,
     /// The connection's four-tuple.
     pub key: ConnectionKey,
     /// Current TCP state.
@@ -311,7 +401,8 @@ impl core::fmt::Display for ConnectionInfo {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "tcp  {:<28} {:<24} {} rxq={} txq={} rto_attempts={}",
+            "tcp  {:<4} {:<28} {:<24} {} rxq={} txq={} rto_attempts={}",
+            self.shard.to_string(),
             format!("{}:{}", self.key.local_addr, self.key.local_port),
             format!("{}:{}", self.key.remote_addr, self.key.remote_port),
             self.state,
@@ -326,6 +417,10 @@ impl core::fmt::Display for ConnectionInfo {
 /// occupancy) or a bound unconnected UDP port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ListenerInfo {
+    /// The shard this listener row was observed on. A
+    /// [`ShardedStack`](crate::ShardedStack) installs every listener on
+    /// every shard, so its table has one row per (listener, shard).
+    pub shard: ShardId,
     /// The bound local port.
     pub port: u16,
     /// [`IpProtocol::Tcp`] for listeners, [`IpProtocol::Udp`] for bound
@@ -342,7 +437,8 @@ impl core::fmt::Display for ListenerInfo {
         match self.protocol {
             IpProtocol::Udp => write!(
                 f,
-                "udp  {:<28} {:<24} BOUND",
+                "udp  {:<4} {:<28} {:<24} BOUND",
+                self.shard.to_string(),
                 format!("*:{}", self.port),
                 "*:*"
             ),
@@ -350,7 +446,8 @@ impl core::fmt::Display for ListenerInfo {
                 if self.backlog == usize::MAX {
                     write!(
                         f,
-                        "tcp  {:<28} {:<24} LISTEN (backlog {}/unbounded)",
+                        "tcp  {:<4} {:<28} {:<24} LISTEN (backlog {}/unbounded)",
+                        self.shard.to_string(),
                         format!("*:{}", self.port),
                         "*:*",
                         self.pending,
@@ -358,7 +455,8 @@ impl core::fmt::Display for ListenerInfo {
                 } else {
                     write!(
                         f,
-                        "tcp  {:<28} {:<24} LISTEN (backlog {}/{})",
+                        "tcp  {:<4} {:<28} {:<24} LISTEN (backlog {}/{})",
+                        self.shard.to_string(),
                         format!("*:{}", self.port),
                         "*:*",
                         self.pending,
@@ -505,8 +603,13 @@ pub struct Stack {
 }
 
 impl Stack {
-    /// Create a stack using the given demultiplexing algorithm.
-    pub fn new(config: StackConfig, demux: Box<dyn Demux>) -> Self {
+    /// Create a stack from its config — the single construction path.
+    /// The demultiplexer comes from [`StackConfig::with_demux`]'s factory
+    /// and telemetry goes to [`StackConfig::with_recorder`]'s recorder
+    /// (or a private one).
+    pub fn with_config(config: StackConfig) -> Self {
+        let demux = config.build_demux();
+        let recorder = config.recorder().unwrap_or_default();
         Self {
             next_ephemeral: config.ephemeral_base,
             config,
@@ -525,16 +628,13 @@ impl Stack {
             retx: HashMap::new(),
             neighbors: crate::neighbor::NeighborCache::with_defaults(),
             now_ticks: 0,
-            recorder: Recorder::new(),
+            recorder,
         }
     }
 
-    /// Attach an external telemetry recorder (e.g. one shared with a
-    /// bench harness or a suite entry), replacing the stack's own. All
-    /// subsequent recording goes to `recorder`.
-    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
-        self.recorder = recorder;
-        self
+    /// The shard this stack was configured as (shard 0 standalone).
+    pub fn shard_id(&self) -> ShardId {
+        self.config.shard
     }
 
     /// A handle to the stack's telemetry recorder. Clones share the
@@ -618,6 +718,7 @@ impl Stack {
         self.arena
             .iter()
             .map(|(id, p)| ConnectionInfo {
+                shard: self.config.shard,
                 key: p.key(),
                 state: p.state(),
                 rx_queued: self.sockets.get(&id).map_or(0, |s| s.available()),
@@ -638,6 +739,7 @@ impl Stack {
             .listeners
             .iter()
             .map(|l| ListenerInfo {
+                shard: self.config.shard,
                 port: l.key.local_port,
                 protocol: IpProtocol::Tcp,
                 backlog: l.backlog,
@@ -645,6 +747,7 @@ impl Stack {
             })
             .collect();
         out.extend(self.udp_listeners.iter().map(|l| ListenerInfo {
+            shard: self.config.shard,
             port: l.local_port,
             protocol: IpProtocol::Udp,
             backlog: 0,
@@ -808,6 +911,12 @@ impl Stack {
         self.arena.get(pcb).map(|p| p.state())
     }
 
+    /// The connection's four-tuple (this stack's perspective), if it
+    /// exists.
+    pub fn connection_key(&self, pcb: PcbId) -> Option<ConnectionKey> {
+        self.arena.get(pcb).map(|p| p.key())
+    }
+
     /// The socket buffer for a connection.
     pub fn socket(&self, pcb: PcbId) -> Option<&SocketBuffer> {
         self.sockets.get(&pcb)
@@ -829,11 +938,9 @@ impl Stack {
     ///
     /// ```
     /// # use tcpdemux_stack::{ListenConfig, Stack, StackConfig};
-    /// # use tcpdemux_core::BsdDemux;
     /// # use std::net::Ipv4Addr;
-    /// # let mut stack = Stack::new(
+    /// # let mut stack = Stack::with_config(
     /// #     StackConfig::new(Ipv4Addr::new(10, 0, 0, 1)),
-    /// #     Box::new(BsdDemux::new()),
     /// # );
     /// stack.listen(80).unwrap();
     /// stack.listen(ListenConfig::port(1521).with_backlog(16)).unwrap();
@@ -934,6 +1041,20 @@ impl Stack {
         remote_port: u16,
     ) -> Result<(PcbId, Vec<u8>), StackError> {
         let local_port = self.alloc_ephemeral()?;
+        self.connect_from(local_port, remote_addr, remote_port)
+    }
+
+    /// [`connect`](Self::connect) with an explicit local port instead of
+    /// a freshly-allocated ephemeral one. The sharded runtime uses this:
+    /// the four-tuple decides which shard owns a flow, so the runtime
+    /// must allocate the port *globally*, compute the owning shard from
+    /// the full key, and only then place the connection there.
+    pub fn connect_from(
+        &mut self,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+    ) -> Result<(PcbId, Vec<u8>), StackError> {
         let key = ConnectionKey::new(self.config.local_addr, local_port, remote_addr, remote_port);
         let mut pcb = Pcb::new(key);
         pcb.on_event(TcpEvent::AppConnect)
@@ -2152,8 +2273,10 @@ mod tests {
     const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
     fn pair() -> (Stack, Stack) {
-        let server = Stack::new(StackConfig::new(SERVER), Box::new(BsdDemux::new()));
-        let client = Stack::new(StackConfig::new(CLIENT), Box::new(BsdDemux::new()));
+        let server =
+            Stack::with_config(StackConfig::new(SERVER).with_demux(|| Box::new(BsdDemux::new())));
+        let client =
+            Stack::with_config(StackConfig::new(CLIENT).with_demux(|| Box::new(BsdDemux::new())));
         (server, client)
     }
 
@@ -2458,10 +2581,12 @@ mod tests {
 
     /// Pair with real TIME-WAIT enabled on the client side.
     fn pair_with_time_wait(ticks: u64) -> (Stack, Stack) {
-        let server = Stack::new(StackConfig::new(SERVER), Box::new(BsdDemux::new()));
-        let client = Stack::new(
-            StackConfig::new(CLIENT).with_time_wait(ticks),
-            Box::new(BsdDemux::new()),
+        let server =
+            Stack::with_config(StackConfig::new(SERVER).with_demux(|| Box::new(BsdDemux::new())));
+        let client = Stack::with_config(
+            StackConfig::new(CLIENT)
+                .with_time_wait(ticks)
+                .with_demux(|| Box::new(BsdDemux::new())),
         );
         (server, client)
     }
@@ -2812,7 +2937,9 @@ mod tests {
         (0..n)
             .map(|i| {
                 let addr = Ipv4Addr::new(10, 9, (i >> 8) as u8, (i & 0xff) as u8);
-                let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+                let mut c = Stack::with_config(
+                    StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())),
+                );
                 let (cp, syn) = c.connect(SERVER, port).unwrap();
                 let synack = server.receive(&syn).unwrap().replies;
                 let ack = c.receive(&synack[0]).unwrap().replies;
@@ -2851,7 +2978,8 @@ mod tests {
         let _clients = connect_n(&mut server, 2, 80);
         // A third SYN is dropped silently.
         let addr = Ipv4Addr::new(10, 9, 9, 9);
-        let mut extra = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let mut extra =
+            Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
         let (_cp, syn) = extra.connect(SERVER, 80).unwrap();
         let r = server.receive(&syn).unwrap();
         assert!(matches!(r.outcome, RxOutcome::SynDropped));
@@ -2874,7 +3002,8 @@ mod tests {
         // Two half-open connections (SYN sent, handshake never finished).
         for i in 0..2u8 {
             let addr = Ipv4Addr::new(10, 9, 0, i);
-            let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+            let mut c =
+                Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
             let (_cp, syn) = c.connect(SERVER, 80).unwrap();
             let r = server.receive(&syn).unwrap();
             assert!(matches!(r.outcome, RxOutcome::NewConnection { .. }));
@@ -2882,7 +3011,8 @@ mod tests {
         assert_eq!(server.accept_queue_len(80), 0, "nothing established yet");
         // Third SYN: dropped, the backlog is consumed by embryos.
         let addr = Ipv4Addr::new(10, 9, 0, 99);
-        let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let mut c =
+            Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
         let (_cp, syn) = c.connect(SERVER, 80).unwrap();
         let r = server.receive(&syn).unwrap();
         assert!(matches!(r.outcome, RxOutcome::SynDropped));
@@ -2895,7 +3025,8 @@ mod tests {
             .listen(ListenConfig::port(80).with_backlog(1))
             .unwrap();
         let addr = Ipv4Addr::new(10, 9, 0, 1);
-        let mut c = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let mut c =
+            Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
         let (cp, syn) = c.connect(SERVER, 80).unwrap();
         server.receive(&syn).unwrap();
         // The client gives up: RST kills the embryo.
@@ -2904,7 +3035,8 @@ mod tests {
         assert!(matches!(r.outcome, RxOutcome::ResetReceived));
         // The slot is free again.
         let addr2 = Ipv4Addr::new(10, 9, 0, 2);
-        let mut c2 = Stack::new(StackConfig::new(addr2), Box::new(BsdDemux::new()));
+        let mut c2 =
+            Stack::with_config(StackConfig::new(addr2).with_demux(|| Box::new(BsdDemux::new())));
         let (_cp2, syn2) = c2.connect(SERVER, 80).unwrap();
         let r = server.receive(&syn2).unwrap();
         assert!(matches!(r.outcome, RxOutcome::NewConnection { .. }));
@@ -2957,7 +3089,9 @@ mod tests {
             .find(|l| l.protocol == IpProtocol::Udp)
             .unwrap();
         assert_eq!(udp.port, 514);
-        assert!(udp.to_string().contains("udp  *:514"));
+        assert_eq!(udp.shard, ShardId::default());
+        assert!(udp.to_string().contains("udp  sh0"), "{udp}");
+        assert!(udp.to_string().contains("*:514"), "{udp}");
 
         let conns = server.connection_table();
         assert_eq!(conns.len(), 1);
@@ -3002,9 +3136,10 @@ mod tests {
         assert_eq!(cfg.time_wait_ticks, Some(7));
 
         // Behavioral: the first active open draws the configured base.
-        let mut client = Stack::new(
-            StackConfig::new(CLIENT).with_ephemeral_base(55_555),
-            Box::new(BsdDemux::new()),
+        let mut client = Stack::with_config(
+            StackConfig::new(CLIENT)
+                .with_ephemeral_base(55_555)
+                .with_demux(|| Box::new(BsdDemux::new())),
         );
         let (cp, _syn) = client.connect(SERVER, 80).unwrap();
         assert_eq!(client.arena.get(cp).unwrap().key().local_port, 55_555);
@@ -3028,19 +3163,15 @@ mod tests {
     /// into fresh servers.
     fn scripted_session() -> Vec<Vec<u8>> {
         let make_server = || {
-            let mut s = Stack::new(
-                StackConfig::new(SERVER),
-                Box::new(tcpdemux_core::SequentDemux::new(
-                    tcpdemux_hash::Multiplicative,
-                    19,
-                )),
-            );
+            // The default demux is exactly the paper's sequent(19).
+            let mut s = Stack::with_config(StackConfig::new(SERVER));
             s.listen(1521).unwrap();
             s.udp_bind(514).unwrap();
             s
         };
         let mut server = make_server();
-        let mut client = Stack::new(StackConfig::new(CLIENT), Box::new(BsdDemux::new()));
+        let mut client =
+            Stack::with_config(StackConfig::new(CLIENT).with_demux(|| Box::new(BsdDemux::new())));
 
         let mut frames: Vec<Vec<u8>> = Vec::new();
         let mut push = |server: &mut Stack, client: &mut Stack, frame: Vec<u8>| {
@@ -3087,13 +3218,7 @@ mod tests {
         // which both paths must classify identically.
         let frames = scripted_session();
         let fresh = || {
-            let mut s = Stack::new(
-                StackConfig::new(SERVER),
-                Box::new(tcpdemux_core::SequentDemux::new(
-                    tcpdemux_hash::Multiplicative,
-                    19,
-                )),
-            );
+            let mut s = Stack::with_config(StackConfig::new(SERVER));
             s.listen(1521).unwrap();
             s.udp_bind(514).unwrap();
             s
@@ -3152,7 +3277,8 @@ mod tests {
         let (_cp, syn) = client.connect(SERVER, 80).unwrap();
         // Forge the handshake ACK without consuming the server's SYN-ACK:
         // run the handshake against a twin server to capture the ACK.
-        let mut twin = Stack::new(StackConfig::new(SERVER), Box::new(BsdDemux::new()));
+        let mut twin =
+            Stack::with_config(StackConfig::new(SERVER).with_demux(|| Box::new(BsdDemux::new())));
         twin.listen(80).unwrap();
         let r = twin.receive(&syn).unwrap();
         let ack = client.receive(&r.replies[0]).unwrap().replies[0].clone();
@@ -3290,9 +3416,13 @@ mod tests {
     #[test]
     fn rto_backoff_doubles_then_exhaustion_aborts_with_socket_error() {
         let (mut server, client) = pair();
-        let config = client.config;
+        let config = client.config.clone();
         drop(client);
-        let mut client = Stack::new(config.with_max_retries(3), Box::new(BsdDemux::new()));
+        let mut client = Stack::with_config(
+            config
+                .with_max_retries(3)
+                .with_demux(|| Box::new(BsdDemux::new())),
+        );
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
 
         // Deliver one byte so the socket has residual data, then go
@@ -3417,9 +3547,13 @@ mod tests {
         use tcpdemux_telemetry::{CloseCause, CounterId, Event};
 
         let (mut server, client) = pair();
-        let config = client.config;
+        let config = client.config.clone();
         drop(client);
-        let mut client = Stack::new(config.with_max_retries(1), Box::new(BsdDemux::new()));
+        let mut client = Stack::with_config(
+            config
+                .with_max_retries(1)
+                .with_demux(|| Box::new(BsdDemux::new())),
+        );
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
         client.send(cp, b"void").unwrap();
         loop {

@@ -52,6 +52,49 @@ impl StackStats {
         self.ip_errors + self.not_for_us + self.bad_protocol + self.tcp_errors
     }
 
+    /// Fold another stack's counters into this one (all fields are
+    /// monotonic counts, so addition is the whole story).
+    pub fn merge(&mut self, other: &StackStats) {
+        let Self {
+            frames_in,
+            ip_errors,
+            not_for_us,
+            bad_protocol,
+            tcp_errors,
+            demux_hits,
+            listener_hits,
+            resets_sent,
+            out_of_order_drops,
+            bytes_delivered,
+            frames_out,
+            pcbs_examined,
+            icmp_in,
+            icmp_echo_replies,
+            syn_drops,
+            retransmits,
+            rtt_samples,
+            timeout_aborts,
+        } = other;
+        self.frames_in += frames_in;
+        self.ip_errors += ip_errors;
+        self.not_for_us += not_for_us;
+        self.bad_protocol += bad_protocol;
+        self.tcp_errors += tcp_errors;
+        self.demux_hits += demux_hits;
+        self.listener_hits += listener_hits;
+        self.resets_sent += resets_sent;
+        self.out_of_order_drops += out_of_order_drops;
+        self.bytes_delivered += bytes_delivered;
+        self.frames_out += frames_out;
+        self.pcbs_examined += pcbs_examined;
+        self.icmp_in += icmp_in;
+        self.icmp_echo_replies += icmp_echo_replies;
+        self.syn_drops += syn_drops;
+        self.retransmits += retransmits;
+        self.rtt_samples += rtt_samples;
+        self.timeout_aborts += timeout_aborts;
+    }
+
     /// Mean PCBs examined per demultiplexed segment.
     pub fn mean_pcbs_examined(&self) -> f64 {
         let lookups = self.demux_hits + self.listener_hits + self.resets_sent;
@@ -99,6 +142,41 @@ pub struct StatsSnapshot {
     pub tx_pool: TxPoolStats,
     /// Structured telemetry: counters, histograms, event trace.
     pub telemetry: Snapshot,
+}
+
+impl StatsSnapshot {
+    /// Merge per-shard snapshots into one aggregate with the same shape a
+    /// single [`Stack`](crate::Stack) reports — how
+    /// [`ShardedStack::stats`](crate::ShardedStack::stats) presents K
+    /// shards through the one introspection surface.
+    ///
+    /// Counters add; the demux `worst_case` is the max across shards; the
+    /// telemetry merge adds counters and histogram buckets while keeping
+    /// the *first* snapshot's event trace (per-shard traces interleave
+    /// arbitrarily, so concatenating them would fabricate an ordering —
+    /// fetch per-shard snapshots for traces). An empty slice merges to an
+    /// all-zero snapshot.
+    pub fn merge(parts: &[StatsSnapshot]) -> StatsSnapshot {
+        let mut iter = parts.iter();
+        let Some(first) = iter.next() else {
+            return StatsSnapshot {
+                stack: StackStats::default(),
+                demux: LookupStats::new(),
+                tx_pool: TxPoolStats::default(),
+                telemetry: Snapshot::empty(),
+            };
+        };
+        let mut merged = first.clone();
+        for part in iter {
+            merged.stack.merge(&part.stack);
+            merged.demux.merge(&part.demux);
+            merged.tx_pool.allocations += part.tx_pool.allocations;
+            merged.tx_pool.reuses += part.tx_pool.reuses;
+            merged.tx_pool.free += part.tx_pool.free;
+            merged.telemetry.merge_aggregates(&part.telemetry);
+        }
+        merged
+    }
 }
 
 impl fmt::Display for StatsSnapshot {

@@ -11,22 +11,14 @@
 //! Run with: `cargo run --example bulk_transfer`
 
 use std::net::Ipv4Addr;
-use tcpdemux::demux::SequentDemux;
-use tcpdemux::hash::Multiplicative;
 use tcpdemux::stack::{FaultInjector, FaultOutcome, RxOutcome, Stack, StackConfig};
 use tcpdemux::wire::pcap::{PcapWriter, LINKTYPE_RAW};
 
 fn main() {
     let server_addr = Ipv4Addr::new(192, 0, 2, 1);
     let client_addr = Ipv4Addr::new(192, 0, 2, 99);
-    let mut server = Stack::new(
-        StackConfig::new(server_addr),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
-    let mut client = Stack::new(
-        StackConfig::new(client_addr),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(server_addr));
+    let mut client = Stack::with_config(StackConfig::new(client_addr));
     server.listen(9000).expect("fresh port");
 
     // Handshake over a clean link.

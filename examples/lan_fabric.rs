@@ -6,8 +6,6 @@
 //! Run with: `cargo run --example lan_fabric`
 
 use std::net::Ipv4Addr;
-use tcpdemux::demux::SequentDemux;
-use tcpdemux::hash::Multiplicative;
 use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
 use tcpdemux::wire::{ArpRepr, EtherType, EthernetAddress, EthernetFrame, EthernetRepr, IcmpRepr};
 
@@ -48,18 +46,9 @@ fn main() {
     let client_ip = Ipv4Addr::new(192, 168, 1, 77);
     let bystander_ip = Ipv4Addr::new(192, 168, 1, 200);
 
-    let mut server = Stack::new(
-        StackConfig::new(server_ip),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
-    let mut client = Stack::new(
-        StackConfig::new(client_ip),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
-    let mut bystander = Stack::new(
-        StackConfig::new(bystander_ip),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(server_ip));
+    let mut client = Stack::with_config(StackConfig::new(client_ip));
+    let mut bystander = Stack::with_config(StackConfig::new(bystander_ip));
     server.listen(1521).expect("fresh port");
 
     // 1. ARP: the client broadcasts who-has for the server.

@@ -31,6 +31,18 @@ SCHEMA = "tcpdemux-bench/v1"
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+# Per-bench required measurement labels, beyond the generic schema: these
+# are the cells downstream analysis (EXPERIMENTS.md) reads by name, so a
+# run that silently skips one must fail even if the snapshot is
+# regenerated to match. Conditional cells (e.g. mt_stack's
+# connect/local vs connect/cross split) are deliberately not listed.
+REQUIRED_LABELS = {
+    "BENCH_stack_shards.json": {
+        f"mt_stack/{mix}/shards={k}" for mix in ("tpca", "bulk") for k in (1, 2, 4, 8)
+    }
+    | {"mt_stack/steer"},
+}
+
 
 def fail(errors):
     for e in errors:
@@ -140,6 +152,10 @@ def main(argv):
             continue
         schema_errors = check_schema(name, fresh)
         errors.extend(schema_errors)
+        if not schema_errors:
+            missing = REQUIRED_LABELS.get(name, set()) - label_set(fresh)
+            for label in sorted(missing):
+                errors.append(f"{name}: required measurement cell missing: {label!r}")
         snapshot, err = load(REPO_ROOT / name)
         if err:
             errors.append(f"{err} (checked-in snapshot)")

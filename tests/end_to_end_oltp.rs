@@ -19,13 +19,17 @@ struct Client {
 }
 
 /// Connect `n` clients to a fresh server running `demux`.
-fn setup(demux: Box<dyn Demux>, n: u16) -> (Stack, Vec<Client>) {
-    let mut server = Stack::new(StackConfig::new(SERVER), demux);
+fn setup(
+    demux: impl Fn() -> Box<dyn Demux> + Send + Sync + 'static,
+    n: u16,
+) -> (Stack, Vec<Client>) {
+    let mut server = Stack::with_config(StackConfig::new(SERVER).with_demux(demux));
     server.listen(PORT).unwrap();
     let clients: Vec<Client> = (0..n)
         .map(|i| {
             let addr = Ipv4Addr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8);
-            let mut stack = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+            let mut stack =
+                Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
             let (pcb, syn) = stack.connect(SERVER, PORT).unwrap();
             let synack = server.receive(&syn).unwrap().replies;
             let ack = stack.receive(&synack[0]).unwrap().replies;
@@ -60,7 +64,11 @@ fn transaction(server: &mut Stack, client: &mut Client, server_pcb: PcbId) {
 }
 
 /// Run `rounds` of round-robin transactions; return mean PCBs examined.
-fn run_oltp(demux: Box<dyn Demux>, n: u16, rounds: usize) -> f64 {
+fn run_oltp(
+    demux: impl Fn() -> Box<dyn Demux> + Send + Sync + 'static,
+    n: u16,
+    rounds: usize,
+) -> f64 {
     let (mut server, mut clients) = setup(demux, n);
     // Map each client to its server-side PCB by sending one probe byte.
     let server_pcbs: Vec<PcbId> = clients
@@ -103,10 +111,14 @@ fn paper_ordering_holds_on_real_packets() {
     let n = 120u16;
     let nf = f64::from(n);
     let rounds = 4;
-    let bsd = run_oltp(Box::new(BsdDemux::new()), n, rounds);
-    let mtf = run_oltp(Box::new(MtfDemux::new()), n, rounds);
-    let sr = run_oltp(Box::new(SendRecvDemux::new()), n, rounds);
-    let seq = run_oltp(Box::new(SequentDemux::new(Multiplicative, 19)), n, rounds);
+    let bsd = run_oltp(|| Box::new(BsdDemux::new()), n, rounds);
+    let mtf = run_oltp(|| Box::new(MtfDemux::new()), n, rounds);
+    let sr = run_oltp(|| Box::new(SendRecvDemux::new()), n, rounds);
+    let seq = run_oltp(
+        || Box::new(SequentDemux::new(Multiplicative, 19)),
+        n,
+        rounds,
+    );
 
     // BSD ≈ (miss + hit)/2 ≈ N/4.
     assert!((bsd - nf / 4.0).abs() < nf / 10.0, "bsd {bsd}");
@@ -125,7 +137,7 @@ fn paper_ordering_holds_on_real_packets() {
 #[test]
 fn connections_survive_churn() {
     // Clients disconnect and reconnect; the demux must stay coherent.
-    let (mut server, mut clients) = setup(Box::new(SequentDemux::new(Multiplicative, 19)), 40);
+    let (mut server, mut clients) = setup(|| Box::new(SequentDemux::new(Multiplicative, 19)), 40);
     // Tear down half the clients: both directions close, and the server
     // reclaims the connection completely.
     for client in clients.iter_mut().take(20) {
@@ -148,7 +160,8 @@ fn connections_survive_churn() {
     // New clients connect into the recycled space.
     for i in 200..220u16 {
         let addr = Ipv4Addr::new(10, 2, 0, (i & 0xff) as u8);
-        let mut stack = Stack::new(StackConfig::new(addr), Box::new(BsdDemux::new()));
+        let mut stack =
+            Stack::with_config(StackConfig::new(addr).with_demux(|| Box::new(BsdDemux::new())));
         let (pcb, syn) = stack.connect(SERVER, PORT).unwrap();
         let synack = server.receive(&syn).unwrap().replies;
         let ack = stack.receive(&synack[0]).unwrap().replies;

@@ -3,22 +3,14 @@
 //! connection state recoverable.
 
 use std::net::Ipv4Addr;
-use tcpdemux::demux::SequentDemux;
-use tcpdemux::hash::Multiplicative;
 use tcpdemux::stack::{FaultInjector, FaultOutcome, RxOutcome, Stack, StackConfig};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 2);
 
 fn connected_pair() -> (Stack, Stack, tcpdemux::pcb::PcbId) {
-    let mut server = Stack::new(
-        StackConfig::new(SERVER),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
-    let mut client = Stack::new(
-        StackConfig::new(CLIENT),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(SERVER));
+    let mut client = Stack::with_config(StackConfig::new(CLIENT));
     server.listen(5000).unwrap();
     let (cp, syn) = client.connect(SERVER, 5000).unwrap();
     let synack = server.receive(&syn).unwrap().replies;
@@ -141,10 +133,7 @@ fn corruption_is_rejected_across_seed_sweep() {
 
 #[test]
 fn random_garbage_cannot_crash_the_stack() {
-    let mut server = Stack::new(
-        StackConfig::new(SERVER),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(SERVER));
     server.listen(80).unwrap();
     // Deterministic pseudo-random garbage of many lengths.
     let mut state = 0x1357_9bdfu64;

@@ -7,8 +7,6 @@
 //! `Stack::advance_time`, or not at all.
 
 use std::net::Ipv4Addr;
-use tcpdemux::demux::SequentDemux;
-use tcpdemux::hash::Multiplicative;
 use tcpdemux::sim::lossy::{run_lossy_link, LossyLinkConfig};
 use tcpdemux::stack::{SocketError, Stack, StackConfig};
 
@@ -71,14 +69,8 @@ fn lossy_link_recovers_across_seeds() {
 fn silent_peer_aborts_with_surfaced_socket_error() {
     const SERVER: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 1);
     const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 2);
-    let mut server = Stack::new(
-        StackConfig::new(SERVER),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
-    let mut client = Stack::new(
-        StackConfig::new(CLIENT).with_max_retries(4),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(SERVER));
+    let mut client = Stack::with_config(StackConfig::new(CLIENT).with_max_retries(4));
     server.listen(5000).unwrap();
     let (cp, syn) = client.connect(SERVER, 5000).unwrap();
     let synack = server.receive(&syn).unwrap().replies;

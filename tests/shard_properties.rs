@@ -1,0 +1,110 @@
+//! Properties of the sharded runtime's steering and its invisibility to
+//! applications.
+//!
+//! Two things must hold for flow-affine sharding to be sound:
+//!
+//! 1. **Steering symmetry** — both orientations of every four-tuple map
+//!    to the same shard, so a connection's inbound segments and the
+//!    replies they provoke are owned by one shard (SYN and SYN-ACK never
+//!    split across shards).
+//! 2. **Shard-count invariance** — the shard count is a runtime tuning
+//!    knob, not a semantic one: the same seeded workload must produce
+//!    byte-identical per-connection application streams at K=1 and K=4.
+
+use std::net::Ipv4Addr;
+use tcpdemux::hash::{shard_for, symmetric_hash};
+use tcpdemux::pcb::ConnectionKey;
+use tcpdemux::sim::shards::{run_shard_scenario, ShardScenarioConfig};
+use tcpdemux_testprop::check_cases;
+
+fn random_key(rng: &mut tcpdemux_testprop::TestRng) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::from(rng.u32()),
+        rng.u16(),
+        Ipv4Addr::from(rng.u32()),
+        rng.u16(),
+    )
+}
+
+#[test]
+fn steering_is_symmetric_for_arbitrary_four_tuples() {
+    check_cases("steering_symmetry", 256, |rng| {
+        let key = random_key(rng);
+        let mirrored = ConnectionKey::new(
+            key.remote_addr,
+            key.remote_port,
+            key.local_addr,
+            key.local_port,
+        );
+        assert_eq!(
+            symmetric_hash(&key),
+            symmetric_hash(&mirrored),
+            "hash must ignore orientation: {key:?}"
+        );
+        for shards in 1..=8 {
+            assert_eq!(
+                shard_for(&key, shards),
+                shard_for(&mirrored, shards),
+                "both directions of {key:?} must land on one of {shards} shards"
+            );
+        }
+    });
+}
+
+#[test]
+fn steering_stays_in_range_and_single_shard_is_trivial() {
+    check_cases("steering_range", 256, |rng| {
+        let key = random_key(rng);
+        assert_eq!(shard_for(&key, 1), 0);
+        for shards in 2..=8 {
+            assert!(shard_for(&key, shards) < shards);
+        }
+    });
+}
+
+/// The invariance experiment itself: same seed, K=1 vs K=4, identical
+/// per-connection byte streams on both sides of every connection. Runs
+/// both traffic mixes over a handful of seeds.
+#[test]
+fn shard_count_never_changes_application_byte_streams() {
+    for seed in [1, 7, 1992] {
+        let tpca_one = run_shard_scenario(&ShardScenarioConfig::tpca(1, seed));
+        let tpca_four = run_shard_scenario(&ShardScenarioConfig::tpca(4, seed));
+        assert_eq!(
+            tpca_one.per_connection, tpca_four.per_connection,
+            "tpca seed {seed}: K=1 and K=4 diverged"
+        );
+
+        let bulk_one = run_shard_scenario(&ShardScenarioConfig::bulk(1, seed));
+        let bulk_four = run_shard_scenario(&ShardScenarioConfig::bulk(4, seed));
+        assert_eq!(
+            bulk_one.per_connection, bulk_four.per_connection,
+            "bulk seed {seed}: K=1 and K=4 diverged"
+        );
+
+        // Same application outcome, and the merged counters agree on the
+        // application-visible totals too.
+        assert_eq!(
+            tpca_one.stats.stack.bytes_delivered,
+            tpca_four.stats.stack.bytes_delivered
+        );
+        assert_eq!(
+            bulk_one.stats.stack.bytes_delivered,
+            bulk_four.stats.stack.bytes_delivered
+        );
+    }
+}
+
+/// Sharding must not manufacture failures: no RSTs, no TCP errors, no
+/// ring overflows in a clean scenario run.
+#[test]
+fn clean_scenarios_see_no_resets_or_ring_drops() {
+    let report = run_shard_scenario(&ShardScenarioConfig::tpca(4, 42));
+    assert_eq!(report.stats.stack.resets_sent, 0);
+    assert_eq!(report.stats.stack.tcp_errors, 0);
+    assert_eq!(report.stats.stack.ip_errors, 0);
+    for ring in &report.rings {
+        assert_eq!(ring.rejected, 0, "ring overflow in a sized scenario");
+        assert_eq!(ring.pushed, ring.popped, "frames stranded in a ring");
+    }
+}

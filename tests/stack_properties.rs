@@ -3,8 +3,6 @@
 //! stack or corrupt delivery.
 
 use std::net::Ipv4Addr;
-use tcpdemux::demux::SequentDemux;
-use tcpdemux::hash::Multiplicative;
 use tcpdemux::pcb::PcbId;
 use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
 use tcpdemux_testprop::check_cases;
@@ -13,14 +11,8 @@ const SERVER: Ipv4Addr = Ipv4Addr::new(10, 5, 0, 1);
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 5, 0, 2);
 
 fn connected_pair() -> (Stack, Stack, PcbId, PcbId) {
-    let mut server = Stack::new(
-        StackConfig::new(SERVER),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
-    let mut client = Stack::new(
-        StackConfig::new(CLIENT),
-        Box::new(SequentDemux::new(Multiplicative, 19)),
-    );
+    let mut server = Stack::with_config(StackConfig::new(SERVER));
+    let mut client = Stack::with_config(StackConfig::new(CLIENT));
     server.listen(7777).unwrap();
     let (cp, syn) = client.connect(SERVER, 7777).unwrap();
     let r1 = server.receive(&syn).unwrap();
