@@ -413,7 +413,9 @@ impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
 /// them generically (the A3/A3b benches and their ablations): the
 /// lock-per-chain design, the cache-free reader–writer variant, the
 /// global-lock baseline, and the lock-free-read [`EpochDemux`], all at the
-/// same chain count with [`Multiplicative`] hashing.
+/// same chain count with [`Multiplicative`] hashing — plus the
+/// epoch-guarded [`crate::ConcurrentCuckooDemux`], which ignores `chains`
+/// (its bucket count is occupancy-driven).
 pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
     vec![
         Box::new(ShardedDemux::new(Multiplicative, chains)),
@@ -423,6 +425,7 @@ pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
             chains,
         ))),
         Box::new(EpochDemux::new(Multiplicative, chains)),
+        Box::new(crate::ConcurrentCuckooDemux::new()),
     ]
 }
 
@@ -666,12 +669,13 @@ mod tests {
     fn suite_drives_all_variants_generically() {
         let mut arena = PcbArena::new();
         let suite = concurrent_suite(19);
-        assert_eq!(suite.len(), 4);
+        assert_eq!(suite.len(), 5);
         let names: Vec<String> = suite.iter().map(|d| d.name()).collect();
         assert!(names.iter().any(|n| n.starts_with("sharded-sequent")));
         assert!(names.iter().any(|n| n.starts_with("rw-sharded")));
         assert!(names.iter().any(|n| n.starts_with("global-lock")));
         assert!(names.iter().any(|n| n.starts_with("epoch(")));
+        assert!(names.iter().any(|n| n == "cuckoo-conc"));
         for demux in &suite {
             let ids = populate_concurrent(demux.as_ref(), &mut arena, 50);
             for (i, &id) in ids.iter().enumerate() {

@@ -12,6 +12,8 @@
 //! | [`SequentDemux`] | §3.4, "Sequent" | `H` hash chains, each with a one-entry cache |
 //! | [`HashedMtfDemux`] | §3.5, the combination the paper weighs | `H` hash chains with move-to-front |
 //! | [`DirectDemux`] | §3.5, connection-ID strawman (TP4/X.25/XTP) | direct index, 1 probe by construction |
+//! | [`CuckooDemux`] | beyond the paper: Cuckoo++-style flow table | 4-way one-cache-line tagged buckets, ≤ 2 lines per lookup at any N |
+//! | [`ConcurrentCuckooDemux`] | — concurrent twin | seqlocked buckets read under an [`epoch`] pin, writers serialized |
 //! | [`concurrent::ShardedDemux`] | \[Dov90\] parallel-TCP setting | hash chains with per-chain locks |
 //! | [`concurrent::EpochDemux`] | RCU lineage (McKenney, Sequent) | hash chains, lock-free lookups over [`epoch`]-reclaimed nodes |
 //!
@@ -69,6 +71,7 @@ mod adaptive;
 mod batch;
 mod bsd;
 pub mod concurrent;
+pub mod cuckoo;
 mod direct;
 pub mod epoch;
 mod epoch_demux;
@@ -84,6 +87,7 @@ mod suite;
 
 pub use adaptive::AdaptiveDemux;
 pub use bsd::BsdDemux;
+pub use cuckoo::{ConcurrentCuckooDemux, CuckooDemux, CuckooStats};
 pub use direct::DirectDemux;
 pub use hashed_mtf::HashedMtfDemux;
 pub use list::PcbList;
@@ -292,6 +296,7 @@ mod tests {
             Box::new(SequentDemux::new(XorFold, 1)),
             Box::new(HashedMtfDemux::new(XorFold, 19)),
             Box::new(DirectDemux::new()),
+            Box::new(CuckooDemux::new()),
         ];
         for demux in demuxes {
             test_util::check_contract(demux);
@@ -318,6 +323,7 @@ mod tests {
             || Box::new(HashedMtfDemux::new(XorFold, 7)),
             || Box::new(DirectDemux::new()),
             || Box::new(AdaptiveDemux::new(Multiplicative, 4, 4)),
+            || Box::new(CuckooDemux::new()),
         ];
         for f in make {
             let mut seq = f();

@@ -87,6 +87,24 @@ impl<H: KeyHasher> SequentDemux<H> {
         self.chains.iter().flat_map(|c| c.iter())
     }
 
+    /// Install a connection the caller guarantees is **not already
+    /// present**, skipping the duplicate scan [`Demux::insert`] pays.
+    ///
+    /// The trait insert walks the whole chain looking for a key to
+    /// replace, so cold-building a table of N distinct keys costs
+    /// O(N²/chains) — hours at ten million connections on nineteen
+    /// chains. A real stack installs a connection only after the SYN
+    /// lookup already proved the four-tuple absent, so the scan is pure
+    /// waste there too. Inserting a key that *is* present duplicates it
+    /// (later [`Demux::remove`] calls peel one copy at a time), which is
+    /// why this is a separate, loudly-documented entry point and not the
+    /// trait method.
+    pub fn preload(&mut self, key: ConnectionKey, id: PcbId) {
+        let b = self.bucket(&key);
+        self.chains[b].push_front(key, id);
+        self.len += 1;
+    }
+
     fn bucket(&self, key: &ConnectionKey) -> usize {
         self.hasher.bucket(key, self.chains.len())
     }
@@ -213,6 +231,29 @@ mod tests {
     use tcpdemux_hash::{Multiplicative, XorFold};
     use tcpdemux_pcb::{Pcb, PcbArena};
     use tcpdemux_testprop::check;
+
+    #[test]
+    fn preload_matches_insert_for_distinct_keys() {
+        let mut arena = PcbArena::new();
+        let mut a = SequentDemux::new(Multiplicative, 19);
+        let mut b = SequentDemux::new(Multiplicative, 19);
+        for n in 0..500u32 {
+            let id = arena.insert(Pcb::new(key(n)));
+            a.insert(key(n), id);
+            b.preload(key(n), id);
+        }
+        assert_eq!(a.len(), b.len());
+        for n in 0..500u32 {
+            assert_eq!(
+                a.lookup(&key(n), PacketKind::Data).pcb,
+                b.lookup(&key(n), PacketKind::Data).pcb
+            );
+        }
+        let mut lengths = (a.chain_lengths(), b.chain_lengths());
+        lengths.0.sort_unstable();
+        lengths.1.sort_unstable();
+        assert_eq!(lengths.0, lengths.1);
+    }
 
     #[test]
     fn cache_hit_costs_one() {

@@ -63,7 +63,22 @@ pub fn standard_suite() -> Vec<SuiteEntry> {
         SequentDemux::new(Multiplicative, 100).into(),
         HashedMtfDemux::new(Multiplicative, 19).into(),
         DirectDemux::new().into(),
+        cuckoo_entry(),
     ]
+}
+
+/// The cuckoo tier needs its telemetry [`Recorder`] at construction time
+/// (insert-path kicks and eviction loops are recorded as they happen, not
+/// polled), so its entry shares one recorder between the structure and
+/// the suite slot.
+fn cuckoo_entry() -> SuiteEntry {
+    let recorder = Recorder::new();
+    let demux = crate::CuckooDemux::new().with_recorder(recorder.clone());
+    SuiteEntry {
+        name: demux.name(),
+        demux: Box::new(demux),
+        recorder,
+    }
 }
 
 /// [`standard_suite`] plus this crate's extensions beyond the paper:
@@ -91,6 +106,7 @@ mod tests {
             "sequent(100)",
             "hashed-mtf(19)",
             "direct-index",
+            "cuckoo",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }

@@ -238,7 +238,18 @@ impl ShardedStack {
         remote_port: u16,
     ) -> Result<(ShardId, PcbId, Vec<u8>), StackError> {
         assert!(from.index() < self.slots.len(), "no such shard {from}");
-        let local_port = self.table.alloc_ephemeral();
+        // The in-use probe walks every shard's connection table with the
+        // same predicate the single-stack allocator uses: a flow's owner
+        // is decided by the four-tuple *after* the port is chosen, so a
+        // port is only safe to mint if no shard holds it.
+        let local_port = self.table.alloc_ephemeral(|port| {
+            self.slots.iter().any(|slot| {
+                slot.stack
+                    .lock()
+                    .expect("shard stack lock")
+                    .ephemeral_port_in_use(port)
+            })
+        })?;
         let key = ConnectionKey::new(self.local_addr, local_port, remote_addr, remote_port);
         let owner = self.table.steer(&key);
         self.table.note_placement(from, owner);

@@ -149,13 +149,31 @@ impl SteerTable {
             .contains(&port)
     }
 
-    /// Hand out the next globally-unique ephemeral port (recycling after
-    /// the 16-bit range, like [`Stack`](crate::Stack)'s own allocator).
-    pub fn alloc_ephemeral(&self) -> u16 {
+    /// Hand out the next globally-unique ephemeral port.
+    ///
+    /// Ticketing through the shared atomic cursor keeps concurrent
+    /// callers on distinct candidates, and every candidate is vetted
+    /// before it is handed out: ports with a listener installed are
+    /// skipped (listeners live on *every* shard, so a connect minted on
+    /// one would collide with the accept path), and so is any port the
+    /// caller's `in_use` check claims — the sharded runtime probes all
+    /// shards' connection tables with the same
+    /// [`Stack::ephemeral_port_in_use`](crate::Stack::ephemeral_port_in_use)
+    /// predicate the single-stack allocator uses. After a full range of
+    /// candidates without a vacancy the allocator reports
+    /// [`StackError::NoEphemeralPorts`](crate::StackError::NoEphemeralPorts)
+    /// rather than recycling a live port into a duplicate four-tuple.
+    pub fn alloc_ephemeral(&self, in_use: impl Fn(u16) -> bool) -> Result<u16, crate::StackError> {
         let span = usize::from(u16::MAX) - usize::from(self.ephemeral_base) + 1;
-        let n = self.next_ephemeral.fetch_add(1, Ordering::Relaxed);
         let base = usize::from(self.ephemeral_base);
-        u16::try_from(base + (n - base) % span).expect("ephemeral in range")
+        for _ in 0..span {
+            let n = self.next_ephemeral.fetch_add(1, Ordering::Relaxed);
+            let port = u16::try_from(base + (n - base) % span).expect("ephemeral in range");
+            if !self.is_listening(port) && !in_use(port) {
+                return Ok(port);
+            }
+        }
+        Err(crate::StackError::NoEphemeralPorts)
     }
 
     /// Count one placement outcome: the connect's hinted shard vs the
@@ -229,13 +247,24 @@ mod tests {
     }
 
     #[test]
-    fn ephemeral_ports_unique_until_wrap() {
-        let table = SteerTable::new(4, 65_530);
-        let got: Vec<u16> = (0..8).map(|_| table.alloc_ephemeral()).collect();
-        assert_eq!(
-            got,
-            vec![65_530, 65_531, 65_532, 65_533, 65_534, 65_535, 65_530, 65_531]
-        );
+    fn ephemeral_ports_skip_in_use_and_listeners_and_report_exhaustion() {
+        let table = SteerTable::new(4, 65_530); // six-port range
+        let got: Vec<u16> = (0..4)
+            .map(|_| table.alloc_ephemeral(|_| false).expect("range not full"))
+            .collect();
+        assert_eq!(got, vec![65_530, 65_531, 65_532, 65_533]);
+        // Wraparound with most of the range still held: a listener sits
+        // on 65_535 and every connection except 65_531's is alive — the
+        // allocator must walk past all of them to the one free port
+        // instead of recycling a live one.
+        table.note_listen(65_535);
+        let busy = |p: u16| p != 65_531;
+        assert_eq!(table.alloc_ephemeral(busy).expect("one port free"), 65_531);
+        // A fully-occupied range is an error, not a recycled duplicate.
+        assert!(matches!(
+            table.alloc_ephemeral(|_| true),
+            Err(crate::StackError::NoEphemeralPorts)
+        ));
     }
 
     #[test]

@@ -1013,18 +1013,41 @@ impl Stack {
         Ok(id)
     }
 
-    /// Hand out the next ephemeral port. Ports recycle after the range is
-    /// exhausted (~16k active connects per remote endpoint); a stack that
-    /// actually wraps with the old connection still alive would need an
-    /// in-use check, which this harness's workloads never trigger.
+    /// Whether a local port is currently held by anything that demuxes:
+    /// a TCP or UDP listener, or any live connection's local endpoint.
+    /// The ephemeral allocators (here and in the sharded runtime's
+    /// [`SteerTable`](crate::shard::SteerTable)) consult this before
+    /// minting a port, so a recycled port can never coin a
+    /// [`ConnectionKey`] that collides with a live flow or listener.
+    pub fn ephemeral_port_in_use(&self, port: u16) -> bool {
+        self.listeners.iter().any(|l| l.key.local_port == port)
+            || self.udp_listeners.iter().any(|l| l.local_port == port)
+            || self
+                .arena
+                .iter()
+                .any(|(_, pcb)| pcb.key().local_port == port)
+    }
+
+    /// Hand out the next free ephemeral port. The cursor wraps from
+    /// `u16::MAX` back to `ephemeral_base`, but a port still held by a
+    /// live connection or a listener is skipped — reissuing it would mint
+    /// a duplicate [`ConnectionKey`] that demuxes to the wrong PCB. If
+    /// every port in the range is occupied the allocator reports
+    /// [`StackError::NoEphemeralPorts`] rather than recycling one.
     fn alloc_ephemeral(&mut self) -> Result<u16, StackError> {
-        let port = self.next_ephemeral;
-        self.next_ephemeral = if self.next_ephemeral == u16::MAX {
-            self.config.ephemeral_base
-        } else {
-            self.next_ephemeral + 1
-        };
-        Ok(port)
+        let span = usize::from(u16::MAX) - usize::from(self.config.ephemeral_base) + 1;
+        for _ in 0..span {
+            let port = self.next_ephemeral;
+            self.next_ephemeral = if self.next_ephemeral == u16::MAX {
+                self.config.ephemeral_base
+            } else {
+                self.next_ephemeral + 1
+            };
+            if !self.ephemeral_port_in_use(port) {
+                return Ok(port);
+            }
+        }
+        Err(StackError::NoEphemeralPorts)
     }
 
     fn alloc_iss(&mut self) -> SeqNum {

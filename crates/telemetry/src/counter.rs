@@ -51,11 +51,17 @@ pub enum CounterId {
     EpochReclaimed,
     /// Global epoch advances of the reclamation runtime.
     EpochAdvances,
+    /// Entries displaced to their alternate bucket by cuckoo inserts
+    /// (kicks), including displacements performed while rehashing.
+    CuckooKicks,
+    /// Cuckoo inserts whose bounded kick search found no vacancy — the
+    /// eviction-loop signal that forces a grow-and-rehash.
+    CuckooEvictionLoops,
 }
 
 impl CounterId {
     /// Every counter, in export order.
-    pub const ALL: [CounterId; 16] = [
+    pub const ALL: [CounterId; 18] = [
         CounterId::Lookups,
         CounterId::CacheHits,
         CounterId::DemuxHits,
@@ -72,6 +78,8 @@ impl CounterId {
         CounterId::EpochRetired,
         CounterId::EpochReclaimed,
         CounterId::EpochAdvances,
+        CounterId::CuckooKicks,
+        CounterId::CuckooEvictionLoops,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -93,6 +101,8 @@ impl CounterId {
             CounterId::EpochRetired => "epoch_retired",
             CounterId::EpochReclaimed => "epoch_reclaimed",
             CounterId::EpochAdvances => "epoch_advances",
+            CounterId::CuckooKicks => "cuckoo_kicks",
+            CounterId::CuckooEvictionLoops => "cuckoo_eviction_loops",
         }
     }
 }

@@ -25,15 +25,19 @@ pub enum HistogramId {
     /// Depth of the epoch runtime's deferred-retire list, sampled after
     /// each writer operation's bounded drain.
     EpochDeferred,
+    /// Entries displaced per cuckoo insert (0 for the common
+    /// free-slot-in-either-bucket case), one sample per insert.
+    CuckooInsertKicks,
 }
 
 impl HistogramId {
     /// Every histogram, in export order.
-    pub const ALL: [HistogramId; 4] = [
+    pub const ALL: [HistogramId; 5] = [
         HistogramId::Examined,
         HistogramId::RxBatchSize,
         HistogramId::RtoTicks,
         HistogramId::EpochDeferred,
+        HistogramId::CuckooInsertKicks,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -43,6 +47,7 @@ impl HistogramId {
             HistogramId::RxBatchSize => "rx_batch_size",
             HistogramId::RtoTicks => "rto_ticks",
             HistogramId::EpochDeferred => "epoch_deferred",
+            HistogramId::CuckooInsertKicks => "cuckoo_insert_kicks",
         }
     }
 }
@@ -223,6 +228,20 @@ impl Recorder {
         t.histograms[HistogramId::EpochDeferred as usize].record(deferred_depth);
     }
 
+    /// Record one cuckoo insert: `kicks` entries displaced to their
+    /// alternate bucket on the way to a vacancy (sampled into the
+    /// `cuckoo_insert_kicks` histogram), and whether the bounded search
+    /// failed outright (`eviction_loop`, forcing a grow-and-rehash). One
+    /// lock acquisition for all three updates.
+    pub fn cuckoo_insert(&self, kicks: u32, eviction_loop: bool) {
+        let mut t = self.lock();
+        t.counters.add(CounterId::CuckooKicks, u64::from(kicks));
+        if eviction_loop {
+            t.counters.incr(CounterId::CuckooEvictionLoops);
+        }
+        t.histograms[HistogramId::CuckooInsertKicks as usize].record(kicks);
+    }
+
     /// An owned, independent copy of everything recorded so far.
     pub fn snapshot(&self) -> Snapshot {
         let t = self.lock();
@@ -320,6 +339,20 @@ mod tests {
         assert_eq!(snap.counter(CounterId::Lookups), 0);
         assert!(snap.histogram(HistogramId::RxBatchSize).is_empty());
         assert_eq!(snap.events_recorded(), 0);
+    }
+
+    #[test]
+    fn cuckoo_insert_updates_counters_and_histogram() {
+        let r = Recorder::new();
+        r.cuckoo_insert(0, false);
+        r.cuckoo_insert(3, false);
+        r.cuckoo_insert(0, true);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(CounterId::CuckooKicks), 3);
+        assert_eq!(snap.counter(CounterId::CuckooEvictionLoops), 1);
+        let h = snap.histogram(HistogramId::CuckooInsertKicks);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 3);
     }
 
     #[test]

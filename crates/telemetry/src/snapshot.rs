@@ -230,34 +230,34 @@ mod tests {
         let snap = sample_recorder().snapshot();
         let text = snap.to_json_lines();
         let lines: Vec<&str> = text.lines().collect();
-        // 16 counters + 4 histograms + 1 events header + 6 events.
-        assert_eq!(lines.len(), 16 + 4 + 1 + 6, "{text}");
+        // 18 counters + 5 histograms + 1 events header + 6 events.
+        assert_eq!(lines.len(), 18 + 5 + 1 + 6, "{text}");
         assert_eq!(
             lines[0],
             "{\"type\":\"counter\",\"name\":\"lookups\",\"value\":3}"
         );
         assert!(
-            lines[16].starts_with(
+            lines[18].starts_with(
                 "{\"type\":\"histogram\",\"name\":\"examined\",\"count\":3,\"sum\":60,\"max\":40,"
             ),
             "{}",
-            lines[16]
+            lines[18]
         );
         assert!(
-            lines[16].contains("\"buckets\":[[1,1],[16,1],[32,1]]"),
+            lines[18].contains("\"buckets\":[[1,1],[16,1],[32,1]]"),
             "{}",
-            lines[16]
+            lines[18]
         );
         assert_eq!(
-            lines[20],
+            lines[23],
             "{\"type\":\"events\",\"recorded\":6,\"dropped\":0}"
         );
         assert_eq!(
-            lines[21],
+            lines[24],
             "{\"type\":\"event\",\"seq\":0,\"kind\":\"demux_hit\",\"examined\":1,\"cache_hit\":true}"
         );
         assert_eq!(
-            lines[26],
+            lines[29],
             "{\"type\":\"event\",\"seq\":5,\"kind\":\"conn_close\",\"cause\":\"timeout\"}"
         );
     }
@@ -273,9 +273,9 @@ mod tests {
     fn empty_snapshot_still_exports_full_schema() {
         let text = Snapshot::empty().to_json_lines();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 16 + 4 + 1);
-        assert!(lines[17].contains("\"count\":0"));
-        assert!(lines[17].contains("\"buckets\":[]"));
+        assert_eq!(lines.len(), 18 + 5 + 1);
+        assert!(lines[19].contains("\"count\":0"));
+        assert!(lines[19].contains("\"buckets\":[]"));
     }
 
     #[test]

@@ -41,6 +41,13 @@ REQUIRED_LABELS = {
         f"mt_stack/{mix}/shards={k}" for mix in ("tpca", "bulk") for k in (1, 2, 4, 8)
     }
     | {"mt_stack/steer"},
+    "BENCH_demux_scale.json": {
+        f"demux_scale/{cell}/n={n}/{tier}"
+        for cell in ("build", "lookup")
+        for n in (10_000, 100_000, 1_000_000, 10_000_000)
+        for tier in ("sequent(19)", "sequent(499)", "cuckoo")
+    }
+    | {f"demux_scale/batch/n={n}/cuckoo" for n in (10_000, 100_000, 1_000_000, 10_000_000)},
 }
 
 

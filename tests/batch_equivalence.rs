@@ -11,8 +11,8 @@
 use std::net::Ipv4Addr;
 use tcpdemux::demux::concurrent::concurrent_suite;
 use tcpdemux::demux::{
-    extended_suite, AdaptiveDemux, BsdDemux, Demux, DirectDemux, HashedMtfDemux, LookupResult,
-    MtfDemux, PacketKind, SendRecvDemux, SequentDemux,
+    extended_suite, AdaptiveDemux, BsdDemux, CuckooDemux, Demux, DirectDemux, HashedMtfDemux,
+    LookupResult, MtfDemux, PacketKind, SendRecvDemux, SequentDemux,
 };
 use tcpdemux::hash::{Multiplicative, XorFold};
 use tcpdemux::pcb::{ConnectionKey, Pcb, PcbArena};
@@ -210,8 +210,10 @@ fn batch_boundaries_do_not_matter() {
 /// One explicitly-constructed tier list for the miss-ratio sweep: every
 /// single-threaded algorithm family, including the cache-disabled
 /// Sequent ablation (not in `extended_suite`), a tiny-table Sequent so
-/// chains actually collide, and an adaptive table small enough to
-/// trigger growth mid-sweep.
+/// chains actually collide, an adaptive table small enough to trigger
+/// growth mid-sweep, and the cuckoo tier (which starts at 32 slots, so
+/// sweep populations force kicks and growth through its prefetching
+/// batch path).
 fn sweep_tiers() -> Vec<Box<dyn Demux>> {
     vec![
         Box::new(BsdDemux::new()),
@@ -224,6 +226,7 @@ fn sweep_tiers() -> Vec<Box<dyn Demux>> {
         Box::new(HashedMtfDemux::new(Multiplicative, 19)),
         Box::new(AdaptiveDemux::new(Multiplicative, 4, 4)),
         Box::new(DirectDemux::new()),
+        Box::new(CuckooDemux::new()),
     ]
 }
 

@@ -1,0 +1,162 @@
+//! Regression tests for ephemeral-port reuse under wraparound.
+//!
+//! Both allocators — [`Stack`]'s own and the sharded runtime's global
+//! [`SteerTable`] — used to recycle ports blindly once the 16-bit range
+//! wrapped: a reissued port still held by a live connection mints a
+//! duplicate `ConnectionKey`, and the demultiplexer's replace-on-insert
+//! semantics silently orphan the old PCB (its packets demux to the new
+//! connection). These tests force wraparound with the old connection
+//! alive and assert the allocators skip live ports, skip listener ports,
+//! report exhaustion instead of recycling, and that every surviving
+//! connection keeps demuxing to its own PCB. They fail against the old
+//! allocators.
+
+use std::net::Ipv4Addr;
+use tcpdemux_stack::{RxOutcome, ShardedStack, Stack, StackConfig, StackError};
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn pair(ephemeral_base: u16) -> (Stack, Stack) {
+    let server = Stack::with_config(StackConfig::new(SERVER));
+    let client = Stack::with_config(StackConfig::new(CLIENT).with_ephemeral_base(ephemeral_base));
+    (server, client)
+}
+
+/// Drive a full three-way handshake, returning (client_pcb, server_pcb).
+fn handshake(
+    server: &mut Stack,
+    client: &mut Stack,
+    port: u16,
+) -> (tcpdemux_pcb::PcbId, tcpdemux_pcb::PcbId) {
+    let (cp, syn) = client.connect(SERVER, port).expect("connect");
+    let r = server.receive(&syn).expect("syn");
+    let sp = match r.outcome {
+        RxOutcome::NewConnection { pcb } => pcb,
+        other => panic!("expected NewConnection, got {other:?}"),
+    };
+    let r = client.receive(&r.replies[0]).expect("syn-ack");
+    assert!(matches!(r.outcome, RxOutcome::Established { .. }));
+    let r = server.receive(&r.replies[0]).expect("ack");
+    assert!(matches!(r.outcome, RxOutcome::Established { .. }));
+    (cp, sp)
+}
+
+/// Send `payload` from client connection `cp` and assert it is delivered
+/// to exactly `sp` on the server — i.e. the four-tuple still demuxes to
+/// the PCB it was established with.
+fn assert_demuxes_to(
+    server: &mut Stack,
+    client: &mut Stack,
+    cp: tcpdemux_pcb::PcbId,
+    sp: tcpdemux_pcb::PcbId,
+    payload: &[u8],
+) {
+    let frame = client.send(cp, payload).expect("send");
+    let r = server.receive(&frame).expect("data");
+    match r.outcome {
+        RxOutcome::Delivered { pcb, bytes } => {
+            assert_eq!(pcb, sp, "data demuxed to the wrong server PCB");
+            assert_eq!(bytes, payload.len());
+        }
+        other => panic!("expected Delivered, got {other:?}"),
+    }
+    // The ACK must come back to the right client PCB too.
+    let r = client.receive(&r.replies[0]).expect("ack");
+    match r.outcome {
+        RxOutcome::AckProcessed { pcb } => assert_eq!(pcb, cp),
+        other => panic!("expected AckProcessed, got {other:?}"),
+    }
+}
+
+#[test]
+fn stack_wraparound_skips_live_ports_and_keeps_both_flows_demuxing() {
+    // Two-port ephemeral range: [65534, 65535].
+    let (mut server, mut client) = pair(65_534);
+    server.listen(80).expect("listen");
+
+    let (cp1, sp1) = handshake(&mut server, &mut client, 80);
+    assert_eq!(client.connection_key(cp1).unwrap().local_port, 65_534);
+    let (cp2, _sp2) = handshake(&mut server, &mut client, 80);
+    assert_eq!(client.connection_key(cp2).unwrap().local_port, 65_535);
+
+    // Range exhausted with both connections alive: the old allocator
+    // would wrap and reissue 65534 here, duplicating cp1's four-tuple.
+    assert!(matches!(
+        client.connect(SERVER, 80),
+        Err(StackError::NoEphemeralPorts)
+    ));
+
+    // Abort the second connection; its port (and only its port) frees.
+    // The RST reaches the server so both sides forget the old flow.
+    let rst = client.abort(cp2).expect("abort");
+    let r = server.receive(&rst).expect("rst");
+    assert!(matches!(r.outcome, RxOutcome::ResetReceived));
+    let (cp3, sp3) = handshake(&mut server, &mut client, 80);
+    assert_eq!(
+        client.connection_key(cp3).unwrap().local_port,
+        65_535,
+        "the allocator must wrap onto the freed port, not a live one"
+    );
+    assert_eq!(client.connection_count(), 2);
+
+    // Both survivors demux to their own PCBs in both directions.
+    assert_demuxes_to(&mut server, &mut client, cp1, sp1, b"first flow");
+    assert_demuxes_to(&mut server, &mut client, cp3, sp3, b"wrapped flow");
+}
+
+#[test]
+fn stack_allocator_never_mints_a_listener_port() {
+    // The ephemeral range [65534, 65535] contains a local listener on
+    // 65535: connects must only ever draw 65534.
+    let (_, mut client) = pair(65_534);
+    client.listen(65_535).expect("listen");
+    let (cp, _syn) = client.connect(SERVER, 80).expect("connect");
+    assert_eq!(client.connection_key(cp).unwrap().local_port, 65_534);
+    assert!(matches!(
+        client.connect(SERVER, 80),
+        Err(StackError::NoEphemeralPorts)
+    ));
+}
+
+#[test]
+fn sharded_wraparound_skips_live_listeners_and_live_ports() {
+    // Three-port range [65533, 65535] with a listener inside it on
+    // every shard (listeners install SO_REUSEPORT-style on all shards).
+    let runtime =
+        ShardedStack::with_config(StackConfig::new(CLIENT).with_ephemeral_base(65_533), 2);
+    runtime.listen(65_534).expect("listen");
+
+    let (sh1, id1, _syn) = runtime.connect(SERVER, 80).expect("first connect");
+    let (sh2, id2, _syn) = runtime.connect(SERVER, 80).expect("second connect");
+    let p1 = runtime.with_shard(sh1, |s| s.connection_key(id1).unwrap().local_port);
+    let p2 = runtime.with_shard(sh2, |s| s.connection_key(id2).unwrap().local_port);
+    assert_eq!(
+        {
+            let mut got = [p1, p2];
+            got.sort_unstable();
+            got
+        },
+        [65_533, 65_535],
+        "the listener's port must never be minted"
+    );
+
+    // Every non-listener port is now held by a live SYN-SENT connection:
+    // the old allocator would recycle one on wraparound.
+    assert!(matches!(
+        runtime.connect(SERVER, 80),
+        Err(StackError::NoEphemeralPorts)
+    ));
+
+    // Free exactly one port; the next connect must land on it.
+    runtime.with_shard(sh2, |s| s.abort(id2)).expect("abort");
+    let (sh3, id3, _syn) = runtime.connect(SERVER, 80).expect("reconnect");
+    let p3 = runtime.with_shard(sh3, |s| s.connection_key(id3).unwrap().local_port);
+    assert_eq!(p3, p2, "only the freed port may be reissued");
+    assert_ne!(p3, 65_534);
+    assert_eq!(
+        runtime.connection_table().len(),
+        2,
+        "two live connections, no duplicates"
+    );
+}
