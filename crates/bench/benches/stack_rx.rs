@@ -10,7 +10,7 @@ use std::net::Ipv4Addr;
 use tcpdemux_bench::harness::{bench, group, maybe_write_json};
 use tcpdemux_core::{BsdDemux, SequentDemux};
 use tcpdemux_hash::Multiplicative;
-use tcpdemux_stack::{DemuxFactory, Stack, StackConfig};
+use tcpdemux_stack::{DemuxFactory, Stack, StackConfig, TxScratch};
 use tcpdemux_wire::{build_tcp_frame, IpProtocol, Ipv4Repr, TcpFlags, TcpRepr};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -36,7 +36,15 @@ fn server_with_connections(demux: DemuxFactory, n: u16) -> (Stack, Vec<Vec<u8>>)
     // full parse + demux + state path.
     let frames: Vec<Vec<u8>> = clients
         .iter_mut()
-        .map(|(client, cp)| client.send(*cp, b"TPCA UPDATE accounts SET ...").unwrap())
+        .map(|(client, cp)| {
+            assert_eq!(
+                client.send(*cp, b"TPCA UPDATE accounts SET ...").unwrap(),
+                28
+            );
+            let mut scratch = TxScratch::new();
+            assert_eq!(client.poll_transmit(&mut scratch), 1);
+            scratch.frames.pop().unwrap()
+        })
         .collect();
     (server, frames)
 }

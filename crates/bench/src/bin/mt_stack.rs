@@ -29,7 +29,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 use tcpdemux_bench::harness::{bb, maybe_write_json, record, Measurement};
 use tcpdemux_hash::shard_for;
-use tcpdemux_stack::{steering_key, ShardId, ShardedStack, Stack, StackConfig};
+use tcpdemux_stack::{
+    steering_key, ShardId, ShardedStack, Stack, StackConfig, TxScratch, WindowConfig,
+};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 8, 0, 1);
 const PORT: u16 = 1521;
@@ -93,7 +95,10 @@ fn params() -> Params {
 
 /// Establish one client flow through the rings (single-threaded setup).
 fn establish(server: &ShardedStack, addr: Ipv4Addr) -> (Stack, tcpdemux_pcb::PcbId) {
-    let mut client = Stack::with_config(StackConfig::new(addr));
+    // The bulk mix pre-builds a whole segment train before any ACK comes
+    // back, so the client needs an initial cwnd that covers the train.
+    let window = WindowConfig::default().with_initial_cwnd(60_000);
+    let mut client = Stack::with_config(StackConfig::new(addr).with_window(window));
     let (pcb, syn) = client.connect(SERVER, PORT).expect("connect");
     let shard = server.enqueue(syn).expect("ring space");
     let batch = server.drain(shard, usize::MAX);
@@ -109,7 +114,9 @@ fn establish(server: &ShardedStack, addr: Ipv4Addr) -> (Stack, tcpdemux_pcb::Pcb
 /// preserved — the arrival pattern a NIC queue presents).
 fn build_scenario(shards: usize, mix: &Mix) -> (ShardedStack, Vec<Vec<u8>>) {
     let server = ShardedStack::with_config(
-        StackConfig::new(SERVER).with_ring_capacity(RING_CAPACITY),
+        StackConfig::new(SERVER)
+            .with_ring_capacity(RING_CAPACITY)
+            .with_window(WindowConfig::default().with_advertise(60_000)),
         shards,
     );
     server.listen(PORT).expect("fresh port");
@@ -118,8 +125,14 @@ fn build_scenario(shards: usize, mix: &Mix) -> (ShardedStack, Vec<Vec<u8>>) {
         .map(|i| {
             let addr = Ipv4Addr::new(10, 8, 1 + (i >> 8) as u8, (i & 0xff) as u8);
             let (mut client, pcb) = establish(&server, addr);
+            let mut scratch = TxScratch::new();
             (0..mix.frames_per_conn)
-                .map(|_| client.send(pcb, &payload).expect("send"))
+                .map(|_| {
+                    let n = client.send(pcb, &payload).expect("send");
+                    assert_eq!(n, payload.len(), "send buffer holds the train");
+                    assert_eq!(client.poll_transmit(&mut scratch), 1, "window open");
+                    scratch.frames.pop().expect("one frame")
+                })
                 .collect()
         })
         .collect();

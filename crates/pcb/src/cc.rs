@@ -1,0 +1,412 @@
+//! Pluggable congestion control: Reno and NewReno.
+//!
+//! The split follows mlwip's modular control path: per-connection
+//! *state* ([`CongestionState`]) lives in the PCB next to the sequence
+//! spaces it is consulted with, while the *algorithm* is a stateless
+//! [`CongestionControl`] object owned by the stack. The stack reports
+//! ACK-clock events (advancing ACK, duplicate ACK, RTO expiry) and acts
+//! on the returned [`CcAction`]; the algorithm never touches frames.
+
+use crate::seq::SeqNum;
+
+/// Per-connection congestion-control variables (RFC 5681 / 6582).
+///
+/// `Copy` and flat on purpose: this is hot-path state consulted on
+/// every ACK, stored inline in the [`Pcb`](crate::Pcb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CongestionState {
+    /// Congestion window in bytes.
+    pub cwnd: usize,
+    /// Slow-start threshold in bytes; above it growth is additive.
+    pub ssthresh: usize,
+    /// Consecutive duplicate ACKs observed at the current SND.UNA.
+    pub dup_acks: u32,
+    /// Whether fast recovery is in progress.
+    pub in_recovery: bool,
+    /// Whether RTO recovery is in progress: the head was re-emitted by
+    /// the retransmission timer and the segments behind it may have been
+    /// discarded by an in-order-only receiver, so each advancing ACK
+    /// below `recover` re-emits the new head (go-back-N paced by the
+    /// ACK clock) instead of stretching new data over the hole.
+    pub in_rto_recovery: bool,
+    /// The `recover` mark: SND.NXT when fast retransmit or an RTO
+    /// fired. ACKs below it are partial; at or above it, recovery
+    /// completes.
+    pub recover: SeqNum,
+}
+
+impl CongestionState {
+    /// Fresh state for a new connection: `cwnd` starts at
+    /// `initial_cwnd` and `ssthresh` effectively unbounded, so the
+    /// connection opens in slow start (RFC 5681 §3.1).
+    pub fn new(initial_cwnd: usize) -> Self {
+        Self {
+            cwnd: initial_cwnd,
+            ssthresh: usize::MAX / 2,
+            dup_acks: 0,
+            in_recovery: false,
+            in_rto_recovery: false,
+            recover: SeqNum(0),
+        }
+    }
+}
+
+impl Default for CongestionState {
+    fn default() -> Self {
+        // 4 × the RFC 1122 default MSS; the stack re-seeds from its
+        // configured `WindowConfig` when it opens a connection.
+        Self::new(4 * 536)
+    }
+}
+
+/// What the stack must do after reporting an event to the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAction {
+    /// Nothing beyond normal transmission (the window may have moved).
+    None,
+    /// Re-emit the oldest unacknowledged segment now (fast retransmit,
+    /// or NewReno's per-partial-ACK head re-emission).
+    RetransmitHead,
+}
+
+/// A congestion-control algorithm: pure window arithmetic over
+/// [`CongestionState`], driven by the stack's ACK clock.
+pub trait CongestionControl: Send {
+    /// Algorithm name for introspection and config display.
+    fn name(&self) -> &'static str;
+
+    /// A cumulative ACK advanced SND.UNA by `acked` bytes to `ack`.
+    fn on_ack(&self, st: &mut CongestionState, acked: usize, ack: SeqNum, mss: usize) -> CcAction;
+
+    /// A duplicate ACK arrived (same SND.UNA, no payload, no window
+    /// update) with `inflight` bytes outstanding and SND.NXT at
+    /// `snd_nxt`.
+    fn on_dup_ack(
+        &self,
+        st: &mut CongestionState,
+        inflight: usize,
+        snd_nxt: SeqNum,
+        mss: usize,
+    ) -> CcAction;
+
+    /// The retransmission timer expired with `inflight` bytes
+    /// outstanding and SND.NXT at `snd_nxt`.
+    fn on_rto(&self, st: &mut CongestionState, inflight: usize, snd_nxt: SeqNum, mss: usize);
+}
+
+/// Slow start below `ssthresh` (exponential per RTT), additive increase
+/// above it (~one MSS per cwnd of acknowledged data) — RFC 5681 §3.1.
+fn grow(st: &mut CongestionState, acked: usize, mss: usize) {
+    if st.cwnd < st.ssthresh {
+        st.cwnd += acked.min(mss);
+    } else {
+        st.cwnd += (mss * mss / st.cwnd.max(1)).max(1);
+    }
+}
+
+/// Shared dup-ACK handling: count to three, then halve and enter fast
+/// recovery, re-emitting the presumed-lost head; further duplicates
+/// inflate `cwnd` by one MSS each (they signal a departed segment).
+fn dup_ack(st: &mut CongestionState, inflight: usize, snd_nxt: SeqNum, mss: usize) -> CcAction {
+    if st.in_recovery {
+        st.cwnd += mss;
+        return CcAction::None;
+    }
+    st.dup_acks += 1;
+    if st.dup_acks < 3 {
+        return CcAction::None;
+    }
+    st.ssthresh = (inflight / 2).max(2 * mss);
+    st.cwnd = st.ssthresh + 3 * mss;
+    st.in_recovery = true;
+    st.recover = snd_nxt;
+    CcAction::RetransmitHead
+}
+
+/// Shared RTO handling: collapse to one MSS and restart slow start
+/// toward half the data that was in flight (RFC 5681 §3.1 eq. 4),
+/// and enter RTO recovery: until SND.UNA passes the data outstanding
+/// at expiry, advancing ACKs re-emit the head (see
+/// [`CongestionState::in_rto_recovery`]).
+fn rto(st: &mut CongestionState, inflight: usize, snd_nxt: SeqNum, mss: usize) {
+    st.ssthresh = (inflight / 2).max(2 * mss);
+    st.cwnd = mss;
+    st.in_recovery = false;
+    st.in_rto_recovery = true;
+    st.recover = snd_nxt;
+    st.dup_acks = 0;
+}
+
+/// Shared RTO-recovery ACK handling: below the `recover` mark, grow
+/// (we are back in slow start) and ask for the new head, which an
+/// in-order-only receiver has necessarily discarded; at or past the
+/// mark, recovery is over. Returns the action, or `None` if not in
+/// RTO recovery.
+fn rto_recovery_ack(
+    st: &mut CongestionState,
+    acked: usize,
+    ack: SeqNum,
+    mss: usize,
+) -> Option<CcAction> {
+    if !st.in_rto_recovery {
+        return None;
+    }
+    if st.recover.le(ack) {
+        st.in_rto_recovery = false;
+        return None;
+    }
+    grow(st, acked, mss);
+    Some(CcAction::RetransmitHead)
+}
+
+/// Classic Reno (RFC 5681): fast retransmit/fast recovery, with
+/// recovery ending on the first ACK that advances SND.UNA at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reno;
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn on_ack(&self, st: &mut CongestionState, acked: usize, ack: SeqNum, mss: usize) -> CcAction {
+        st.dup_acks = 0;
+        if let Some(action) = rto_recovery_ack(st, acked, ack, mss) {
+            return action;
+        }
+        if st.in_recovery {
+            // Any advancing ACK deflates the window and exits recovery.
+            st.cwnd = st.ssthresh;
+            st.in_recovery = false;
+        } else {
+            grow(st, acked, mss);
+        }
+        CcAction::None
+    }
+
+    fn on_dup_ack(
+        &self,
+        st: &mut CongestionState,
+        inflight: usize,
+        snd_nxt: SeqNum,
+        mss: usize,
+    ) -> CcAction {
+        dup_ack(st, inflight, snd_nxt, mss)
+    }
+
+    fn on_rto(&self, st: &mut CongestionState, inflight: usize, snd_nxt: SeqNum, mss: usize) {
+        rto(st, inflight, snd_nxt, mss);
+    }
+}
+
+/// NewReno (RFC 6582): like Reno, but a *partial* ACK — one advancing
+/// SND.UNA without reaching the `recover` mark — keeps recovery open
+/// and immediately re-emits the new head, repairing multiple losses in
+/// one window without waiting for an RTO.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NewReno;
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn on_ack(&self, st: &mut CongestionState, acked: usize, ack: SeqNum, mss: usize) -> CcAction {
+        st.dup_acks = 0;
+        if let Some(action) = rto_recovery_ack(st, acked, ack, mss) {
+            return action;
+        }
+        if st.in_recovery {
+            if st.recover.le(ack) {
+                // Full ACK: recovery repaired the whole window.
+                st.cwnd = st.ssthresh;
+                st.in_recovery = false;
+                return CcAction::None;
+            }
+            // Partial ACK: deflate by the data the ACK covered, add
+            // back one MSS, and retransmit the next hole's head.
+            st.cwnd = st.cwnd.saturating_sub(acked).max(mss) + mss;
+            return CcAction::RetransmitHead;
+        }
+        grow(st, acked, mss);
+        CcAction::None
+    }
+
+    fn on_dup_ack(
+        &self,
+        st: &mut CongestionState,
+        inflight: usize,
+        snd_nxt: SeqNum,
+        mss: usize,
+    ) -> CcAction {
+        dup_ack(st, inflight, snd_nxt, mss)
+    }
+
+    fn on_rto(&self, st: &mut CongestionState, inflight: usize, snd_nxt: SeqNum, mss: usize) {
+        rto(st, inflight, snd_nxt, mss);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1000;
+
+    fn fresh() -> CongestionState {
+        CongestionState::new(2 * MSS)
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially_per_window() {
+        let cc = NewReno;
+        let mut st = fresh();
+        // Acknowledge one full window: cwnd roughly doubles.
+        cc.on_ack(&mut st, MSS, SeqNum(1000), MSS);
+        cc.on_ack(&mut st, MSS, SeqNum(2000), MSS);
+        assert_eq!(st.cwnd, 4 * MSS);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_additive() {
+        let cc = NewReno;
+        let mut st = fresh();
+        st.cwnd = 10 * MSS;
+        st.ssthresh = st.cwnd; // already at threshold: AIMD from here
+        let before = st.cwnd;
+        // One full window of ACKs grows cwnd by ~one MSS total (a bit
+        // less, since cwnd inches up while the window drains).
+        let mut acked = 0;
+        let mut seq = 0u32;
+        while acked < before {
+            seq += MSS as u32;
+            cc.on_ack(&mut st, MSS, SeqNum(seq), MSS);
+            acked += MSS;
+        }
+        assert!(
+            st.cwnd > before + MSS / 2 && st.cwnd <= before + MSS,
+            "additive growth off: {} -> {}",
+            before,
+            st.cwnd
+        );
+    }
+
+    #[test]
+    fn third_dup_ack_halves_and_requests_head_retransmit() {
+        let cc = Reno;
+        let mut st = fresh();
+        st.cwnd = 10 * MSS;
+        st.ssthresh = st.cwnd;
+        let inflight = 10 * MSS;
+        assert_eq!(
+            cc.on_dup_ack(&mut st, inflight, SeqNum(10_000), MSS),
+            CcAction::None
+        );
+        assert_eq!(
+            cc.on_dup_ack(&mut st, inflight, SeqNum(10_000), MSS),
+            CcAction::None
+        );
+        assert_eq!(
+            cc.on_dup_ack(&mut st, inflight, SeqNum(10_000), MSS),
+            CcAction::RetransmitHead
+        );
+        assert!(st.in_recovery);
+        assert_eq!(st.ssthresh, 5 * MSS);
+        assert_eq!(st.cwnd, 5 * MSS + 3 * MSS, "halved plus three inflations");
+        assert_eq!(st.recover, SeqNum(10_000));
+        // A fourth duplicate inflates rather than recounting.
+        cc.on_dup_ack(&mut st, inflight, SeqNum(10_000), MSS);
+        assert_eq!(st.cwnd, 9 * MSS);
+    }
+
+    #[test]
+    fn reno_exits_recovery_on_any_advance() {
+        let cc = Reno;
+        let mut st = fresh();
+        st.cwnd = 10 * MSS;
+        st.ssthresh = st.cwnd;
+        for _ in 0..3 {
+            cc.on_dup_ack(&mut st, 10 * MSS, SeqNum(10_000), MSS);
+        }
+        assert!(st.in_recovery);
+        // A partial ACK (below recover) still ends Reno's recovery.
+        assert_eq!(cc.on_ack(&mut st, MSS, SeqNum(3_000), MSS), CcAction::None);
+        assert!(!st.in_recovery);
+        assert_eq!(st.cwnd, st.ssthresh);
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_and_stays_in_recovery() {
+        let cc = NewReno;
+        let mut st = fresh();
+        st.cwnd = 10 * MSS;
+        st.ssthresh = st.cwnd;
+        for _ in 0..3 {
+            cc.on_dup_ack(&mut st, 10 * MSS, SeqNum(10_000), MSS);
+        }
+        assert!(st.in_recovery);
+        // Partial ACK: stay in recovery, re-emit the new head.
+        assert_eq!(
+            cc.on_ack(&mut st, MSS, SeqNum(3_000), MSS),
+            CcAction::RetransmitHead
+        );
+        assert!(st.in_recovery);
+        // Full ACK at the recover mark: done.
+        assert_eq!(
+            cc.on_ack(&mut st, 7 * MSS, SeqNum(10_000), MSS),
+            CcAction::None
+        );
+        assert!(!st.in_recovery);
+        assert_eq!(st.cwnd, st.ssthresh);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss() {
+        let cc = NewReno;
+        let mut st = fresh();
+        st.cwnd = 8 * MSS;
+        st.in_recovery = true;
+        cc.on_rto(&mut st, 8 * MSS, SeqNum(8_000), MSS);
+        assert_eq!(st.cwnd, MSS);
+        assert_eq!(st.ssthresh, 4 * MSS);
+        assert!(!st.in_recovery);
+        assert!(st.in_rto_recovery);
+        assert_eq!(st.recover, SeqNum(8_000));
+        assert_eq!(st.dup_acks, 0);
+    }
+
+    #[test]
+    fn rto_recovery_reemits_head_per_ack_until_the_mark() {
+        let cc = NewReno;
+        let mut st = fresh();
+        st.cwnd = 8 * MSS;
+        cc.on_rto(&mut st, 8 * MSS, SeqNum(8_000), MSS);
+        // Partial ACKs below the mark keep asking for the head (the
+        // receiver discarded everything behind the hole) while slow
+        // start regrows the window.
+        assert_eq!(
+            cc.on_ack(&mut st, MSS, SeqNum(1_000), MSS),
+            CcAction::RetransmitHead
+        );
+        assert!(st.in_rto_recovery);
+        assert_eq!(st.cwnd, 2 * MSS, "slow-start regrowth during repair");
+        assert_eq!(
+            cc.on_ack(&mut st, MSS, SeqNum(2_000), MSS),
+            CcAction::RetransmitHead
+        );
+        // The ACK covering the mark ends RTO recovery.
+        assert_eq!(
+            cc.on_ack(&mut st, 6 * MSS, SeqNum(8_000), MSS),
+            CcAction::None
+        );
+        assert!(!st.in_rto_recovery);
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let cc = Reno;
+        let mut st = fresh();
+        cc.on_rto(&mut st, MSS, SeqNum(1_000), MSS);
+        assert_eq!(st.ssthresh, 2 * MSS);
+    }
+}

@@ -29,15 +29,19 @@
 #![forbid(unsafe_code)]
 
 mod arena;
+mod cc;
 mod key;
 mod pcb;
 mod rtt;
+mod sendbuf;
 mod seq;
 mod state;
 
 pub use arena::{PcbArena, PcbId};
+pub use cc::{CcAction, CongestionControl, CongestionState, NewReno, Reno};
 pub use key::{ConnectionKey, ListenKey};
 pub use pcb::{Pcb, PcbCounters, RecvSequenceSpace, SendSequenceSpace};
 pub use rtt::RttEstimator;
+pub use sendbuf::SendBuffer;
 pub use seq::SeqNum;
 pub use state::{InvalidTransition, TcpEvent, TcpState};

@@ -64,6 +64,10 @@ pub struct Pcb {
     /// ACK; exponent for [`RttEstimator::backed_off`](crate::RttEstimator::backed_off).
     /// Reset to zero whenever the peer acknowledges new data.
     pub rto_attempts: u32,
+    /// Congestion-control variables (cwnd, ssthresh, dup-ACK count),
+    /// updated by the stack's [`CongestionControl`](crate::CongestionControl)
+    /// algorithm on each ACK-clock event.
+    pub cong: crate::CongestionState,
     /// Accounting counters.
     pub counters: PcbCounters,
 }
@@ -82,6 +86,7 @@ impl Pcb {
             mss: Self::DEFAULT_MSS,
             rtt: crate::RttEstimator::new(),
             rto_attempts: 0,
+            cong: crate::CongestionState::default(),
             counters: PcbCounters::default(),
         }
     }

@@ -1,0 +1,150 @@
+//! Per-connection send buffer backing the enqueue/poll transmit API.
+//!
+//! [`SendBuffer`] is a capped byte queue between the application's
+//! `send` (enqueue) and the stack's `poll_transmit` (drain). It is a
+//! flat `Vec<u8>` with a head cursor rather than a ring: unsent bytes
+//! are always one contiguous slice, so the transmit path can frame
+//! MSS-sized chunks straight out of the buffer without gathering.
+
+/// A capped FIFO byte buffer for unsent application data.
+///
+/// `push` accepts as many bytes as fit under the cap and reports how
+/// many it took; `peek` exposes the unsent bytes as one contiguous
+/// slice; `consume` retires bytes handed to the transmit path. Storage
+/// is compacted when the consumed prefix grows past half the backing
+/// vector, so the buffer never holds more than ~2× its occupancy.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    data: Vec<u8>,
+    head: usize,
+    cap: usize,
+}
+
+impl SendBuffer {
+    /// An empty buffer accepting at most `cap` unsent bytes.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            head: 0,
+            cap,
+        }
+    }
+
+    /// The configured occupancy cap in bytes.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Unsent bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether no unsent bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.data.len()
+    }
+
+    /// Free space under the cap.
+    pub fn free(&self) -> usize {
+        self.cap - self.len()
+    }
+
+    /// Append as much of `payload` as fits under the cap; returns the
+    /// number of bytes accepted (possibly zero).
+    pub fn push(&mut self, payload: &[u8]) -> usize {
+        let take = payload.len().min(self.free());
+        if take == 0 {
+            return 0;
+        }
+        if self.is_empty() {
+            // Nothing queued: restart at the front so `peek` slices
+            // stay near the allocation's start.
+            self.data.clear();
+            self.head = 0;
+        }
+        self.data.extend_from_slice(&payload[..take]);
+        take
+    }
+
+    /// The unsent bytes, oldest first, as one contiguous slice.
+    pub fn peek(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+
+    /// Retire the oldest `n` bytes (they have been handed to the
+    /// transmit path and are now the retransmission queue's problem).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`len`](Self::len).
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consuming more than is buffered");
+        self.head += n;
+        if self.is_empty() {
+            self.data.clear();
+            self.head = 0;
+        } else if self.head > self.data.len() / 2 {
+            // The dead prefix dominates: compact in place.
+            self.data.copy_within(self.head.., 0);
+            self.data.truncate(self.data.len() - self.head);
+            self.head = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_honors_cap_and_reports_acceptance() {
+        let mut buf = SendBuffer::new(8);
+        assert_eq!(buf.push(b"hello"), 5);
+        assert_eq!(buf.push(b"world"), 3, "only 3 of 5 fit");
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.free(), 0);
+        assert_eq!(buf.push(b"!"), 0);
+        assert_eq!(buf.peek(), b"hellowor");
+    }
+
+    #[test]
+    fn consume_is_fifo_and_frees_capacity() {
+        let mut buf = SendBuffer::new(8);
+        buf.push(b"abcdefgh");
+        buf.consume(3);
+        assert_eq!(buf.peek(), b"defgh");
+        assert_eq!(buf.push(b"xyz"), 3);
+        assert_eq!(buf.peek(), b"defghxyz");
+        buf.consume(8);
+        assert!(buf.is_empty());
+        assert_eq!(buf.peek(), b"");
+    }
+
+    #[test]
+    fn compaction_bounds_backing_storage() {
+        let mut buf = SendBuffer::new(16);
+        // Churn many times the cap through the buffer; the backing
+        // vector must stay bounded by ~2× the cap, not grow linearly.
+        for round in 0..1000u32 {
+            let byte = (round % 251) as u8;
+            assert_eq!(buf.push(&[byte; 8]), 8);
+            assert_eq!(buf.peek()[buf.len() - 1], byte);
+            buf.consume(8);
+        }
+        assert!(buf.is_empty());
+        assert!(
+            buf.data.capacity() <= 64,
+            "backing vec grew to {} despite compaction",
+            buf.data.capacity()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "consuming more than is buffered")]
+    fn overconsume_panics() {
+        let mut buf = SendBuffer::new(4);
+        buf.push(b"ab");
+        buf.consume(3);
+    }
+}

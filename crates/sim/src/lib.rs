@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bulk;
 pub mod churn;
 pub mod engine;
 pub mod locality;

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use tcpdemux_core::SequentDemux;
 use tcpdemux_hash::Multiplicative;
-use tcpdemux_stack::{FaultInjector, FaultOutcome, Stack, StackConfig};
+use tcpdemux_stack::{FaultInjector, FaultOutcome, Stack, StackConfig, TxScratch};
 use tcpdemux_telemetry::Snapshot;
 
 /// Fixed request/response size: big enough to be real payload, small
@@ -196,6 +196,7 @@ fn run_stacks(cfg: &LossyLinkConfig) -> (LossyLinkReport, Stack, Stack) {
     let mut to_server: VecDeque<Vec<u8>> = VecDeque::new();
     let mut to_client: VecDeque<Vec<u8>> = VecDeque::new();
     let mut report = LossyLinkReport::default();
+    let mut scratch = TxScratch::new();
 
     let (cp, syn) = client.connect(server_addr, PORT).expect("connect");
     transmit(&mut c2s, syn, &mut to_server, &mut report);
@@ -236,8 +237,11 @@ fn run_stacks(cfg: &LossyLinkConfig) -> (LossyLinkReport, Stack, Stack) {
                     for byte in response.iter_mut() {
                         *byte = byte.wrapping_add(1);
                     }
-                    if let Ok(frame) = server.send(sp, &response) {
-                        transmit(&mut s2c, frame, &mut to_client, &mut report);
+                    if server.send(sp, &response).is_ok() {
+                        server.poll_transmit(&mut scratch);
+                        for frame in scratch.frames.drain(..) {
+                            transmit(&mut s2c, frame, &mut to_client, &mut report);
+                        }
                     }
                 }
             }
@@ -263,9 +267,12 @@ fn run_stacks(cfg: &LossyLinkConfig) -> (LossyLinkReport, Stack, Stack) {
                 && requests_sent == report.completed;
             if want_next {
                 let body = vec![b'a' + (requests_sent % 26) as u8; MESSAGE_LEN];
-                if let Ok(frame) = client.send(cp, &body) {
+                if client.send(cp, &body).is_ok() {
                     requests_sent += 1;
-                    transmit(&mut c2s, frame, &mut to_server, &mut report);
+                    client.poll_transmit(&mut scratch);
+                    for frame in scratch.frames.drain(..) {
+                        transmit(&mut c2s, frame, &mut to_server, &mut report);
+                    }
                 }
             }
         }

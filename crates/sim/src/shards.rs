@@ -20,6 +20,7 @@ use std::net::Ipv4Addr;
 use tcpdemux_pcb::{ConnectionKey, PcbId};
 use tcpdemux_stack::{
     PlacementStats, RingStats, RxOutcome, ShardId, ShardedStack, Stack, StackConfig, StatsSnapshot,
+    TxScratch,
 };
 
 use crate::rng::SimRng;
@@ -201,12 +202,15 @@ pub fn run_shard_scenario(cfg: &ShardScenarioConfig) -> ShardScenarioReport {
         .map(|c| (c.server_key, ConnStreams::default()))
         .collect();
     let mut rng = SimRng::new(cfg.seed);
+    let mut scratch = TxScratch::new();
     for _round in 0..cfg.rounds {
         let mut responses: Vec<(usize, Vec<u8>)> = Vec::new();
         for (i, client) in clients.iter_mut().enumerate() {
             let (request, response) = exchange_payloads(cfg.workload, &mut rng);
-            let frame = client.stack.send(client.pcb, &request).expect("send");
-            to_server.push_back(frame);
+            let accepted = client.stack.send(client.pcb, &request).expect("send");
+            assert_eq!(accepted, request.len(), "request fits the send buffer");
+            client.stack.poll_transmit(&mut scratch);
+            to_server.extend(scratch.frames.drain(..));
             responses.push((i, response));
         }
         pump(
@@ -230,9 +234,12 @@ pub fn run_shard_scenario(cfg: &ShardScenarioConfig) -> ShardScenarioReport {
                 .server_rx
                 .extend_from_slice(&read);
             for chunk in response.chunks(512) {
-                let frame = server.with_shard(shard, |stack| stack.send(pcb, chunk).expect("send"));
-                client.inbox.push_back(frame);
+                let accepted =
+                    server.with_shard(shard, |stack| stack.send(pcb, chunk).expect("send"));
+                assert_eq!(accepted, chunk.len(), "chunk fits the send buffer");
             }
+            server.poll_transmit(shard, &mut scratch);
+            client.inbox.extend(scratch.frames.drain(..));
         }
         pump(
             &server,

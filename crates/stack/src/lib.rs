@@ -15,17 +15,26 @@
 //! frames in between, demonstrating that damaged packets die at the
 //! checksum long before they reach the demultiplexer.
 //!
-//! The transfer engine is deliberately minimal — in-order delivery only,
-//! no congestion control — because the object of study is the lookup
-//! path. What *is* faithful: header formats, checksums, sequence-number
-//! accounting, the RFC 793 state machine, listener (wildcard) matching
-//! semantics, RST generation for unmatched segments, and sender-side loss
-//! recovery: every SYN, SYN-ACK, FIN, and data segment sits on a
-//! retransmission queue with an RTO from the Jacobson/Karels
-//! [`tcpdemux_pcb::RttEstimator`] (Karn's rule on samples, exponential
-//! backoff on expiry) until acknowledged — [`Stack::advance_time`] fires
-//! the retransmits and, past the retry budget, aborts the connection with
-//! a [`SocketError`] the application can observe.
+//! The transfer engine keeps in-order delivery only (out-of-order
+//! segments are dropped and re-ACKed) because the object of study is the
+//! lookup path — but the *send* path is a real windowed transmit engine:
+//! [`Stack::send`] enqueues into a per-connection send buffer and
+//! [`Stack::poll_transmit`] emits whatever `min(peer rwnd, cwnd)`
+//! permits, with slow start, AIMD congestion avoidance, fast retransmit
+//! / fast recovery on three duplicate ACKs (Reno or NewReno via the
+//! pluggable [`CongestionControl`] trait, configured through
+//! [`WindowConfig`]), zero-window persist probes, optional delayed ACKs,
+//! and dynamic receive-window advertisement. Also faithful: header
+//! formats, checksums, sequence-number accounting, the RFC 793 state
+//! machine, listener (wildcard) matching semantics, RST generation for
+//! unmatched segments, and sender-side loss recovery: every SYN,
+//! SYN-ACK, FIN, and data segment sits on a retransmission queue with an
+//! RTO from the Jacobson/Karels [`tcpdemux_pcb::RttEstimator`] (Karn's
+//! rule on samples, exponential backoff on expiry) until acknowledged —
+//! [`Stack::advance_time`] fires the retransmits (head-of-queue only;
+//! the provoked cumulative ACK retires the rest) and, past the retry
+//! budget, aborts the connection with a [`SocketError`] the application
+//! can observe.
 //!
 //! # Batched receive and allocation-free transmit
 //!
@@ -85,10 +94,14 @@ pub use runtime::{RingFull, ShardedStack};
 pub use shard::{steering_key, PlacementStats, ShardId, SteerTable};
 pub use socket::{SocketBuffer, SocketError};
 pub use stack::{
-    BatchRxResult, ConnectionInfo, DemuxFactory, ListenConfig, ListenerInfo, RxOutcome, RxResult,
-    Stack, StackConfig, StackError, TimeAdvance,
+    BatchRxResult, CcFactory, ConnectionInfo, DemuxFactory, ListenConfig, ListenerInfo, RxOutcome,
+    RxResult, Stack, StackConfig, StackError, TimeAdvance, TxScratch, WindowConfig,
 };
 pub use stats::{StackStats, StatsSnapshot};
+// Congestion-control building blocks, re-exported so applications can
+// configure `WindowConfig::with_congestion_control` without a direct
+// tcpdemux-pcb dependency.
+pub use tcpdemux_pcb::{CcAction, CongestionControl, CongestionState, NewReno, Reno};
 // The telemetry types a Stack user touches through `Stack::stats()` and
 // `Stack::recorder()`, re-exported for convenience.
 pub use tcpdemux_core::spsc::RingStats;

@@ -52,7 +52,7 @@
 use crate::shard::{steering_key, PlacementStats, ShardId, SteerTable};
 use crate::stack::{
     BatchRxResult, ConnectionInfo, ListenConfig, ListenerInfo, Stack, StackConfig, StackError,
-    TimeAdvance,
+    TimeAdvance, TxScratch,
 };
 use crate::stats::StatsSnapshot;
 use std::net::Ipv4Addr;
@@ -281,6 +281,13 @@ impl ShardedStack {
             .lock()
             .expect("shard stack lock");
         f(&mut stack)
+    }
+
+    /// Drain one shard's pending transmissions under its window (see
+    /// [`Stack::poll_transmit`]); returns the number of frames produced
+    /// into `scratch`.
+    pub fn poll_transmit(&self, shard: ShardId, scratch: &mut TxScratch) -> usize {
+        self.with_shard(shard, |stack| stack.poll_transmit(scratch))
     }
 
     /// Advance every shard's clock to `tick`; per-shard results keep

@@ -88,6 +88,17 @@ impl SocketBuffer {
     pub fn read_all(&mut self) -> Vec<u8> {
         core::mem::take(&mut self.data)
     }
+
+    /// Read up to `out.len()` bytes into `out`, removing them from the
+    /// buffer; returns how many bytes were copied. Allocation-free: a
+    /// bulk-transfer loop drains the socket through one reused slice
+    /// instead of materializing a `Vec` per read.
+    pub fn read_into(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.data.len());
+        out[..n].copy_from_slice(&self.data[..n]);
+        self.data.drain(..n);
+        n
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +126,22 @@ mod tests {
         buf.deliver(b"abc");
         assert_eq!(buf.read(100), b"abc".to_vec());
         assert!(buf.read(1).is_empty());
+    }
+
+    #[test]
+    fn read_into_drains_through_a_reused_slice() {
+        let mut buf = SocketBuffer::new();
+        buf.deliver(b"hello world");
+        let mut scratch = [0u8; 4];
+        assert_eq!(buf.read_into(&mut scratch), 4);
+        assert_eq!(&scratch, b"hell");
+        assert_eq!(buf.read_into(&mut scratch), 4);
+        assert_eq!(&scratch, b"o wo");
+        assert_eq!(buf.read_into(&mut scratch), 3);
+        assert_eq!(&scratch[..3], b"rld");
+        assert_eq!(buf.read_into(&mut scratch), 0);
+        assert_eq!(buf.available(), 0);
+        assert_eq!(buf.total_received(), 11);
     }
 
     #[test]

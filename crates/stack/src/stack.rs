@@ -5,15 +5,16 @@ use crate::socket::{SocketBuffer, SocketError};
 use crate::stats::{StackStats, StatsSnapshot};
 use crate::timer::TimerId;
 use crate::txpool::TxPool;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use tcpdemux_core::{Demux, LookupResult, PacketKind, SequentDemux};
 use tcpdemux_hash::Multiplicative;
 use tcpdemux_pcb::{
-    ConnectionKey, ListenKey, Pcb, PcbArena, PcbId, RttEstimator, SeqNum, TcpEvent, TcpState,
+    CcAction, CongestionControl, CongestionState, ConnectionKey, ListenKey, NewReno, Pcb, PcbArena,
+    PcbId, RttEstimator, SendBuffer, SeqNum, TcpEvent, TcpState,
 };
-use tcpdemux_telemetry::{CloseCause, Event, Recorder};
+use tcpdemux_telemetry::{CloseCause, Event, HistogramId, Recorder};
 use tcpdemux_wire::{
     build_tcp_frame_into, build_udp_frame_into, IpProtocol, Ipv4Packet, Ipv4Repr, TcpFlags,
     TcpRepr, TcpSegment, UdpDatagram, UdpRepr, WireError,
@@ -168,6 +169,15 @@ pub struct TimeAdvance {
     /// wire exactly like `send`/`receive` output (and may [`Stack::recycle`]
     /// them afterwards).
     pub retransmits: Vec<Vec<u8>>,
+    /// Pure ACK frames emitted by delayed-ACK timers that expired during
+    /// this advance; the caller transmits them like any reply frame.
+    pub acks: Vec<Vec<u8>>,
+    /// How many delayed ACKs fired (== `acks.len()`, kept as a counter so
+    /// drivers that drain `acks` can still aggregate).
+    pub acks_sent: u64,
+    /// Zero-window probe re-emissions fired by the persist timer during
+    /// this advance (the frames themselves ride in `retransmits`).
+    pub zero_window_probes: u64,
     /// Connections aborted because their retransmission budget ran out.
     /// Each one's socket survives with [`SocketError::TimedOut`] set (and
     /// any already-delivered bytes still readable) until the application
@@ -182,6 +192,8 @@ enum TimerEvent {
     TimeWait(PcbId, ConnectionKey),
     /// The retransmission timeout for a connection with unacked segments.
     Retransmit(PcbId, ConnectionKey),
+    /// A delayed acknowledgement owed on a connection came due.
+    DelayedAck(PcbId, ConnectionKey),
 }
 
 /// One transmitted, not-yet-acknowledged segment, kept until the peer's
@@ -205,6 +217,10 @@ struct InflightSegment {
     /// Karn's rule: once set, an ACK covering this segment is ambiguous
     /// and must not produce an RTT sample.
     retransmitted: bool,
+    /// Zero-window probe: its RTO re-emissions are the persist timer and
+    /// never count against the retry budget (a closed window is not a
+    /// dead path).
+    probe: bool,
 }
 
 /// The per-connection retransmission queue and its armed timer.
@@ -214,12 +230,160 @@ struct RetxQueue {
     timer: Option<TimerId>,
 }
 
+/// Per-connection delayed-ACK bookkeeping (only populated when
+/// [`WindowConfig::delayed_ack_ticks`] is set).
+#[derive(Debug, Default)]
+struct DelayedAckState {
+    /// In-order data segments received and not yet acknowledged.
+    pending: u32,
+    /// The armed ack timer, if any.
+    timer: Option<TimerId>,
+}
+
 /// How a [`StackConfig`] builds each stack's demultiplexer. A *factory*
 /// rather than a boxed instance because [`ShardedStack`] builds one
 /// independent demux per shard from a single config.
 ///
 /// [`ShardedStack`]: crate::ShardedStack
 pub type DemuxFactory = Arc<dyn Fn() -> Box<dyn Demux> + Send + Sync>;
+
+/// How a [`StackConfig`] builds each stack's congestion controller (one
+/// per stack; the controller itself is stateless — per-connection state
+/// lives in each PCB's [`CongestionState`]).
+pub type CcFactory = Arc<dyn Fn() -> Box<dyn CongestionControl> + Send + Sync>;
+
+/// Window, buffering, and congestion-control parameters, folded into
+/// [`StackConfig`] via [`StackConfig::with_window`]. A bare `u16`
+/// converts (`config.with_window(1024)`) and sets only the advertised
+/// receive window, keeping the pre-windowed call sites working.
+#[derive(Clone)]
+pub struct WindowConfig {
+    /// Upper bound on the receive window advertised to the peer. The
+    /// *actual* advertisement shrinks as delivered-but-unread bytes pile
+    /// up in the socket (`min(advertise, recv_buffer − occupancy)`).
+    pub advertise: u16,
+    /// Per-connection send-buffer capacity in bytes; [`Stack::send`]
+    /// accepts at most this much un-transmitted data.
+    pub send_buffer: usize,
+    /// Receive-side cap: delivered-but-unread bytes beyond this are
+    /// dropped (and re-ACKed) instead of buffered without bound.
+    pub recv_buffer: usize,
+    /// Delayed-ACK timer in ticks. `None` acknowledges every in-order
+    /// data segment immediately (the pre-delayed-ACK behavior);
+    /// `Some(t)` coalesces ACKs until `ack_every` segments or `t` ticks.
+    pub delayed_ack_ticks: Option<u64>,
+    /// With delayed ACKs on, acknowledge immediately every N-th unacked
+    /// data segment (RFC 1122 recommends 2).
+    pub ack_every: u32,
+    /// Initial congestion window in bytes (RFC 5681 allows up to 4·MSS).
+    pub initial_cwnd: usize,
+    /// Builds the congestion controller (Reno, NewReno, …).
+    cc: CcFactory,
+}
+
+impl core::fmt::Debug for WindowConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WindowConfig")
+            .field("advertise", &self.advertise)
+            .field("send_buffer", &self.send_buffer)
+            .field("recv_buffer", &self.recv_buffer)
+            .field("delayed_ack_ticks", &self.delayed_ack_ticks)
+            .field("ack_every", &self.ack_every)
+            .field("initial_cwnd", &self.initial_cwnd)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self {
+            advertise: 8760,
+            send_buffer: 256 * 1024,
+            recv_buffer: 64 * 1024,
+            delayed_ack_ticks: None,
+            ack_every: 2,
+            initial_cwnd: 4 * 1460,
+            cc: Arc::new(|| Box::new(NewReno)),
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Advertise at most `advertise` bytes of receive window.
+    pub fn with_advertise(mut self, advertise: u16) -> Self {
+        self.advertise = advertise;
+        self
+    }
+
+    /// Cap each connection's send buffer at `bytes`.
+    pub fn with_send_buffer(mut self, bytes: usize) -> Self {
+        self.send_buffer = bytes;
+        self
+    }
+
+    /// Cap each connection's receive-side buffering at `bytes`.
+    pub fn with_recv_buffer(mut self, bytes: usize) -> Self {
+        self.recv_buffer = bytes;
+        self
+    }
+
+    /// Delay ACKs up to `ticks`, coalescing every
+    /// [`ack_every`](Self::ack_every)-th data segment.
+    pub fn with_delayed_ack(mut self, ticks: u64) -> Self {
+        self.delayed_ack_ticks = Some(ticks);
+        self
+    }
+
+    /// Acknowledge immediately every `n`-th unacked data segment when
+    /// delayed ACKs are on.
+    pub fn with_ack_every(mut self, n: u32) -> Self {
+        self.ack_every = n.max(1);
+        self
+    }
+
+    /// Start each connection's congestion window at `bytes`.
+    pub fn with_initial_cwnd(mut self, bytes: usize) -> Self {
+        self.initial_cwnd = bytes;
+        self
+    }
+
+    /// Use `factory` to build the congestion controller (e.g.
+    /// `|| Box::new(Reno)`).
+    pub fn with_congestion_control(
+        mut self,
+        factory: impl Fn() -> Box<dyn CongestionControl> + Send + Sync + 'static,
+    ) -> Self {
+        self.cc = Arc::new(factory);
+        self
+    }
+
+    /// Build one congestion controller from the configured factory.
+    pub(crate) fn build_cc(&self) -> Box<dyn CongestionControl> {
+        (self.cc)()
+    }
+}
+
+impl From<u16> for WindowConfig {
+    fn from(advertise: u16) -> Self {
+        Self::default().with_advertise(advertise)
+    }
+}
+
+/// Reusable scratch for [`Stack::poll_transmit`]: the frames the stack
+/// wants on the wire this poll. Cleared on entry to each poll; keep one
+/// per driver loop so steady-state polling reuses its capacity.
+#[derive(Debug, Default)]
+pub struct TxScratch {
+    /// Frames to transmit, in emission order.
+    pub frames: Vec<Vec<u8>>,
+}
+
+impl TxScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Stack construction parameters — the *one* construction path for both
 /// a single [`Stack`] ([`Stack::with_config`]) and a K-shard
@@ -231,8 +395,8 @@ pub type DemuxFactory = Arc<dyn Fn() -> Box<dyn Demux> + Send + Sync>;
 pub struct StackConfig {
     /// This host's IPv4 address.
     pub local_addr: Ipv4Addr,
-    /// Receive window advertised on all connections.
-    pub window: u16,
+    /// Window, buffering, and congestion-control parameters.
+    pub window: WindowConfig,
     /// MSS advertised in SYN segments.
     pub mss: u16,
     /// First ephemeral port for active opens.
@@ -284,7 +448,7 @@ impl StackConfig {
     pub fn new(local_addr: Ipv4Addr) -> Self {
         Self {
             local_addr,
-            window: 8760,
+            window: WindowConfig::default(),
             mss: 1460,
             ephemeral_base: 49152,
             max_retries: 8,
@@ -355,9 +519,10 @@ impl StackConfig {
         self
     }
 
-    /// Advertise `window` bytes of receive window on all connections.
-    pub fn with_window(mut self, window: u16) -> Self {
-        self.window = window;
+    /// Set the window/buffering/congestion parameters. Accepts a full
+    /// [`WindowConfig`] or a bare `u16` advertised receive window.
+    pub fn with_window(mut self, window: impl Into<WindowConfig>) -> Self {
+        self.window = window.into();
         self
     }
 
@@ -595,6 +760,18 @@ pub struct Stack {
     /// Unacknowledged segments per connection, awaiting cumulative ACKs
     /// or retransmission.
     retx: HashMap<PcbId, RetxQueue>,
+    /// Enqueued-but-untransmitted application bytes per connection; the
+    /// windowed transmit path drains these in [`Stack::poll_transmit`].
+    sendbufs: HashMap<PcbId, SendBuffer>,
+    /// Connections with buffered data awaiting a transmit poll, FIFO.
+    tx_pending: VecDeque<PcbId>,
+    /// Membership set for `tx_pending` (no duplicate queue entries).
+    tx_pending_set: HashSet<PcbId>,
+    /// Per-connection delayed-ACK state (unacked in-order data segments
+    /// and the armed ack timer, if any).
+    delayed: HashMap<PcbId, DelayedAckState>,
+    /// The congestion controller driving every connection's cwnd.
+    cc: Box<dyn CongestionControl>,
     neighbors: crate::neighbor::NeighborCache,
     now_ticks: u64,
     /// Structured telemetry: every demux lookup, connection lifecycle
@@ -610,6 +787,7 @@ impl Stack {
     pub fn with_config(config: StackConfig) -> Self {
         let demux = config.build_demux();
         let recorder = config.recorder().unwrap_or_default();
+        let cc = config.window.build_cc();
         Self {
             next_ephemeral: config.ephemeral_base,
             config,
@@ -626,6 +804,11 @@ impl Stack {
             next_iss: 0x1000_0000,
             timers: crate::timer::TimerWheel::new(256),
             retx: HashMap::new(),
+            sendbufs: HashMap::new(),
+            tx_pending: VecDeque::new(),
+            tx_pending_set: HashSet::new(),
+            delayed: HashMap::new(),
+            cc,
             neighbors: crate::neighbor::NeighborCache::with_defaults(),
             now_ticks: 0,
             recorder,
@@ -680,6 +863,22 @@ impl Stack {
                 }
                 TimerEvent::Retransmit(id, key) => {
                     self.on_retx_timeout(id, &key, &mut advance);
+                }
+                TimerEvent::DelayedAck(id, key) => {
+                    let owed = match self.delayed.get_mut(&id) {
+                        Some(state) => {
+                            state.timer = None;
+                            state.pending > 0
+                        }
+                        None => false,
+                    };
+                    if owed && self.arena.get(id).is_some() {
+                        let frame = self.make_ack(&key, id);
+                        self.note_ack_emitted(id);
+                        self.recorder.event(Event::DelayedAck);
+                        advance.acks.push(frame);
+                        advance.acks_sent += 1;
+                    }
                 }
             }
         }
@@ -1083,8 +1282,9 @@ impl Stack {
         pcb.on_event(TcpEvent::AppConnect)
             .expect("CLOSED accepts connect");
         let iss = self.alloc_iss();
-        pcb.init_send(iss, self.config.window);
+        pcb.init_send(iss, self.config.window.advertise);
         pcb.mss = self.config.mss;
+        pcb.cong = CongestionState::new(self.config.window.initial_cwnd);
         let id = self.arena.insert(pcb);
         self.demux.insert(key, id);
         self.demux_gen += 1;
@@ -1097,51 +1297,177 @@ impl Stack {
             seq: iss.raw(),
             ack: 0,
             flags: TcpFlags::SYN,
-            window: self.config.window,
+            window: self.config.window.advertise,
             mss: Some(self.config.mss),
             window_scale: None,
         };
         let frame = self.emit_tcp(&key, &syn, b"");
         // The SYN occupies one sequence number and must be answered.
-        self.track_segment(id, &key, iss, iss + 1, TcpFlags::SYN, syn.mss, b"");
+        self.track_segment(id, &key, iss, iss + 1, TcpFlags::SYN, syn.mss, b"", false);
         Ok((id, frame))
     }
 
-    /// Send payload on an established connection; returns the frame.
-    pub fn send(&mut self, pcb: PcbId, payload: &[u8]) -> Result<Vec<u8>, StackError> {
-        let (key, seq, ack, window) = {
-            let p = self
-                .arena
-                .get_mut(pcb)
-                .ok_or(StackError::NoSuchConnection)?;
+    /// Enqueue payload for transmission on an established connection.
+    ///
+    /// Returns how many bytes the connection's send buffer accepted
+    /// (zero when it is full — backpressure, not an error). Nothing goes
+    /// on the wire here: [`Stack::poll_transmit`] drains the buffer
+    /// under the transmit window `min(peer rwnd, cwnd)`.
+    pub fn send(&mut self, pcb: PcbId, payload: &[u8]) -> Result<usize, StackError> {
+        {
+            let p = self.arena.get(pcb).ok_or(StackError::NoSuchConnection)?;
             if !p.state().can_transfer_data() {
                 return Err(StackError::NotEstablished);
             }
+        }
+        let cap = self.config.window.send_buffer;
+        let buf = self
+            .sendbufs
+            .entry(pcb)
+            .or_insert_with(|| SendBuffer::new(cap));
+        let accepted = buf.push(payload);
+        if !buf.is_empty() {
+            self.mark_tx_pending(pcb);
+        }
+        Ok(accepted)
+    }
+
+    /// Bytes enqueued on a connection's send buffer and not yet emitted.
+    pub fn send_queued(&self, pcb: PcbId) -> usize {
+        self.sendbufs.get(&pcb).map_or(0, |b| b.len())
+    }
+
+    /// A connection's congestion-control state (cwnd, ssthresh, recovery
+    /// flags), or `None` if the handle is dead.
+    pub fn congestion(&self, pcb: PcbId) -> Option<CongestionState> {
+        self.arena.get(pcb).map(|p| p.cong)
+    }
+
+    /// Queue a connection for the next transmit poll (idempotent).
+    fn mark_tx_pending(&mut self, pcb: PcbId) {
+        if self.tx_pending_set.insert(pcb) {
+            self.tx_pending.push_back(pcb);
+        }
+    }
+
+    /// Emit everything the transmit window permits, across every
+    /// connection with buffered data, into `scratch.frames` (cleared on
+    /// entry). Returns the number of frames produced.
+    ///
+    /// Each connection sends MSS-sized segments while
+    /// `min(peer rwnd, cwnd)` exceeds its in-flight bytes. A connection
+    /// stalled on a *closed* peer window (rwnd = 0) with nothing in
+    /// flight emits a one-byte zero-window probe instead; its
+    /// retransmission timer doubles as the persist timer and never
+    /// counts against the retry budget.
+    pub fn poll_transmit(&mut self, scratch: &mut TxScratch) -> usize {
+        scratch.frames.clear();
+        let rounds = self.tx_pending.len();
+        for _ in 0..rounds {
+            let Some(id) = self.tx_pending.pop_front() else {
+                break;
+            };
+            if !self.tx_pending_set.remove(&id) {
+                continue; // stale entry: reclaimed while queued
+            }
+            self.transmit_for(id, scratch);
+        }
+        scratch.frames.len()
+    }
+
+    /// Drain one connection's send buffer under its transmit window.
+    fn transmit_for(&mut self, pcb: PcbId, scratch: &mut TxScratch) {
+        let Some(mut buf) = self.sendbufs.remove(&pcb) else {
+            return;
+        };
+        let mss = usize::from(self.config.mss);
+        loop {
+            if buf.is_empty() {
+                break;
+            }
+            let window = self.advertised_window(pcb);
+            let Some(p) = self.arena.get_mut(pcb) else {
+                // Connection died with data still buffered; drop it.
+                return;
+            };
+            if !p.state().can_transfer_data() {
+                break;
+            }
+            let key = p.key();
+            let inflight = p.snd.nxt.raw().wrapping_sub(p.snd.una.raw()) as usize;
+            let rwnd = usize::from(p.snd.wnd);
+            let wnd = rwnd.min(p.cong.cwnd);
+            // Either a normal segment under the open window, or — when
+            // the peer's window is *closed* and nothing is in flight — a
+            // one-byte zero-window probe that forces the peer to re-ACK
+            // its current window (the persist mechanism).
+            let (take, probe) = if wnd > inflight {
+                (buf.len().min(wnd - inflight).min(mss), false)
+            } else if rwnd == 0 && inflight == 0 {
+                (1, true)
+            } else {
+                if rwnd <= inflight {
+                    // The peer's window, not cwnd, is the bottleneck; an
+                    // incoming ACK will reopen it, no probe needed.
+                    self.record_rwnd_stall();
+                }
+                break;
+            };
             let seq = p.snd.nxt;
-            p.snd.nxt += payload.len() as u32;
-            p.note_segment_out(payload.len());
-            (p.key(), seq, p.rcv.nxt, p.rcv.wnd)
-        };
-        let repr = TcpRepr {
-            src_port: key.local_port,
-            dst_port: key.remote_port,
-            seq: seq.raw(),
-            ack: ack.raw(),
-            flags: TcpFlags::ACK | TcpFlags::PSH,
-            window,
-            ..TcpRepr::default()
-        };
-        let frame = self.emit_tcp(&key, &repr, payload);
-        self.track_segment(
-            pcb,
-            &key,
-            seq,
-            seq + payload.len() as u32,
-            repr.flags,
-            None,
-            payload,
-        );
-        Ok(frame)
+            p.snd.nxt += take as u32;
+            p.note_segment_out(take);
+            let ack = p.rcv.nxt;
+            let repr = TcpRepr {
+                src_port: key.local_port,
+                dst_port: key.remote_port,
+                seq: seq.raw(),
+                ack: ack.raw(),
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window,
+                ..TcpRepr::default()
+            };
+            // `peek` is contiguous from the head; `take` never exceeds
+            // it because SendBuffer stores one linear run.
+            let payload = &buf.peek()[..take];
+            let frame = self.emit_tcp(&key, &repr, payload);
+            self.track_segment(
+                pcb,
+                &key,
+                seq,
+                seq + take as u32,
+                repr.flags,
+                None,
+                payload,
+                probe,
+            );
+            scratch.frames.push(frame);
+            buf.consume(take);
+            if probe {
+                self.record_rwnd_stall();
+                self.recorder.event(Event::ZeroWindowProbe);
+                break;
+            }
+        }
+        if !buf.is_empty() {
+            self.mark_tx_pending(pcb);
+        }
+        // Keep the (possibly empty) buffer so its allocation is reused.
+        self.sendbufs.insert(pcb, buf);
+    }
+
+    /// Record an rwnd-bound transmit stall in stats and telemetry.
+    fn record_rwnd_stall(&mut self) {
+        self.recorder.event(Event::RwndStall);
+    }
+
+    /// The receive window to advertise right now for a connection:
+    /// the configured ceiling shrunk by delivered-but-unread socket
+    /// occupancy (so a slow reader closes the window instead of letting
+    /// the peer overrun the receive buffer).
+    fn advertised_window(&self, pcb: PcbId) -> u16 {
+        let occupancy = self.sockets.get(&pcb).map_or(0, |s| s.available());
+        let free = self.config.window.recv_buffer.saturating_sub(occupancy);
+        u16::try_from(free.min(usize::from(self.config.window.advertise))).unwrap_or(u16::MAX)
     }
 
     /// Send a UDP datagram on a connected UDP socket.
@@ -1167,8 +1493,22 @@ impl Stack {
     }
 
     /// Close our direction of a connection. Returns the FIN frame.
+    ///
+    /// Fails with [`StackError::InvalidState`] while enqueued data is
+    /// still awaiting transmission — the FIN occupies the sequence
+    /// number after the last data byte, so callers drain the send
+    /// buffer ([`Stack::poll_transmit`] until [`Stack::send_queued`] is
+    /// zero) before closing.
     pub fn close(&mut self, pcb: PcbId) -> Result<Vec<u8>, StackError> {
         let (key, seq, ack, window) = {
+            if self.send_queued(pcb) > 0 {
+                let state = self
+                    .arena
+                    .get(pcb)
+                    .map(|p| p.state())
+                    .ok_or(StackError::NoSuchConnection)?;
+                return Err(StackError::InvalidState(state));
+            }
             let p = self
                 .arena
                 .get_mut(pcb)
@@ -1190,7 +1530,7 @@ impl Stack {
             ..TcpRepr::default()
         };
         let frame = self.emit_tcp(&key, &repr, b"");
-        self.track_segment(pcb, &key, seq, seq + 1, repr.flags, None, b"");
+        self.track_segment(pcb, &key, seq, seq + 1, repr.flags, None, b"", false);
         Ok(frame)
     }
 
@@ -1226,6 +1566,13 @@ impl Stack {
         cause: CloseCause,
     ) {
         self.drop_retx(pcb);
+        self.sendbufs.remove(&pcb);
+        self.tx_pending_set.remove(&pcb);
+        if let Some(state) = self.delayed.remove(&pcb) {
+            if let Some(timer) = state.timer {
+                self.timers.cancel(timer);
+            }
+        }
         self.demux.remove(key);
         self.demux_gen += 1;
         self.recorder.event(Event::ConnClose { cause });
@@ -1285,6 +1632,7 @@ impl Stack {
         flags: TcpFlags,
         mss: Option<u16>,
         payload: &[u8],
+        probe: bool,
     ) {
         if end == seq {
             return;
@@ -1306,6 +1654,7 @@ impl Stack {
             payload: buf,
             sent_at: self.now_ticks,
             retransmitted: false,
+            probe,
         });
         if queue.timer.is_none() {
             self.arm_retx_timer(pcb, key);
@@ -1382,12 +1731,17 @@ impl Stack {
         }
     }
 
-    /// The RTO fired for a connection: either retransmit everything still
-    /// queued (go-back-N, marking the segments ambiguous for Karn's rule
-    /// and doubling the backoff) or, past the retry budget, abort.
+    /// The RTO fired for a connection: retransmit the *oldest* unacked
+    /// segment only (the cumulative ACK it provokes retires everything
+    /// it covers — re-emitting the whole queue go-back-N style just
+    /// burns the path's remaining capacity), marking it ambiguous for
+    /// Karn's rule, shrinking cwnd to one MSS, and doubling the backoff.
+    /// Past the retry budget the connection aborts — unless the head is
+    /// a zero-window probe, whose re-emission *is* the persist timer and
+    /// never exhausts the budget.
     fn on_retx_timeout(&mut self, pcb: PcbId, key: &ConnectionKey, advance: &mut TimeAdvance) {
         // Take the queue out so frames can be rebuilt through
-        // `emit_tcp` while iterating it.
+        // `emit_tcp` while holding its head.
         let Some(mut queue) = self.retx.remove(&pcb) else {
             return; // stale fire: the connection died this same batch
         };
@@ -1395,13 +1749,14 @@ impl Stack {
         if queue.segments.is_empty() {
             return;
         }
+        let head_is_probe = queue.segments.front().is_some_and(|s| s.probe);
         let Some(p) = self.arena.get_mut(pcb) else {
             // Connection already gone; return the buffers and move on.
             self.retx.insert(pcb, queue);
             self.drop_retx(pcb);
             return;
         };
-        if p.rto_attempts >= self.config.max_retries {
+        if !head_is_probe && p.rto_attempts >= self.config.max_retries {
             // Retry budget spent: abort. No RST — the path is presumed
             // dead — but the socket learns why it died and keeps any
             // bytes that were delivered before the silence.
@@ -1416,11 +1771,20 @@ impl Stack {
             advance.aborted.push(pcb);
             return;
         }
-        p.rto_attempts += 1;
+        if !head_is_probe {
+            p.rto_attempts += 1;
+            let inflight = p.snd.nxt.raw().wrapping_sub(p.snd.una.raw()) as usize;
+            let mss = usize::from(self.config.mss);
+            let snd_nxt = p.snd.nxt;
+            let mut st = p.cong;
+            self.cc.on_rto(&mut st, inflight, snd_nxt, mss);
+            p.cong = st;
+        }
         let attempts = p.rto_attempts;
         let ack = p.rcv.nxt;
         let window = p.rcv.wnd;
-        for seg in queue.segments.iter_mut() {
+        {
+            let seg = queue.segments.front_mut().expect("checked non-empty");
             seg.retransmitted = true;
             let repr = TcpRepr {
                 src_port: key.local_port,
@@ -1441,16 +1805,87 @@ impl Stack {
             advance
                 .retransmits
                 .push(self.emit_tcp(key, &repr, &seg.payload));
+        }
+        if head_is_probe {
+            advance.zero_window_probes += 1;
+            self.recorder.event(Event::ZeroWindowProbe);
+        } else {
             self.stats.retransmits += 1;
             self.recorder.event(Event::Retransmit { attempt: attempts });
         }
         self.retx.insert(pcb, queue);
+        self.observe_cwnd(pcb);
         self.arm_retx_timer(pcb, key);
         // The re-armed timer reflects the doubled backoff: record it.
-        self.recorder.event(Event::RtoBackoff {
-            attempts,
-            rto_ticks: self.rto_ticks(pcb),
-        });
+        if !head_is_probe {
+            self.recorder.event(Event::RtoBackoff {
+                attempts,
+                rto_ticks: self.rto_ticks(pcb),
+            });
+        }
+    }
+
+    /// Re-emit the oldest unacked segment right now — fast retransmit on
+    /// the third duplicate ACK or a NewReno partial-ACK head re-emission
+    /// (`fast`, counted as [`Event::FastRetransmit`]), or an ACK-paced
+    /// go-back-N re-emission during RTO recovery (counted as a plain
+    /// retransmission). Does not touch the retry budget: the path is
+    /// delivering ACKs, it is not dead.
+    fn retransmit_head(
+        &mut self,
+        pcb: PcbId,
+        key: &ConnectionKey,
+        fast: bool,
+        dup_acks: u32,
+    ) -> Option<Vec<u8>> {
+        let (ack, window) = {
+            let p = self.arena.get(pcb)?;
+            (p.rcv.nxt, p.rcv.wnd)
+        };
+        let (repr, payload) = {
+            let seg = self.retx.get_mut(&pcb)?.segments.front_mut()?;
+            seg.retransmitted = true;
+            let repr = TcpRepr {
+                src_port: key.local_port,
+                dst_port: key.remote_port,
+                seq: seg.seq.raw(),
+                ack: if seg.flags.contains(TcpFlags::ACK) {
+                    ack.raw()
+                } else {
+                    0
+                },
+                flags: seg.flags,
+                window,
+                mss: seg.mss,
+                window_scale: None,
+            };
+            // Escape the queue borrow for `emit_tcp`; the payload goes
+            // back on the segment right after.
+            (repr, std::mem::take(&mut seg.payload))
+        };
+        let frame = self.emit_tcp(key, &repr, &payload);
+        if let Some(seg) = self.retx.get_mut(&pcb).and_then(|q| q.segments.front_mut()) {
+            seg.payload = payload;
+        }
+        if fast {
+            self.recorder.event(Event::FastRetransmit { dup_acks });
+        } else {
+            self.stats.retransmits += 1;
+            self.recorder.event(Event::Retransmit { attempt: 0 });
+        }
+        self.arm_retx_timer(pcb, key);
+        Some(frame)
+    }
+
+    /// Record the connection's current cwnd into the [`CwndBytes`]
+    /// histogram (the A9 sawtooth evidence).
+    ///
+    /// [`CwndBytes`]: HistogramId::CwndBytes
+    fn observe_cwnd(&mut self, pcb: PcbId) {
+        if let Some(p) = self.arena.get(pcb) {
+            let cwnd = u32::try_from(p.cong.cwnd).unwrap_or(u32::MAX);
+            self.recorder.observe(HistogramId::CwndBytes, cwnd);
+        }
     }
 
     /// A connection's RTT estimator state (for instrumentation and
@@ -1954,8 +2389,12 @@ impl Stack {
         let mut pcb = Pcb::new_in_state(*key, TcpState::Listen);
         pcb.on_event(TcpEvent::RecvSyn).expect("LISTEN accepts SYN");
         let iss = self.alloc_iss();
-        pcb.init_send(iss, self.config.window);
-        pcb.init_recv(SeqNum(tcp.seq), tcp.window);
+        pcb.init_send(iss, self.config.window.advertise);
+        // Our receive window is what *we* advertise; the peer's SYN
+        // window seeds SND.WND (what we may send them).
+        pcb.init_recv(SeqNum(tcp.seq), self.config.window.advertise);
+        pcb.snd.wnd = tcp.window;
+        pcb.cong = CongestionState::new(self.config.window.initial_cwnd);
         pcb.mss = tcp.mss.unwrap_or(Pcb::DEFAULT_MSS).min(self.config.mss);
         pcb.note_segment_in(0);
         let id = self.arena.insert(pcb);
@@ -1972,14 +2411,14 @@ impl Stack {
             seq: iss.raw(),
             ack: tcp.seq.wrapping_add(1),
             flags: TcpFlags::SYN | TcpFlags::ACK,
-            window: self.config.window,
+            window: self.config.window.advertise,
             mss: Some(self.config.mss),
             window_scale: None,
         };
         let frame = self.emit_tcp(key, &synack, b"");
         // The SYN-ACK occupies one sequence number; retransmit until the
         // handshake-completing ACK arrives.
-        self.track_segment(id, key, iss, iss + 1, synack.flags, synack.mss, b"");
+        self.track_segment(id, key, iss, iss + 1, synack.flags, synack.mss, b"", false);
         RxResult {
             outcome: RxOutcome::NewConnection { pcb: id },
             replies: vec![frame],
@@ -2015,9 +2454,14 @@ impl Stack {
     }
 
     fn make_ack(&mut self, key: &ConnectionKey, pcb: PcbId) -> Vec<u8> {
-        let (seq, ack, window) = {
-            let p = self.arena.get(pcb).expect("acking a live connection");
-            (p.snd.nxt, p.rcv.nxt, p.rcv.wnd)
+        // Recompute the advertised window from current socket occupancy
+        // (a slow reader shrinks it, draining reads re-grow it) and keep
+        // rcv.wnd in sync with what actually went on the wire.
+        let window = self.advertised_window(pcb);
+        let (seq, ack) = {
+            let p = self.arena.get_mut(pcb).expect("acking a live connection");
+            p.rcv.wnd = window;
+            (p.snd.nxt, p.rcv.nxt)
         };
         let repr = TcpRepr {
             src_port: key.local_port,
@@ -2029,6 +2473,52 @@ impl Stack {
             ..TcpRepr::default()
         };
         self.emit_tcp(key, &repr, b"")
+    }
+
+    /// A pure ACK just went on the wire: clear the delayed-ACK debt and
+    /// cancel any armed ack timer.
+    fn note_ack_emitted(&mut self, pcb: PcbId) {
+        if let Some(state) = self.delayed.get_mut(&pcb) {
+            state.pending = 0;
+            if let Some(timer) = state.timer.take() {
+                self.timers.cancel(timer);
+            }
+        }
+    }
+
+    /// Decide whether the in-order data segment just delivered gets an
+    /// immediate ACK or a delayed one. Returns the ACK frame to append
+    /// to the replies, or `None` when the ACK is deferred to the every-N
+    /// threshold / the ack timer.
+    fn ack_for_delivery(
+        &mut self,
+        pcb: PcbId,
+        key: &ConnectionKey,
+        force: bool,
+    ) -> Option<Vec<u8>> {
+        let Some(ticks) = self.config.window.delayed_ack_ticks else {
+            return Some(self.make_ack(key, pcb));
+        };
+        let every = self.config.window.ack_every.max(1);
+        let ack_now = {
+            let state = self.delayed.entry(pcb).or_default();
+            state.pending += 1;
+            force || state.pending >= every
+        };
+        if ack_now {
+            let frame = self.make_ack(key, pcb);
+            self.note_ack_emitted(pcb);
+            self.recorder.event(Event::DelayedAck);
+            return Some(frame);
+        }
+        let state = self.delayed.entry(pcb).or_default();
+        if state.timer.is_none() {
+            state.timer = Some(
+                self.timers
+                    .schedule(ticks, TimerEvent::DelayedAck(pcb, *key)),
+            );
+        }
+        None
     }
 
     fn process_segment(
@@ -2062,9 +2552,10 @@ impl Stack {
             TcpState::SynSent => {
                 if tcp.flags.contains(TcpFlags::SYN) && tcp.flags.contains(TcpFlags::ACK) {
                     {
+                        let advertise = self.config.window.advertise;
                         let p = self.arena.get_mut(id).unwrap();
                         p.on_event(TcpEvent::RecvSynAck).expect("SYN-SENT");
-                        p.init_recv(SeqNum(tcp.seq), tcp.window);
+                        p.init_recv(SeqNum(tcp.seq), advertise);
                         p.snd.una = SeqNum(tcp.ack);
                         p.snd.wnd = tcp.window;
                         if let Some(mss) = tcp.mss {
@@ -2180,19 +2671,75 @@ impl Stack {
             }
         }
 
-        // ACK bookkeeping (cumulative) and FIN-acknowledgement transitions.
+        // ACK bookkeeping (cumulative), congestion control, and
+        // FIN-acknowledgement transitions.
         let mut closed_now = false;
+        let mut cc_frames: Vec<Vec<u8>> = Vec::new();
         if tcp.flags.contains(TcpFlags::ACK) {
-            let p = self.arena.get_mut(id).unwrap();
+            let mss = usize::from(self.config.mss);
             let ack = SeqNum(tcp.ack);
-            let advanced = p.snd.una.lt(ack) && ack.le(p.snd.nxt);
-            if advanced {
-                p.snd.una = ack;
-            }
-            p.snd.wnd = tcp.window;
+            let (advanced, acked_bytes, is_dup, inflight, snd_nxt) = {
+                let p = self.arena.get_mut(id).unwrap();
+                let advanced = p.snd.una.lt(ack) && ack.le(p.snd.nxt);
+                let acked_bytes = if advanced {
+                    ack.raw().wrapping_sub(p.snd.una.raw()) as usize
+                } else {
+                    0
+                };
+                // RFC 5681 duplicate ACK: no data, no SYN/FIN, no window
+                // update, ack == SND.UNA, with data outstanding.
+                let is_dup = !advanced
+                    && ack == p.snd.una
+                    && payload.is_empty()
+                    && !tcp.flags.contains(TcpFlags::SYN)
+                    && !tcp.flags.contains(TcpFlags::FIN)
+                    && p.snd.wnd == tcp.window
+                    && p.snd.una.lt(p.snd.nxt);
+                if advanced {
+                    p.snd.una = ack;
+                }
+                p.snd.wnd = tcp.window;
+                let inflight = p.snd.nxt.raw().wrapping_sub(p.snd.una.raw()) as usize;
+                (advanced, acked_bytes, is_dup, inflight, p.snd.nxt)
+            };
             if advanced {
                 // Retire covered segments and service the RTO timer.
                 self.on_ack(id, key, ack);
+                let (action, in_fast_recovery) = {
+                    let p = self.arena.get_mut(id).unwrap();
+                    let mut st = p.cong;
+                    let action = self.cc.on_ack(&mut st, acked_bytes, ack, mss);
+                    p.cong = st;
+                    (action, st.in_recovery)
+                };
+                self.observe_cwnd(id);
+                if matches!(action, CcAction::RetransmitHead) {
+                    // NewReno partial ACK (fast recovery) or ACK-paced
+                    // go-back-N (RTO recovery): re-emit the new head.
+                    if let Some(frame) = self.retransmit_head(id, key, in_fast_recovery, 0) {
+                        cc_frames.push(frame);
+                    }
+                }
+            } else if is_dup {
+                let (action, dup_acks) = {
+                    let p = self.arena.get_mut(id).unwrap();
+                    let mut st = p.cong;
+                    let action = self.cc.on_dup_ack(&mut st, inflight, snd_nxt, mss);
+                    let dup_acks = st.dup_acks;
+                    p.cong = st;
+                    (action, dup_acks)
+                };
+                self.observe_cwnd(id);
+                if matches!(action, CcAction::RetransmitHead) {
+                    if let Some(frame) = self.retransmit_head(id, key, true, dup_acks) {
+                        cc_frames.push(frame);
+                    }
+                }
+            }
+            // An ACK may have reopened the transmit window: requeue any
+            // buffered data for the next poll.
+            if self.sendbufs.get(&id).is_some_and(|b| !b.is_empty()) {
+                self.mark_tx_pending(id);
             }
             let p = self.arena.get_mut(id).unwrap();
             // Does this acknowledge our FIN?
@@ -2229,17 +2776,39 @@ impl Stack {
             }
         }
 
-        // Payload delivery.
+        // Payload delivery, bounded by the receive buffer: a segment
+        // that does not fit is dropped un-ACKed (the shrunken — possibly
+        // zero — window in our ACK tells the peer to back off; the data
+        // is retransmitted once the reader drains the socket).
         let mut delivered = 0usize;
+        let mut overrun = false;
         if !payload.is_empty() {
+            let room = {
+                let occupancy = self.sockets.get(&id).map_or(0, |s| s.available());
+                self.config.window.recv_buffer.saturating_sub(occupancy)
+            };
             let p = self.arena.get_mut(id).unwrap();
             if p.state().can_transfer_data() {
-                p.rcv.nxt += payload.len() as u32;
-                p.note_segment_in(payload.len());
-                delivered = payload.len();
-                self.stats.bytes_delivered += payload.len() as u64;
-                self.sockets.entry(id).or_default().deliver(payload);
+                if payload.len() <= room {
+                    p.rcv.nxt += payload.len() as u32;
+                    p.note_segment_in(payload.len());
+                    delivered = payload.len();
+                    self.stats.bytes_delivered += payload.len() as u64;
+                    self.sockets.entry(id).or_default().deliver(payload);
+                } else {
+                    overrun = true;
+                }
             }
+        }
+        if overrun {
+            let ack = self.make_ack(key, id);
+            let mut replies = cc_frames;
+            replies.push(ack);
+            return RxResult {
+                outcome: RxOutcome::Duplicate { pcb: id },
+                replies,
+                pcbs_examined: 0,
+            };
         }
 
         // FIN processing.
@@ -2256,7 +2825,15 @@ impl Stack {
         }
 
         if delivered > 0 || peer_closed {
-            let ack = self.make_ack(key, id);
+            // FIN (and anything alongside it) is acknowledged at once;
+            // plain in-order data may owe a delayed ACK instead.
+            let ack = if peer_closed {
+                let frame = self.make_ack(key, id);
+                self.note_ack_emitted(id);
+                Some(frame)
+            } else {
+                self.ack_for_delivery(id, key, false)
+            };
             let outcome = if peer_closed {
                 if matches!(
                     self.arena.get(id).map(|p| p.state()),
@@ -2276,14 +2853,20 @@ impl Stack {
                     bytes: delivered,
                 }
             };
+            let mut replies = cc_frames;
+            replies.extend(ack);
             return RxResult {
                 outcome,
-                replies: vec![ack],
+                replies,
                 pcbs_examined: 0,
             };
         }
 
-        no_reply(RxOutcome::AckProcessed { pcb: id })
+        RxResult {
+            outcome: RxOutcome::AckProcessed { pcb: id },
+            replies: cc_frames,
+            pcbs_examined: 0,
+        }
     }
 }
 
@@ -2319,6 +2902,17 @@ mod tests {
         (client_pcb, server_pcb)
     }
 
+    /// Enqueue `payload` and poll it onto the wire as exactly one frame
+    /// — the small-payload idiom most tests want.
+    fn send_now(stack: &mut Stack, pcb: PcbId, payload: &[u8]) -> Vec<u8> {
+        let accepted = stack.send(pcb, payload).unwrap();
+        assert_eq!(accepted, payload.len(), "send buffer accepted all of it");
+        let mut scratch = TxScratch::new();
+        let n = stack.poll_transmit(&mut scratch);
+        assert_eq!(n, 1, "one small payload polls as one frame");
+        scratch.frames.pop().unwrap()
+    }
+
     #[test]
     fn three_way_handshake() {
         let (mut server, mut client) = pair();
@@ -2336,7 +2930,7 @@ mod tests {
         let (cp, sp) = handshake(&mut server, &mut client, 1521);
 
         // Client -> server.
-        let frame = client.send(cp, b"BEGIN TRANSACTION").unwrap();
+        let frame = send_now(&mut client, cp, b"BEGIN TRANSACTION");
         let r = server.receive(&frame).unwrap();
         assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 17, .. }));
         assert_eq!(
@@ -2348,7 +2942,7 @@ mod tests {
         assert!(matches!(r.outcome, RxOutcome::AckProcessed { .. }));
 
         // Server -> client.
-        let frame = server.send(sp, b"OK").unwrap();
+        let frame = send_now(&mut server, sp, b"OK");
         let r = client.receive(&frame).unwrap();
         assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 2, .. }));
         assert_eq!(client.socket_mut(cp).unwrap().read_all(), b"OK");
@@ -2364,7 +2958,7 @@ mod tests {
     fn retransmitted_data_is_dropped_and_reacked() {
         let (mut server, mut client) = pair();
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
-        let frame = client.send(cp, b"hello").unwrap();
+        let frame = send_now(&mut client, cp, b"hello");
         let r1 = server.receive(&frame).unwrap();
         assert!(matches!(r1.outcome, RxOutcome::Delivered { .. }));
         // Deliver the same frame again (a retransmission).
@@ -2754,14 +3348,17 @@ mod tests {
         // A 40-byte pure ACK gets padded to 46 payload bytes; the IPv4
         // total-length field must bound parsing.
         let (mut server, mut client) = pair();
-        let (cp, _sp) = handshake(&mut server, &mut client, 80);
-        let frame = client.send(cp, b"").unwrap_or_else(|_| panic!());
+        server.listen(80).unwrap();
+        let (_cp, syn) = client.connect(SERVER, 80).unwrap();
+        let r1 = server.receive(&syn).unwrap();
+        let r2 = client.receive(&r1.replies[0]).unwrap();
+        // The handshake-completing ACK is a 40-byte pure ACK frame.
+        let frame = &r2.replies[0];
         assert_eq!(frame.len(), 40);
-        let framed = client.encapsulate(&frame, SERVER);
+        let framed = client.encapsulate(frame, SERVER);
         let r = server.receive_ethernet(&framed).unwrap();
         assert!(
-            matches!(r.outcome, RxOutcome::AckProcessed { .. })
-                || matches!(r.outcome, RxOutcome::Duplicate { .. }),
+            matches!(r.outcome, RxOutcome::Established { .. }),
             "{:?}",
             r.outcome
         );
@@ -3073,7 +3670,7 @@ mod tests {
             .unwrap();
         let mut clients = connect_n(&mut server, 1, 80);
         let (client, cp) = &mut clients[0];
-        let frame = client.send(*cp, b"early data").unwrap();
+        let frame = send_now(client, *cp, b"early data");
         let r = server.receive(&frame).unwrap();
         assert!(matches!(r.outcome, RxOutcome::Delivered { .. }));
         // The application accepts afterwards and finds the bytes waiting.
@@ -3135,7 +3732,7 @@ mod tests {
     fn demux_cost_is_reported_per_frame() {
         let (mut server, mut client) = pair();
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
-        let frame = client.send(cp, b"x").unwrap();
+        let frame = send_now(&mut client, cp, b"x");
         let r = server.receive(&frame).unwrap();
         assert!(r.pcbs_examined >= 1);
         assert!(server.stats().stack.pcbs_examined >= 1);
@@ -3153,7 +3750,7 @@ mod tests {
             .with_ephemeral_base(55_555)
             .with_time_wait(7);
         assert_eq!(cfg.local_addr, CLIENT);
-        assert_eq!(cfg.window, 1024);
+        assert_eq!(cfg.window.advertise, 1024);
         assert_eq!(cfg.mss, 536);
         assert_eq!(cfg.ephemeral_base, 55_555);
         assert_eq!(cfg.time_wait_ticks, Some(7));
@@ -3213,7 +3810,7 @@ mod tests {
         // `push`; regenerate it deterministically by sending empty data…
         // instead, replay what the client would send next: data frames.
         for i in 0..4 {
-            let frame = client.send(cp, format!("txn {i}").as_bytes()).unwrap();
+            let frame = send_now(&mut client, cp, format!("txn {i}").as_bytes());
             push(&mut server, &mut client, frame);
         }
         // A connected-UDP datagram and one for an unbound port.
@@ -3274,7 +3871,7 @@ mod tests {
         let (mut server, mut client) = pair();
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
         let frames: Vec<_> = (0..16)
-            .map(|i| client.send(cp, format!("row {i}").as_bytes()).unwrap())
+            .map(|i| send_now(&mut client, cp, format!("row {i}").as_bytes()))
             .collect();
         let before = server.stats().demux.lookups;
         let batch = server.receive_batch(&frames);
@@ -3327,7 +3924,7 @@ mod tests {
 
         let exchange = |server: &mut Stack, client: &mut Stack, n: usize| {
             for i in 0..n {
-                let frame = client.send(cp, format!("item {i}").as_bytes()).unwrap();
+                let frame = send_now(client, cp, format!("item {i}").as_bytes());
                 let r = server.receive(&frame).unwrap();
                 client.recycle(frame);
                 for reply in r.replies {
@@ -3389,7 +3986,7 @@ mod tests {
 
         // The frame is "lost": never delivered. One clean RTT sample
         // (the SYN) exists, so the RTO sits at the 200 ms floor.
-        let _lost = client.send(cp, b"pay me no mind").unwrap();
+        let _lost = send_now(&mut client, cp, b"pay me no mind");
         let due = client.next_timer_deadline().expect("RTO armed");
         assert_eq!(due, 200);
 
@@ -3420,7 +4017,7 @@ mod tests {
 
         // Lose the original, deliver the retransmission, ACK it: the
         // sample count must not move — the ACK is ambiguous.
-        let _lost = client.send(cp, b"ambiguous").unwrap();
+        let _lost = send_now(&mut client, cp, b"ambiguous");
         let due = client.next_timer_deadline().unwrap();
         let fired = client.advance_time(due);
         let r = server.receive(&fired.retransmits[0]).unwrap();
@@ -3430,7 +4027,7 @@ mod tests {
         assert_eq!(client.stats().stack.rtt_samples, 1);
 
         // A later clean exchange samples again.
-        let frame = client.send(cp, b"clean").unwrap();
+        let frame = send_now(&mut client, cp, b"clean");
         let r = server.receive(&frame).unwrap();
         client.receive(&r.replies[0]).unwrap();
         assert_eq!(client.rtt_estimator(cp).unwrap().samples(), 2);
@@ -3450,11 +4047,11 @@ mod tests {
 
         // Deliver one byte so the socket has residual data, then go
         // silent: the peer never sees anything again.
-        let frame = server.send(_sp, b"!").unwrap();
+        let frame = send_now(&mut server, _sp, b"!");
         let r = client.receive(&frame).unwrap();
         assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 1, .. }));
 
-        client.send(cp, b"into the void").unwrap();
+        let _lost = send_now(&mut client, cp, b"into the void");
         let mut deadlines = Vec::new();
         let aborted = loop {
             let due = client.next_timer_deadline().expect("timer stays armed");
@@ -3515,7 +4112,7 @@ mod tests {
         );
 
         // Loss recovery: a lost segment retransmits once with backoff.
-        let _lost = client.send(cp, b"gone").unwrap();
+        let _lost = send_now(&mut client, cp, b"gone");
         let due = client.next_timer_deadline().unwrap();
         let fired = client.advance_time(due);
         let r = server.receive(&fired.retransmits[0]).unwrap();
@@ -3578,7 +4175,7 @@ mod tests {
                 .with_demux(|| Box::new(BsdDemux::new())),
         );
         let (cp, _sp) = handshake(&mut server, &mut client, 80);
-        client.send(cp, b"void").unwrap();
+        let _lost = send_now(&mut client, cp, b"void");
         loop {
             let due = client.next_timer_deadline().expect("timer armed");
             if !client.advance_time(due).aborted.is_empty() {

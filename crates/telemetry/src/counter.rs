@@ -57,11 +57,24 @@ pub enum CounterId {
     /// Cuckoo inserts whose bounded kick search found no vacancy — the
     /// eviction-loop signal that forces a grow-and-rehash.
     CuckooEvictionLoops,
+    /// Segments re-emitted by fast retransmit (3 duplicate ACKs) or a
+    /// NewReno partial-ACK head re-emission — loss repaired without an
+    /// RTO expiry.
+    FastRetransmits,
+    /// Pure ACKs emitted by the delayed-ACK machinery (timer expiry or
+    /// the every-N segment coalescing threshold).
+    DelayedAcks,
+    /// Zero-window probe segments sent while the peer's advertised
+    /// window was closed.
+    ZeroWindowProbes,
+    /// Transmit polls that found queued data but a closed peer window
+    /// (rwnd exhausted before cwnd).
+    RwndStalls,
 }
 
 impl CounterId {
     /// Every counter, in export order.
-    pub const ALL: [CounterId; 18] = [
+    pub const ALL: [CounterId; 22] = [
         CounterId::Lookups,
         CounterId::CacheHits,
         CounterId::DemuxHits,
@@ -80,6 +93,10 @@ impl CounterId {
         CounterId::EpochAdvances,
         CounterId::CuckooKicks,
         CounterId::CuckooEvictionLoops,
+        CounterId::FastRetransmits,
+        CounterId::DelayedAcks,
+        CounterId::ZeroWindowProbes,
+        CounterId::RwndStalls,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -103,6 +120,10 @@ impl CounterId {
             CounterId::EpochAdvances => "epoch_advances",
             CounterId::CuckooKicks => "cuckoo_kicks",
             CounterId::CuckooEvictionLoops => "cuckoo_eviction_loops",
+            CounterId::FastRetransmits => "fast_retransmits",
+            CounterId::DelayedAcks => "delayed_acks",
+            CounterId::ZeroWindowProbes => "zero_window_probes",
+            CounterId::RwndStalls => "rwnd_stalls",
         }
     }
 }

@@ -70,6 +70,22 @@ pub enum Event {
     /// A batched frame was re-looked-up individually after a mid-batch
     /// connection-table change made the batched answer stale.
     BatchRelookup,
+    /// Duplicate ACKs triggered re-emission of the oldest unacked
+    /// segment without waiting for the RTO (fast retransmit, or a
+    /// NewReno partial-ACK head re-emission).
+    FastRetransmit {
+        /// Duplicate ACKs counted when the retransmit fired (0 for a
+        /// NewReno partial-ACK re-emission).
+        dup_acks: u32,
+    },
+    /// The delayed-ACK machinery emitted a coalesced pure ACK (timer
+    /// expiry or the every-N segment threshold).
+    DelayedAck,
+    /// A zero-window probe was sent against a closed peer window.
+    ZeroWindowProbe,
+    /// A transmit poll had queued data but the peer's advertised window
+    /// was closed (rwnd, not cwnd, is the bottleneck).
+    RwndStall,
 }
 
 impl Event {
@@ -84,6 +100,10 @@ impl Event {
             Event::RtoBackoff { .. } => "rto_backoff",
             Event::Timeout => "timeout",
             Event::BatchRelookup => "batch_relookup",
+            Event::FastRetransmit { .. } => "fast_retransmit",
+            Event::DelayedAck => "delayed_ack",
+            Event::ZeroWindowProbe => "zero_window_probe",
+            Event::RwndStall => "rwnd_stall",
         }
     }
 }
@@ -105,6 +125,12 @@ impl fmt::Display for Event {
             } => write!(f, "rto_backoff attempts={attempts} rto_ticks={rto_ticks}"),
             Event::Timeout => f.write_str("timeout"),
             Event::BatchRelookup => f.write_str("batch_relookup"),
+            Event::FastRetransmit { dup_acks } => {
+                write!(f, "fast_retransmit dup_acks={dup_acks}")
+            }
+            Event::DelayedAck => f.write_str("delayed_ack"),
+            Event::ZeroWindowProbe => f.write_str("zero_window_probe"),
+            Event::RwndStall => f.write_str("rwnd_stall"),
         }
     }
 }

@@ -28,16 +28,20 @@ pub enum HistogramId {
     /// Entries displaced per cuckoo insert (0 for the common
     /// free-slot-in-either-bucket case), one sample per insert.
     CuckooInsertKicks,
+    /// Congestion-window size in bytes, sampled whenever the congestion
+    /// controller moves it — the distribution behind the AIMD sawtooth.
+    CwndBytes,
 }
 
 impl HistogramId {
     /// Every histogram, in export order.
-    pub const ALL: [HistogramId; 5] = [
+    pub const ALL: [HistogramId; 6] = [
         HistogramId::Examined,
         HistogramId::RxBatchSize,
         HistogramId::RtoTicks,
         HistogramId::EpochDeferred,
         HistogramId::CuckooInsertKicks,
+        HistogramId::CwndBytes,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -48,6 +52,7 @@ impl HistogramId {
             HistogramId::RtoTicks => "rto_ticks",
             HistogramId::EpochDeferred => "epoch_deferred",
             HistogramId::CuckooInsertKicks => "cuckoo_insert_kicks",
+            HistogramId::CwndBytes => "cwnd_bytes",
         }
     }
 }
@@ -116,6 +121,10 @@ impl Telemetry {
             }
             Event::Timeout => self.counters.incr(CounterId::TimeoutAborts),
             Event::BatchRelookup => self.counters.incr(CounterId::BatchRelookups),
+            Event::FastRetransmit { .. } => self.counters.incr(CounterId::FastRetransmits),
+            Event::DelayedAck => self.counters.incr(CounterId::DelayedAcks),
+            Event::ZeroWindowProbe => self.counters.incr(CounterId::ZeroWindowProbes),
+            Event::RwndStall => self.counters.incr(CounterId::RwndStalls),
         }
         self.ring.push(event);
     }

@@ -169,7 +169,15 @@ impl Snapshot {
                 } => {
                     let _ = write!(out, ",\"attempts\":{attempts},\"rto_ticks\":{rto_ticks}");
                 }
-                Event::ConnOpen | Event::Timeout | Event::BatchRelookup => {}
+                Event::FastRetransmit { dup_acks } => {
+                    let _ = write!(out, ",\"dup_acks\":{dup_acks}");
+                }
+                Event::ConnOpen
+                | Event::Timeout
+                | Event::BatchRelookup
+                | Event::DelayedAck
+                | Event::ZeroWindowProbe
+                | Event::RwndStall => {}
             }
             out.push_str("}\n");
         }
@@ -230,34 +238,34 @@ mod tests {
         let snap = sample_recorder().snapshot();
         let text = snap.to_json_lines();
         let lines: Vec<&str> = text.lines().collect();
-        // 18 counters + 5 histograms + 1 events header + 6 events.
-        assert_eq!(lines.len(), 18 + 5 + 1 + 6, "{text}");
+        // 22 counters + 6 histograms + 1 events header + 6 events.
+        assert_eq!(lines.len(), 22 + 6 + 1 + 6, "{text}");
         assert_eq!(
             lines[0],
             "{\"type\":\"counter\",\"name\":\"lookups\",\"value\":3}"
         );
         assert!(
-            lines[18].starts_with(
+            lines[22].starts_with(
                 "{\"type\":\"histogram\",\"name\":\"examined\",\"count\":3,\"sum\":60,\"max\":40,"
             ),
             "{}",
-            lines[18]
+            lines[22]
         );
         assert!(
-            lines[18].contains("\"buckets\":[[1,1],[16,1],[32,1]]"),
+            lines[22].contains("\"buckets\":[[1,1],[16,1],[32,1]]"),
             "{}",
-            lines[18]
+            lines[22]
         );
         assert_eq!(
-            lines[23],
+            lines[28],
             "{\"type\":\"events\",\"recorded\":6,\"dropped\":0}"
         );
         assert_eq!(
-            lines[24],
+            lines[29],
             "{\"type\":\"event\",\"seq\":0,\"kind\":\"demux_hit\",\"examined\":1,\"cache_hit\":true}"
         );
         assert_eq!(
-            lines[29],
+            lines[34],
             "{\"type\":\"event\",\"seq\":5,\"kind\":\"conn_close\",\"cause\":\"timeout\"}"
         );
     }
@@ -273,9 +281,9 @@ mod tests {
     fn empty_snapshot_still_exports_full_schema() {
         let text = Snapshot::empty().to_json_lines();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 18 + 5 + 1);
-        assert!(lines[19].contains("\"count\":0"));
-        assert!(lines[19].contains("\"buckets\":[]"));
+        assert_eq!(lines.len(), 22 + 6 + 1);
+        assert!(lines[23].contains("\"count\":0"));
+        assert!(lines[23].contains("\"buckets\":[]"));
     }
 
     #[test]

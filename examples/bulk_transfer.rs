@@ -1,120 +1,72 @@
-//! Bulk transfer through the real receive path — the packet-train regime
-//! the BSD cache was designed for — including a lossy, corrupting link.
+//! Bulk transfer through the windowed send path — the packet-train
+//! regime the BSD cache was designed for — over a lossy, corrupting
+//! link, with the stack itself doing all of the recovery.
 //!
 //! Two in-memory stacks shake hands over real IPv4/TCP bytes, then the
-//! client streams a payload in MSS-sized segments through a fault
-//! injector. Corrupted frames are caught by checksums (never reaching the
-//! demultiplexer); dropped data segments are retransmitted by a trivial
-//! stop-and-wait loop. At the end we verify the bytes and show that the
-//! per-chain cache served virtually every data segment.
+//! sender enqueues a 1 MiB stream into its send buffer and the wire
+//! only ever sees what `poll_transmit` emits under min(peer rwnd,
+//! cwnd). Drops are repaired by fast retransmit (3 dup ACKs) or the
+//! RTO; corrupted frames die at a checksum; nobody outside the stack
+//! ever redelivers a frame. At the end we print the congestion
+//! window's sawtooth as the stack sampled it.
 //!
 //! Run with: `cargo run --example bulk_transfer`
 
-use std::net::Ipv4Addr;
-use tcpdemux::stack::{FaultInjector, FaultOutcome, RxOutcome, Stack, StackConfig};
-use tcpdemux::wire::pcap::{PcapWriter, LINKTYPE_RAW};
+use tcpdemux::sim::bulk::{run_bulk_transfer_with_telemetry, BulkTransferConfig};
+use tcpdemux::stack::WindowConfig;
+use tcpdemux::telemetry::CounterId;
 
 fn main() {
-    let server_addr = Ipv4Addr::new(192, 0, 2, 1);
-    let client_addr = Ipv4Addr::new(192, 0, 2, 99);
-    let mut server = Stack::with_config(StackConfig::new(server_addr));
-    let mut client = Stack::with_config(StackConfig::new(client_addr));
-    server.listen(9000).expect("fresh port");
-
-    // Handshake over a clean link.
-    let (client_pcb, syn) = client.connect(server_addr, 9000).expect("connect");
-    let synack = server.receive(&syn).expect("SYN").replies;
-    let server_pcb = match server.receive(&{
-        let ack = client.receive(&synack[0]).expect("SYN-ACK").replies;
-        ack[0].clone()
-    }) {
-        Ok(r) => match r.outcome {
-            RxOutcome::Established { pcb } => pcb,
-            other => panic!("unexpected {other:?}"),
-        },
-        Err(e) => panic!("handshake failed: {e}"),
-    };
-    println!("connection established: {client_addr} -> {server_addr}:9000");
-
-    // The payload: 256 KiB of pseudo-data in 1,000-byte segments.
-    let payload: Vec<u8> = (0..262_144u32)
-        .map(|i| (i.wrapping_mul(2_654_435_761)) as u8)
-        .collect();
-    let mut link = FaultInjector::new(0.02, 0.02, 0xFA_017);
-    let mut sent = 0usize;
-    let mut retransmissions = 0u32;
-    // Archive the first segments of the transfer as a Wireshark-readable
-    // capture.
-    let mut capture = PcapWriter::new(LINKTYPE_RAW);
-    let mut capture_clock = 0u64;
-
-    while sent < payload.len() {
-        let end = (sent + 1000).min(payload.len());
-        let frame = client
-            .send(client_pcb, &payload[sent..end])
-            .expect("established");
-        if capture.packet_count() < 64 {
-            capture_clock += 150;
-            capture.record(capture_clock, &frame);
+    for drop in [0.0, 0.10, 0.25] {
+        let out = run_bulk_transfer_with_telemetry(&BulkTransferConfig {
+            drop_chance: drop,
+            corrupt_chance: 0.02,
+            seed: 0xFA_017,
+            // Ack every other full segment, or 20 ticks after the
+            // first unacknowledged delivery — RFC 1122 delayed ACKs.
+            window: WindowConfig::default().with_delayed_ack(20),
+            ..BulkTransferConfig::default()
+        });
+        let report = &out.report;
+        assert!(report.verified, "stream must verify byte-for-byte");
+        println!("== drop {:>2.0}% ==", drop * 100.0);
+        println!(
+            "  delivered {} bytes in {} frames over {} ticks (goodput {:.1} B/tick)",
+            report.delivered,
+            report.frames_sent,
+            report.ticks,
+            report.goodput()
+        );
+        println!(
+            "  losses: {} dropped, {} corrupted ({} checksum-rejected)",
+            report.drops, report.corrupted, report.checksum_rejections
+        );
+        println!(
+            "  recovery: {} fast retransmits, {} RTO retransmits, {} delayed acks",
+            report.fast_retransmits,
+            report.retransmits,
+            out.receiver.counter(CounterId::DelayedAcks)
+        );
+        println!(
+            "  cwnd: peak {} bytes, {} multiplicative decreases",
+            report.cwnd_peak(),
+            report.cwnd_collapses()
+        );
+        // A low-resolution picture of the sawtooth: the trace is
+        // sampled per ACK, so bucket it into a fixed-width strip.
+        if report.cwnd_collapses() > 0 {
+            let trace = &report.cwnd_trace;
+            let peak = report.cwnd_peak().max(1);
+            let cols = 64.min(trace.len());
+            let strip: String = (0..cols)
+                .map(|c| {
+                    let v = trace[c * trace.len() / cols];
+                    // 8 glyph levels from idle to peak.
+                    let level = (u64::from(v) * 7 / u64::from(peak)) as usize;
+                    [' ', '.', ':', '-', '=', '+', '#', '@'][level]
+                })
+                .collect();
+            println!("  sawtooth: |{strip}|");
         }
-        // Stop-and-wait with retransmission: resend until the server
-        // advances (duplicate ACKs tell us the segment was lost).
-        loop {
-            match link.transmit(&frame) {
-                FaultOutcome::Dropped => {
-                    retransmissions += 1;
-                    continue; // resend the same frame
-                }
-                FaultOutcome::Corrupted(bad) => {
-                    // Checksum wall: must be rejected, then we resend.
-                    assert!(server.receive(&bad).is_err(), "corruption must be caught");
-                    retransmissions += 1;
-                    continue;
-                }
-                FaultOutcome::Passed(good) => {
-                    match server.receive(&good).expect("valid frame").outcome {
-                        RxOutcome::Delivered { .. } => break,
-                        RxOutcome::Duplicate { .. } => break, // already had it
-                        other => panic!("unexpected {other:?}"),
-                    }
-                }
-            }
-        }
-        sent = end;
     }
-
-    // Verify every byte arrived in order.
-    let received = server.socket_mut(server_pcb).expect("socket").read_all();
-    assert_eq!(received.len(), payload.len());
-    assert_eq!(received, payload, "byte-exact delivery");
-
-    let snap = server.stats();
-    let (stats, demux) = (snap.stack, snap.demux);
-    println!("transferred {} bytes in {} segments", received.len(), 263);
-    println!(
-        "link: {} passed, {} dropped, {} corrupted; {} retransmissions",
-        link.passed(),
-        link.dropped(),
-        link.corrupted(),
-        retransmissions
-    );
-    println!(
-        "server receive path: {} frames in, {} rejected by checksums",
-        stats.frames_in,
-        stats.total_rejected()
-    );
-    println!(
-        "demux on this packet train: mean {:.2} PCBs examined, {:.1}% cache hits",
-        demux.mean_examined(),
-        demux.hit_rate() * 100.0
-    );
-    let pcap_path = std::env::temp_dir().join("tcpdemux_bulk_transfer.pcap");
-    std::fs::write(&pcap_path, capture.as_bytes()).expect("write capture");
-    println!(
-        "wrote {} frames to {} (open with Wireshark/tcpdump)",
-        capture.packet_count(),
-        pcap_path.display()
-    );
-    println!("\nA single connection's train keeps the per-chain cache hot — the");
-    println!("hashed scheme costs ~1 probe here, same as BSD's one-entry cache.");
 }

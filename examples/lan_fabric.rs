@@ -6,8 +6,16 @@
 //! Run with: `cargo run --example lan_fabric`
 
 use std::net::Ipv4Addr;
-use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
+use tcpdemux::stack::{RxOutcome, Stack, StackConfig, TxScratch};
 use tcpdemux::wire::{ArpRepr, EtherType, EthernetAddress, EthernetFrame, EthernetRepr, IcmpRepr};
+
+/// Enqueue one small payload and poll it onto the wire as one frame.
+fn send_now(stack: &mut Stack, pcb: tcpdemux::pcb::PcbId, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(stack.send(pcb, payload).unwrap(), payload.len());
+    let mut scratch = TxScratch::new();
+    assert_eq!(stack.poll_transmit(&mut scratch), 1);
+    scratch.frames.pop().unwrap()
+}
 
 /// Deliver a frame to every stack on the segment (it's a broadcast
 /// medium); collect replies for the next round.
@@ -110,7 +118,7 @@ fn main() {
     server.receive_ethernet(&ack_framed).unwrap();
     println!("[tcp ] handshake complete: {client_ip} <-> {server_ip}:1521");
 
-    let query = client.send(cp, b"SELECT balance FROM accounts").unwrap();
+    let query = send_now(&mut client, cp, b"SELECT balance FROM accounts");
     println!("[wire] {}", tcpdemux::wire::pretty::format_packet(&query));
     let r = server
         .receive_ethernet(&client.encapsulate(&query, server_ip))
@@ -119,7 +127,7 @@ fn main() {
         panic!("{:?}", r.outcome)
     };
     println!("[tcp ] server received a {bytes}-byte query");
-    let response = server.send(sp, b"balance=1984.00").unwrap();
+    let response = send_now(&mut server, sp, b"balance=1984.00");
     let r = client
         .receive_ethernet(&server.encapsulate(&response, client_ip))
         .unwrap();

@@ -8,10 +8,18 @@ use std::net::Ipv4Addr;
 use tcpdemux::demux::{BsdDemux, Demux, MtfDemux, SendRecvDemux, SequentDemux};
 use tcpdemux::hash::Multiplicative;
 use tcpdemux::pcb::PcbId;
-use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
+use tcpdemux::stack::{RxOutcome, Stack, StackConfig, TxScratch};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const PORT: u16 = 1521;
+
+/// Enqueue one small payload and poll it onto the wire as one frame.
+fn send_now(stack: &mut Stack, pcb: PcbId, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(stack.send(pcb, payload).unwrap(), payload.len());
+    let mut scratch = TxScratch::new();
+    assert_eq!(stack.poll_transmit(&mut scratch), 1);
+    scratch.frames.pop().unwrap()
+}
 
 struct Client {
     stack: Stack,
@@ -45,7 +53,7 @@ fn setup(
 /// One full transaction for client `i`: query in, query-ack out,
 /// response out, response-ack in.
 fn transaction(server: &mut Stack, client: &mut Client, server_pcb: PcbId) {
-    let query = client.stack.send(client.pcb, b"SELECT balance").unwrap();
+    let query = send_now(&mut client.stack, client.pcb, b"SELECT balance");
     let r = server.receive(&query).unwrap();
     let RxOutcome::Delivered { pcb, .. } = r.outcome else {
         panic!("query must deliver, got {:?}", r.outcome);
@@ -54,7 +62,7 @@ fn transaction(server: &mut Stack, client: &mut Client, server_pcb: PcbId) {
     // Query ack reaches the client.
     client.stack.receive(&r.replies[0]).unwrap();
     // Response.
-    let response = server.send(pcb, b"balance=42").unwrap();
+    let response = send_now(server, pcb, b"balance=42");
     let r = client.stack.receive(&response).unwrap();
     assert!(matches!(r.outcome, RxOutcome::Delivered { .. }));
     // Response ack reaches the server — the packet the paper's §3
@@ -74,7 +82,7 @@ fn run_oltp(
     let server_pcbs: Vec<PcbId> = clients
         .iter_mut()
         .map(|c| {
-            let frame = c.stack.send(c.pcb, b"!").unwrap();
+            let frame = send_now(&mut c.stack, c.pcb, b"!");
             let r = server.receive(&frame).unwrap();
             let RxOutcome::Delivered { pcb, .. } = r.outcome else {
                 panic!();
@@ -171,7 +179,7 @@ fn connections_survive_churn() {
     assert_eq!(server.connection_count(), 40);
     // Established clients still work.
     let c = &mut clients[30];
-    let frame = c.stack.send(c.pcb, b"still here").unwrap();
+    let frame = send_now(&mut c.stack, c.pcb, b"still here");
     let r = server.receive(&frame).unwrap();
     assert!(matches!(r.outcome, RxOutcome::Delivered { bytes: 10, .. }));
 }

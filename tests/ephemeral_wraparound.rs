@@ -12,10 +12,18 @@
 //! allocators.
 
 use std::net::Ipv4Addr;
-use tcpdemux_stack::{RxOutcome, ShardedStack, Stack, StackConfig, StackError};
+use tcpdemux_stack::{RxOutcome, ShardedStack, Stack, StackConfig, StackError, TxScratch};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Enqueue one small payload and poll it onto the wire as one frame.
+fn send_now(stack: &mut Stack, pcb: tcpdemux_pcb::PcbId, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(stack.send(pcb, payload).unwrap(), payload.len());
+    let mut scratch = TxScratch::new();
+    assert_eq!(stack.poll_transmit(&mut scratch), 1);
+    scratch.frames.pop().unwrap()
+}
 
 fn pair(ephemeral_base: u16) -> (Stack, Stack) {
     let server = Stack::with_config(StackConfig::new(SERVER));
@@ -52,7 +60,7 @@ fn assert_demuxes_to(
     sp: tcpdemux_pcb::PcbId,
     payload: &[u8],
 ) {
-    let frame = client.send(cp, payload).expect("send");
+    let frame = send_now(client, cp, payload);
     let r = server.receive(&frame).expect("data");
     match r.outcome {
         RxOutcome::Delivered { pcb, bytes } => {

@@ -3,10 +3,19 @@
 //! connection state recoverable.
 
 use std::net::Ipv4Addr;
-use tcpdemux::stack::{FaultInjector, FaultOutcome, RxOutcome, Stack, StackConfig};
+use tcpdemux::pcb::PcbId;
+use tcpdemux::stack::{FaultInjector, FaultOutcome, RxOutcome, Stack, StackConfig, TxScratch};
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 2);
+
+/// Enqueue one small payload and poll it onto the wire as one frame.
+fn send_now(stack: &mut Stack, pcb: PcbId, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(stack.send(pcb, payload).unwrap(), payload.len());
+    let mut scratch = TxScratch::new();
+    assert_eq!(stack.poll_transmit(&mut scratch), 1);
+    scratch.frames.pop().unwrap()
+}
 
 fn connected_pair() -> (Stack, Stack, tcpdemux::pcb::PcbId) {
     let mut server = Stack::with_config(StackConfig::new(SERVER));
@@ -27,7 +36,7 @@ fn corruption_never_reaches_the_demux() {
     let lookups_before = server.stats().demux.lookups;
     let mut rejected = 0u64;
     for i in 0..200u32 {
-        let frame = client.send(cp, format!("query {i}").as_bytes()).unwrap();
+        let frame = send_now(&mut client, cp, format!("query {i}").as_bytes());
         match corrupting_link.transmit(&frame) {
             FaultOutcome::Corrupted(bad) => {
                 assert!(
@@ -60,7 +69,7 @@ fn drops_leave_state_recoverable() {
     let mut delivered_payloads = Vec::new();
     for i in 0..100u32 {
         let payload = format!("row-{i:04}");
-        let frame = client.send(cp, payload.as_bytes()).unwrap();
+        let frame = send_now(&mut client, cp, payload.as_bytes());
         // Retransmit until the server takes it (stop-and-wait).
         loop {
             match lossy_link.transmit(&frame) {
@@ -107,7 +116,7 @@ fn corruption_is_rejected_across_seed_sweep() {
     // shape that used to let flips escape every checksum.
     let frames: Vec<Vec<u8>> = [1usize, 2, 5, 64, 400]
         .iter()
-        .map(|n| client.send(cp, &vec![b'x'; *n]).unwrap())
+        .map(|n| send_now(&mut client, cp, &vec![b'x'; *n]))
         .collect();
     for seed in 1..=seeds {
         for frame in &frames {

@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 use tcpdemux::sim::lossy::{run_lossy_link, LossyLinkConfig};
-use tcpdemux::stack::{SocketError, Stack, StackConfig};
+use tcpdemux::stack::{SocketError, Stack, StackConfig, TxScratch};
 
 /// The issue's acceptance scenario: 20% drop + 5% corruption, one hundred
 /// request/response exchanges, recovered purely by retransmission.
@@ -78,8 +78,14 @@ fn silent_peer_aborts_with_surfaced_socket_error() {
     server.receive(&ack[0]).unwrap();
     assert!(client.is_established(cp));
 
-    // The server goes silent; this segment is never answered.
+    // The server goes silent; the polled segment is never answered.
     client.send(cp, b"anyone there?").unwrap();
+    let mut scratch = TxScratch::new();
+    assert_eq!(
+        client.poll_transmit(&mut scratch),
+        1,
+        "one segment on the wire"
+    );
     let mut retransmits = 0u32;
     let aborted = loop {
         let due = client

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use tcpdemux::pcb::ConnectionKey;
-use tcpdemux::stack::{ShardId, ShardedStack, Stack, StackConfig};
+use tcpdemux::stack::{ShardId, ShardedStack, Stack, StackConfig, TxScratch};
 use tcpdemux_testprop::TestRng;
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 77, 0, 1);
@@ -31,6 +31,14 @@ const SHARDS: usize = 4;
 const FLOWS: usize = 24;
 const SEGMENTS_PER_FLOW: usize = 40;
 const SEGMENT_BYTES: usize = 48;
+
+/// Enqueue one small payload and poll it onto the wire as one frame.
+fn send_now(stack: &mut Stack, pcb: tcpdemux::pcb::PcbId, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(stack.send(pcb, payload).unwrap(), payload.len());
+    let mut scratch = TxScratch::new();
+    assert_eq!(stack.poll_transmit(&mut scratch), 1);
+    scratch.frames.pop().unwrap()
+}
 
 fn seed_count() -> u64 {
     std::env::var("TCPDEMUX_SHARD_SEEDS")
@@ -82,7 +90,7 @@ fn run_one_seed(seed: u64) {
                 let mut payload = vec![i as u8, s as u8];
                 payload.extend(rng.bytes(SEGMENT_BYTES - 2, SEGMENT_BYTES - 1));
                 expected.extend_from_slice(&payload);
-                frames.push(client.send(pcb, &payload).expect("send"));
+                frames.push(send_now(&mut client, pcb, &payload));
             }
             Flow {
                 server_key,

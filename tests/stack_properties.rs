@@ -4,11 +4,19 @@
 
 use std::net::Ipv4Addr;
 use tcpdemux::pcb::PcbId;
-use tcpdemux::stack::{RxOutcome, Stack, StackConfig};
+use tcpdemux::stack::{RxOutcome, Stack, StackConfig, TxScratch};
 use tcpdemux_testprop::check_cases;
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 5, 0, 1);
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 5, 0, 2);
+
+/// Enqueue one small payload and poll it onto the wire as one frame.
+fn send_now(stack: &mut Stack, pcb: PcbId, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(stack.send(pcb, payload).unwrap(), payload.len());
+    let mut scratch = TxScratch::new();
+    assert_eq!(stack.poll_transmit(&mut scratch), 1);
+    scratch.frames.pop().unwrap()
+}
 
 fn connected_pair() -> (Stack, Stack, PcbId, PcbId) {
     let mut server = Stack::with_config(StackConfig::new(SERVER));
@@ -36,7 +44,7 @@ fn chunked_transfer_is_exact() {
         let mut chunks = chunk_sizes.iter().cycle();
         while sent < payload.len() {
             let chunk = (*chunks.next().unwrap()).min(payload.len() - sent);
-            let frame = client.send(cp, &payload[sent..sent + chunk]).unwrap();
+            let frame = send_now(&mut client, cp, &payload[sent..sent + chunk]);
             let r = server.receive(&frame).unwrap();
             let delivered = matches!(r.outcome, RxOutcome::Delivered { .. });
             assert!(delivered, "{:?}", r.outcome);
@@ -60,7 +68,7 @@ fn duplication_and_reordering_are_safe() {
         // Pre-build all frames (sequence numbers fixed at build time).
         let frames: Vec<Vec<u8>> = payloads
             .iter()
-            .map(|p| client.send(cp, p).unwrap())
+            .map(|p| send_now(&mut client, cp, p))
             .collect();
         let total: usize = payloads.iter().map(Vec::len).sum();
 
@@ -90,7 +98,7 @@ fn mutated_frames_never_panic() {
         let mutations = rng.vec_of(1, 16, |r| (r.usize_in(0, 2048), r.u8()));
         let payload = rng.bytes(1, 128);
         let (mut server, mut client, cp, _sp) = connected_pair();
-        let frame = client.send(cp, &payload).unwrap();
+        let frame = send_now(&mut client, cp, &payload);
         let mut mutated = frame.clone();
         for (pos, val) in mutations {
             let idx = pos % mutated.len();
@@ -104,7 +112,7 @@ fn mutated_frames_never_panic() {
         // which case the frame is simply a different valid frame).
         let _ = server.receive(&mutated);
         // The connection must still work afterwards.
-        let good = client.send(cp, b"still alive").unwrap();
+        let good = send_now(&mut client, cp, b"still alive");
         let r = server.receive(&good).unwrap();
         let ok = matches!(r.outcome, RxOutcome::Delivered { .. })
             || matches!(r.outcome, RxOutcome::Duplicate { .. });
