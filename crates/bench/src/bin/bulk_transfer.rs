@@ -14,7 +14,7 @@
 //! per-drop-rate wall times as a `BENCH_bulk_transfer.json` snapshot.
 
 use std::time::Instant;
-use tcpdemux_bench::harness::{maybe_write_json, record, smoke, Measurement};
+use tcpdemux_bench::harness::{maybe_write_json_owned, record, smoke, Measurement};
 use tcpdemux_bench::table::Table;
 use tcpdemux_sim::bulk::{run_bulk_transfer, BulkTransferConfig};
 
@@ -75,14 +75,13 @@ fn main() {
     println!("all elapsed time is retransmission timers. 'collapses' counts samples");
     println!("where cwnd fell to at most half its predecessor — the sawtooth teeth.");
 
-    let bytes_str = bytes.to_string();
-    maybe_write_json(
+    maybe_write_json_owned(
         "bulk_transfer",
         SEED,
         &[
-            ("bytes", bytes_str.as_str()),
-            ("cc", "newreno"),
-            ("drop_rates", "0/5/10/25/40%"),
+            ("bytes", bytes.to_string()),
+            ("cc", "newreno".to_string()),
+            ("drop_rates", "0/5/10/25/40%".to_string()),
         ],
     );
 }

@@ -11,7 +11,7 @@
 //! per-drop-rate wall times as a `BENCH_loss_recovery.json` snapshot.
 
 use std::time::Instant;
-use tcpdemux_bench::harness::{maybe_write_json, record, smoke, Measurement};
+use tcpdemux_bench::harness::{maybe_write_json_owned, record, smoke, Measurement};
 use tcpdemux_bench::table::Table;
 use tcpdemux_sim::lossy::{run_lossy_link, LossyLinkConfig};
 
@@ -66,14 +66,13 @@ fn main() {
     println!("all elapsed time is RTO waits. 'cksum-rej' equal to 'corrupt' means no");
     println!("mangled frame ever reached the demultiplexer.");
 
-    let exchanges_str = exchanges.to_string();
-    maybe_write_json(
+    maybe_write_json_owned(
         "loss_recovery",
         SEED,
         &[
-            ("exchanges", exchanges_str.as_str()),
-            ("corrupt_chance", "0.05"),
-            ("drop_rates", "0/5/10/20/30/40%"),
+            ("exchanges", exchanges.to_string()),
+            ("corrupt_chance", "0.05".to_string()),
+            ("drop_rates", "0/5/10/20/30/40%".to_string()),
         ],
     );
 }

@@ -20,7 +20,7 @@
 //! of the lock-free path is the portable signal.
 
 use std::time::Instant;
-use tcpdemux_bench::harness::{bb, maybe_write_json, record, Measurement};
+use tcpdemux_bench::harness::{bb, maybe_write_json_owned, record, Measurement};
 use tcpdemux_core::concurrent::{concurrent_suite, ConcurrentDemux, EpochDemux};
 use tcpdemux_core::PacketKind;
 use tcpdemux_hash::quality::tpca_key_population;
@@ -283,20 +283,16 @@ fn main() {
         "quiescent flush must reclaim the whole backlog"
     );
 
-    let connections = p.connections.to_string();
-    let lookups_total = p.lookups_total.to_string();
-    let churn_ops = p.churn_ops.to_string();
-    let reps = p.reps.to_string();
-    maybe_write_json(
+    maybe_write_json_owned(
         "mt_scaling",
         0,
         &[
-            ("chains", "64"),
-            ("connections", connections.as_str()),
-            ("lookups_total", lookups_total.as_str()),
-            ("churn_ops", churn_ops.as_str()),
-            ("reps", reps.as_str()),
-            ("threads", "1/2/4/8"),
+            ("chains", "64".to_string()),
+            ("connections", p.connections.to_string()),
+            ("lookups_total", p.lookups_total.to_string()),
+            ("churn_ops", p.churn_ops.to_string()),
+            ("reps", p.reps.to_string()),
+            ("threads", "1/2/4/8".to_string()),
         ],
     );
 }

@@ -27,7 +27,7 @@
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
-use tcpdemux_bench::harness::{bb, maybe_write_json, record, Measurement};
+use tcpdemux_bench::harness::{bb, maybe_write_json_owned, record, Measurement};
 use tcpdemux_hash::shard_for;
 use tcpdemux_stack::{
     steering_key, ShardId, ShardedStack, Stack, StackConfig, TxScratch, WindowConfig,
@@ -317,8 +317,6 @@ fn main() {
         p.connects
     );
 
-    let reps = p.reps.to_string();
-    let connects = p.connects.to_string();
     let tpca = format!(
         "{}x{}x{}B",
         p.mixes[0].connections, p.mixes[0].frames_per_conn, p.mixes[0].payload
@@ -327,17 +325,16 @@ fn main() {
         "{}x{}x{}B",
         p.mixes[1].connections, p.mixes[1].frames_per_conn, p.mixes[1].payload
     );
-    let ring = RING_CAPACITY.to_string();
-    maybe_write_json(
+    maybe_write_json_owned(
         "stack_shards",
         0,
         &[
-            ("shards", "1/2/4/8"),
-            ("tpca", tpca.as_str()),
-            ("bulk", bulk.as_str()),
-            ("ring_capacity", ring.as_str()),
-            ("connects", connects.as_str()),
-            ("reps", reps.as_str()),
+            ("shards", "1/2/4/8".to_string()),
+            ("tpca", tpca),
+            ("bulk", bulk),
+            ("ring_capacity", RING_CAPACITY.to_string()),
+            ("connects", p.connects.to_string()),
+            ("reps", p.reps.to_string()),
         ],
     );
 }

@@ -296,6 +296,14 @@ pub fn maybe_write_json(bench: &str, seed: u64, config: &[(&str, &str)]) {
     );
 }
 
+/// [`maybe_write_json`] for bins whose config values are computed at
+/// runtime (counts, rates, formatted lists). Saves each bin the
+/// identical build-owned-strings-then-borrow dance.
+pub fn maybe_write_json_owned(bench: &str, seed: u64, config: &[(&str, String)]) {
+    let borrowed: Vec<(&str, &str)> = config.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    maybe_write_json(bench, seed, &borrowed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -415,7 +415,9 @@ impl<D: Demux + Send> ConcurrentDemux for GlobalLockDemux<D> {
 /// global-lock baseline, and the lock-free-read [`EpochDemux`], all at the
 /// same chain count with [`Multiplicative`] hashing — plus the
 /// epoch-guarded [`crate::ConcurrentCuckooDemux`], which ignores `chains`
-/// (its bucket count is occupancy-driven).
+/// (its bucket count is occupancy-driven), and
+/// [`crate::ConcurrentFrontDemux`]-wrapped variants of the sharded and
+/// cuckoo tiers (the miss-rejecting fingerprint front filter).
 pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
     vec![
         Box::new(ShardedDemux::new(Multiplicative, chains)),
@@ -426,6 +428,13 @@ pub fn concurrent_suite(chains: usize) -> Vec<Box<dyn ConcurrentDemux>> {
         ))),
         Box::new(EpochDemux::new(Multiplicative, chains)),
         Box::new(crate::ConcurrentCuckooDemux::new()),
+        Box::new(crate::ConcurrentFrontDemux::new(ShardedDemux::new(
+            Multiplicative,
+            chains,
+        ))),
+        Box::new(crate::ConcurrentFrontDemux::new(
+            crate::ConcurrentCuckooDemux::new(),
+        )),
     ]
 }
 
@@ -669,13 +678,15 @@ mod tests {
     fn suite_drives_all_variants_generically() {
         let mut arena = PcbArena::new();
         let suite = concurrent_suite(19);
-        assert_eq!(suite.len(), 5);
+        assert_eq!(suite.len(), 7);
         let names: Vec<String> = suite.iter().map(|d| d.name()).collect();
         assert!(names.iter().any(|n| n.starts_with("sharded-sequent")));
         assert!(names.iter().any(|n| n.starts_with("rw-sharded")));
         assert!(names.iter().any(|n| n.starts_with("global-lock")));
         assert!(names.iter().any(|n| n.starts_with("epoch(")));
         assert!(names.iter().any(|n| n == "cuckoo-conc"));
+        assert!(names.iter().any(|n| n.starts_with("front+sharded-sequent")));
+        assert!(names.iter().any(|n| n == "front+cuckoo-conc"));
         for demux in &suite {
             let ids = populate_concurrent(demux.as_ref(), &mut arena, 50);
             for (i, &id) in ids.iter().enumerate() {

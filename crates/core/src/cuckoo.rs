@@ -78,8 +78,9 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 /// 64-bit hash of a connection key's three words. The low bits pick the
-/// home bucket; the top byte is the tag.
-fn hash_words(words: [u32; 3]) -> u64 {
+/// home bucket; the top byte is the tag. Shared with [`crate::front`],
+/// whose fingerprint draws on a disjoint bit range of the same hash.
+pub(crate) fn hash_words(words: [u32; 3]) -> u64 {
     let x = mix64((u64::from(words[0]) << 32) | u64::from(words[1]));
     mix64(x ^ u64::from(words[2]))
 }

@@ -75,6 +75,7 @@ pub mod cuckoo;
 mod direct;
 pub mod epoch;
 mod epoch_demux;
+pub mod front;
 mod hashed_mtf;
 mod list;
 mod mtf;
@@ -89,6 +90,7 @@ pub use adaptive::AdaptiveDemux;
 pub use bsd::BsdDemux;
 pub use cuckoo::{ConcurrentCuckooDemux, CuckooDemux, CuckooStats};
 pub use direct::DirectDemux;
+pub use front::{ConcurrentFrontDemux, FrontDemux, FrontFilter, FrontFilterStats, FrontStats};
 pub use hashed_mtf::HashedMtfDemux;
 pub use list::PcbList;
 pub use mtf::MtfDemux;
@@ -197,6 +199,53 @@ pub trait Demux: Send {
     fn reset_stats(&mut self);
 }
 
+// Deref-forwarding impl so a boxed tier is itself a tier. This is what
+// lets [`front::FrontDemux`] (or any future wrapper) compose over the
+// `Box<dyn Demux>` a [`StackConfig`] demux factory produces.
+//
+// [`StackConfig`]: ../tcpdemux_stack/struct.StackConfig.html
+impl<D: Demux + ?Sized> Demux for Box<D> {
+    fn insert(&mut self, key: ConnectionKey, id: PcbId) {
+        (**self).insert(key, id);
+    }
+
+    fn remove(&mut self, key: &ConnectionKey) -> Option<PcbId> {
+        (**self).remove(key)
+    }
+
+    fn lookup(&mut self, key: &ConnectionKey, kind: PacketKind) -> LookupResult {
+        (**self).lookup(key, kind)
+    }
+
+    fn lookup_batch(&mut self, keys: &[(ConnectionKey, PacketKind)], out: &mut Vec<LookupResult>) {
+        (**self).lookup_batch(keys, out);
+    }
+
+    fn note_send(&mut self, key: &ConnectionKey) {
+        (**self).note_send(key);
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn stats(&self) -> &LookupStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats();
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_util {
     //! Shared helpers for the per-algorithm test modules.
@@ -297,6 +346,8 @@ mod tests {
             Box::new(HashedMtfDemux::new(XorFold, 19)),
             Box::new(DirectDemux::new()),
             Box::new(CuckooDemux::new()),
+            Box::new(FrontDemux::new(SequentDemux::new(XorFold, 19))),
+            Box::new(FrontDemux::new(CuckooDemux::new())),
         ];
         for demux in demuxes {
             test_util::check_contract(demux);
@@ -324,6 +375,8 @@ mod tests {
             || Box::new(DirectDemux::new()),
             || Box::new(AdaptiveDemux::new(Multiplicative, 4, 4)),
             || Box::new(CuckooDemux::new()),
+            || Box::new(FrontDemux::new(SequentDemux::new(Multiplicative, 19))),
+            || Box::new(FrontDemux::new(CuckooDemux::new())),
         ];
         for f in make {
             let mut seq = f();

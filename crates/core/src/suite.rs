@@ -64,6 +64,8 @@ pub fn standard_suite() -> Vec<SuiteEntry> {
         HashedMtfDemux::new(Multiplicative, 19).into(),
         DirectDemux::new().into(),
         cuckoo_entry(),
+        front_sequent_entry(),
+        front_cuckoo_entry(),
     ]
 }
 
@@ -74,6 +76,34 @@ pub fn standard_suite() -> Vec<SuiteEntry> {
 fn cuckoo_entry() -> SuiteEntry {
     let recorder = Recorder::new();
     let demux = crate::CuckooDemux::new().with_recorder(recorder.clone());
+    SuiteEntry {
+        name: demux.name(),
+        demux: Box::new(demux),
+        recorder,
+    }
+}
+
+/// The front-filtered Sequent tier. Like [`cuckoo_entry`], the wrapper
+/// records insert/lookup-path telemetry (rejects, false positives,
+/// occupancy) as it happens, so the entry shares one recorder between
+/// the structure and the suite slot.
+fn front_sequent_entry() -> SuiteEntry {
+    let recorder = Recorder::new();
+    let demux = crate::FrontDemux::new(SequentDemux::new(Multiplicative, 19))
+        .with_recorder(recorder.clone());
+    SuiteEntry {
+        name: demux.name(),
+        demux: Box::new(demux),
+        recorder,
+    }
+}
+
+/// The front-filtered cuckoo tier; inner and wrapper share the entry's
+/// recorder so both kick and reject telemetry land in one snapshot.
+fn front_cuckoo_entry() -> SuiteEntry {
+    let recorder = Recorder::new();
+    let demux = crate::FrontDemux::new(crate::CuckooDemux::new().with_recorder(recorder.clone()))
+        .with_recorder(recorder.clone());
     SuiteEntry {
         name: demux.name(),
         demux: Box::new(demux),
@@ -107,6 +137,8 @@ mod tests {
             "hashed-mtf(19)",
             "direct-index",
             "cuckoo",
+            "front+sequent(19)",
+            "front+cuckoo",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }

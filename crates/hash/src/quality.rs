@@ -122,13 +122,19 @@ pub fn tpca_key_population(n: usize) -> Vec<ConnectionKey> {
     (0..n)
         .map(|i| {
             // Clients allocated sequentially across subnets, as terminal
-            // concentrators of the era did.
+            // concentrators of the era did. Addition (not OR) lets
+            // `subnet` carry past the second octet, so the population
+            // stays injective beyond 64,000 keys (subnet ≥ 256 used to
+            // alias subnet − 256, silently shrinking every "1M-key"
+            // population to 64k distinct keys); the first 64,000 keys
+            // are bit-identical to the OR form since the fields are
+            // disjoint there.
             let host = (i % 250 + 2) as u32;
             let subnet = (i / 250) as u32;
             ConnectionKey::new(
                 Ipv4Addr::new(10, 0, 0, 1),
                 1521,
-                Ipv4Addr::from((10 << 24) | (1 << 16) | (subnet << 8) | host),
+                Ipv4Addr::from((10 << 24) + (1 << 16) + (subnet << 8) + host),
                 (40_000 + (i % 1_000)) as u16,
             )
         })
@@ -230,5 +236,19 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), keys.len());
+    }
+
+    #[test]
+    fn population_stays_distinct_past_the_subnet_octet() {
+        // Regression: with OR-composed addresses, subnet 256 aliased
+        // subnet 0 (the shifted subnet landed on the already-set bit
+        // 16), so every population larger than 64,000 keys silently
+        // repeated with period 64,000.
+        let keys = tpca_key_population(200_000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
+        assert_ne!(keys[0], keys[64_000]);
     }
 }

@@ -20,6 +20,8 @@
 //!   worst case for move-to-front, §3.2).
 //! * [`locality`] — Zipf-distributed connection popularity (Mogul's
 //!   "network locality" traffic, cited in §3.3).
+//! * [`missflood`] — an IPS-style mix where most lookups miss, including
+//!   hash-collision attack traffic (the front filter's reason to exist).
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod churn;
 pub mod engine;
 pub mod locality;
 pub mod lossy;
+pub mod missflood;
 pub mod polling;
 pub mod replicate;
 pub mod rng;

@@ -1,0 +1,458 @@
+//! Miss-flood workload: an IPS-style front end under collision attack.
+//!
+//! The paper's workloads assume every arriving packet belongs to a live
+//! connection, so a lookup always ends at a PCB. An intrusion-prevention
+//! system (or any middlebox watching a span port) sees the opposite mix:
+//! millions of short-lived flows plus deliberate junk, where most
+//! lookups *miss* — and a miss is the worst case for a chained
+//! structure, because it walks the entire chain before giving up. Worse,
+//! an adversary who knows the hash function can craft spoofed keys that
+//! all collide into one chain, turning every attack packet into a
+//! maximum-length walk (the classic algorithmic-complexity attack on
+//! hash tables).
+//!
+//! This scenario runs that exact mix through a comparison suite:
+//!
+//! * a working set of long-lived **live flows** whose packets must all
+//!   hit;
+//! * **churn sessions** that open, exchange a few packets, and close
+//!   while the flood is in progress, exercising insert/remove sync in
+//!   any wrapper that mirrors the backing structure (the fingerprint
+//!   front filter must track every one of these exactly or a later live
+//!   lookup turns into a false negative);
+//! * **attack packets** whose keys are crafted with [`attack_keys`] to
+//!   collide into a single Multiplicative chain and are guaranteed
+//!   misses.
+//!
+//! Unlike [`crate::runner::run_trace`], misses here are *expected*, so
+//! the driver is its own loop: it asserts per-arrival that every
+//! algorithm agrees on the PCB (paired equivalence), that live lookups
+//! always hit, and that attack lookups always miss — a front-filter
+//! false negative anywhere fails the run loudly rather than showing up
+//! as a skewed statistic.
+
+use crate::rng::SimRng;
+use std::net::Ipv4Addr;
+use tcpdemux_core::{LookupStats, PacketKind, SuiteEntry};
+use tcpdemux_hash::{KeyHasher, Multiplicative};
+use tcpdemux_pcb::{ConnectionKey, Pcb, PcbArena, TcpState};
+use tcpdemux_telemetry::Snapshot;
+
+/// Configuration for the miss-flood scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissFloodConfig {
+    /// Long-lived flows inserted before the flood; their packets must
+    /// always find a PCB.
+    pub live_flows: u32,
+    /// Short-lived sessions that open, transact, and close during the
+    /// flood (filter insert/remove churn under fire).
+    pub churn_sessions: u32,
+    /// Data packets each churn session exchanges while open, and the
+    /// per-live-flow packet budget for the legitimate traffic stream.
+    pub packets_per_flow: u32,
+    /// Guaranteed-miss attack packets, each with a distinct spoofed key
+    /// crafted to collide into one chain.
+    pub attack_packets: u32,
+    /// Chain count of the Sequent tier the attack targets; the crafted
+    /// keys all land in one bucket of a `Multiplicative`-hashed table
+    /// with this many chains.
+    pub collision_chains: usize,
+}
+
+impl Default for MissFloodConfig {
+    fn default() -> Self {
+        Self {
+            live_flows: 256,
+            churn_sessions: 512,
+            packets_per_flow: 4,
+            attack_packets: 4_096,
+            collision_chains: 19,
+        }
+    }
+}
+
+/// Results of running one algorithm through the miss-flood mix.
+#[derive(Debug, Clone)]
+pub struct MissFloodReport {
+    /// Algorithm name (from [`SuiteEntry::name`]).
+    pub name: String,
+    /// Statistics over every arrival — live, churn, and attack.
+    pub stats: LookupStats,
+    /// Statistics over legitimate arrivals only (live flows and open
+    /// churn sessions); `not_found` must be zero.
+    pub live_stats: LookupStats,
+    /// Statistics over attack arrivals only; every one misses, so
+    /// `mean_examined` here is the structure's per-packet cost of
+    /// saying "no".
+    pub attack_stats: LookupStats,
+    /// Full telemetry for the run, taken from [`SuiteEntry::recorder`]
+    /// after the flood (recorders are reset when the run starts).
+    pub snapshot: Snapshot,
+}
+
+/// A long-lived live flow's key. Subnet `10.1.0.0/16`, disjoint from
+/// churn and attack key spaces.
+fn live_key(n: u32) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::from(0x0a01_0000 + (n / 16_000)),
+        (49_152 + (n % 16_000)) as u16,
+    )
+}
+
+/// A churn session's key. Subnet `10.2.0.0/16`.
+fn churn_key(n: u32) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::from(0x0a02_0000 + (n / 16_000)),
+        (49_152 + (n % 16_000)) as u16,
+    )
+}
+
+/// The `n`-th candidate spoofed key, from the attack's own subnet
+/// (`172.16.0.0/12`) so it can never alias a legitimate flow.
+fn spoof_candidate(n: u32) -> ConnectionKey {
+    ConnectionKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        1521,
+        Ipv4Addr::from(0xac10_0000 + (n / 16_000)),
+        (49_152 + (n % 16_000)) as u16,
+    )
+}
+
+/// Craft `count` distinct spoofed keys that all hash into the chain of
+/// [`live_key`]`(0)` under [`Multiplicative`] with `chains` buckets —
+/// the attacker aims the flood at a chain that also holds legitimate
+/// state, so every attack packet walks past real PCBs before missing.
+///
+/// This is an offline dictionary attack: enumerate candidate
+/// address/port pairs and keep the ~`1/chains` fraction that collide.
+/// It needs no weakness in the hash beyond its being public.
+pub fn attack_keys(count: usize, chains: usize) -> Vec<ConnectionKey> {
+    assert!(chains > 0, "collision target needs at least one chain");
+    let target = Multiplicative.bucket(&live_key(0), chains);
+    let mut keys = Vec::with_capacity(count);
+    let mut n = 0u32;
+    while keys.len() < count {
+        let candidate = spoof_candidate(n);
+        if Multiplicative.bucket(&candidate, chains) == target {
+            keys.push(candidate);
+        }
+        n = n
+            .checked_add(1)
+            .expect("exhausted the spoofed key space before finding enough collisions");
+    }
+    keys
+}
+
+/// One churn session's lifecycle position.
+struct ChurnSession {
+    id: u32,
+    packets_left: u32,
+}
+
+/// Run the miss-flood mix through a suite of algorithms.
+///
+/// Every recorder in the suite is reset first, so the returned
+/// snapshots contain exactly this run. The driver interleaves the three
+/// streams (live traffic, churn lifecycles, attack packets) in a
+/// seed-deterministic order and checks, per arrival, that all
+/// algorithms return the same PCB. Panics — deliberately — if a
+/// legitimate lookup misses (a false negative) or an attack lookup
+/// hits (a phantom PCB).
+pub fn run(config: MissFloodConfig, seed: u64, suite: &mut [SuiteEntry]) -> Vec<MissFloodReport> {
+    assert!(config.live_flows > 0, "need at least one live flow");
+    let mut rng = SimRng::new(seed);
+    let mut arena = PcbArena::new();
+    for entry in suite.iter_mut() {
+        entry.recorder.reset();
+    }
+    let mut reports: Vec<MissFloodReport> = suite
+        .iter()
+        .map(|e| MissFloodReport {
+            name: e.name.clone(),
+            stats: LookupStats::new(),
+            live_stats: LookupStats::new(),
+            attack_stats: LookupStats::new(),
+            snapshot: Snapshot::empty(),
+        })
+        .collect();
+
+    // Establish the live working set.
+    let live: Vec<ConnectionKey> = (0..config.live_flows).map(live_key).collect();
+    let mut live_pcbs = Vec::with_capacity(live.len());
+    for &key in &live {
+        let id = arena.insert(Pcb::new_in_state(key, TcpState::Established));
+        live_pcbs.push(id);
+        for entry in suite.iter_mut() {
+            entry.demux.insert(key, id);
+        }
+    }
+
+    let attack = attack_keys(config.attack_packets as usize, config.collision_chains);
+
+    // Remaining work per stream; each step draws a category with
+    // probability proportional to what is left, so the flood and the
+    // legitimate traffic interleave rather than running back to back.
+    let mut live_left = u64::from(config.live_flows) * u64::from(config.packets_per_flow);
+    let mut attack_left = attack.len() as u64;
+    let mut next_attack = 0usize;
+    let mut churn_unstarted = config.churn_sessions;
+    let mut open_sessions: Vec<ChurnSession> = Vec::new();
+    // Each churn session still owes open + packets + close steps.
+    let churn_steps_per_session = u64::from(config.packets_per_flow) + 2;
+    let mut churn_left = u64::from(config.churn_sessions) * churn_steps_per_session;
+
+    // A legitimate arrival: must hit, and every algorithm must agree on
+    // which PCB it hits.
+    fn legit_arrival(
+        suite: &mut [SuiteEntry],
+        reports: &mut [MissFloodReport],
+        key: &ConnectionKey,
+        kind: PacketKind,
+    ) {
+        let mut agreed = None;
+        for (entry, report) in suite.iter_mut().zip(reports.iter_mut()) {
+            let r = entry.demux.lookup(key, kind);
+            assert!(
+                r.pcb.is_some(),
+                "{}: false negative — live flow {key:?} not found",
+                entry.name
+            );
+            match agreed {
+                None => agreed = Some(r.pcb),
+                Some(expected) => assert_eq!(
+                    r.pcb, expected,
+                    "{}: disagrees on the PCB for {key:?}",
+                    entry.name
+                ),
+            }
+            report.stats.record(r.examined, true, r.cache_hit);
+            report.live_stats.record(r.examined, true, r.cache_hit);
+            entry.recorder.demux_lookup(r.examined, true, r.cache_hit);
+        }
+    }
+
+    while live_left + attack_left + churn_left > 0 {
+        let pick = rng.below(live_left + attack_left + churn_left);
+        if pick < live_left {
+            live_left -= 1;
+            let key = live[rng.below(live.len() as u64) as usize];
+            let kind = if rng.below(2) == 0 {
+                PacketKind::Data
+            } else {
+                PacketKind::Ack
+            };
+            legit_arrival(suite, &mut reports, &key, kind);
+        } else if pick < live_left + attack_left {
+            attack_left -= 1;
+            let key = attack[next_attack];
+            next_attack += 1;
+            for (entry, report) in suite.iter_mut().zip(reports.iter_mut()) {
+                let r = entry.demux.lookup(&key, PacketKind::Data);
+                assert!(
+                    r.pcb.is_none(),
+                    "{}: spoofed key {key:?} matched a real PCB",
+                    entry.name
+                );
+                report.stats.record(r.examined, false, r.cache_hit);
+                report.attack_stats.record(r.examined, false, r.cache_hit);
+                entry.recorder.demux_lookup(r.examined, false, r.cache_hit);
+            }
+        } else {
+            churn_left -= 1;
+            // Open a fresh session when none are open, or by coin flip
+            // while unstarted ones remain; otherwise advance a random
+            // open session through its packets and eventual close.
+            let open_new = churn_unstarted > 0 && (open_sessions.is_empty() || rng.below(2) == 0);
+            if open_new {
+                churn_unstarted -= 1;
+                let id = config.churn_sessions - churn_unstarted - 1;
+                let key = churn_key(id);
+                let pcb = arena.insert(Pcb::new_in_state(key, TcpState::Established));
+                for entry in suite.iter_mut() {
+                    entry.demux.insert(key, pcb);
+                }
+                open_sessions.push(ChurnSession {
+                    id,
+                    packets_left: config.packets_per_flow,
+                });
+            } else {
+                let slot = rng.below(open_sessions.len() as u64) as usize;
+                let session = &mut open_sessions[slot];
+                let key = churn_key(session.id);
+                if session.packets_left > 0 {
+                    session.packets_left -= 1;
+                    legit_arrival(suite, &mut reports, &key, PacketKind::Data);
+                } else {
+                    open_sessions.swap_remove(slot);
+                    let mut removed = None;
+                    for entry in suite.iter_mut() {
+                        let r = entry.demux.remove(&key);
+                        assert!(r.is_some(), "{}: lost churn session {key:?}", entry.name);
+                        match removed {
+                            None => removed = Some(r),
+                            Some(expected) => assert_eq!(r, expected, "{}", entry.name),
+                        }
+                    }
+                    if let Some(Some(id)) = removed {
+                        arena.remove(id);
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(open_sessions.is_empty(), "driver left churn sessions open");
+    for (entry, report) in suite.iter().zip(reports.iter_mut()) {
+        assert_eq!(
+            entry.demux.len(),
+            live.len(),
+            "{}: table should hold exactly the live flows after the flood",
+            entry.name
+        );
+        report.snapshot = entry.recorder.snapshot();
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpdemux_core::standard_suite;
+    use tcpdemux_telemetry::{CounterId, HistogramId};
+
+    fn small() -> MissFloodConfig {
+        MissFloodConfig {
+            live_flows: 128,
+            churn_sessions: 256,
+            packets_per_flow: 3,
+            attack_packets: 2_048,
+            collision_chains: 19,
+        }
+    }
+
+    #[test]
+    fn attack_keys_collide_into_one_chain() {
+        let keys = attack_keys(500, 19);
+        assert_eq!(keys.len(), 500);
+        let target = Multiplicative.bucket(&keys[0], 19);
+        for key in &keys {
+            assert_eq!(Multiplicative.bucket(key, 19), target);
+        }
+        // Distinct keys: a flood of repeats would be trivially cacheable.
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 500);
+        // And aimed at live state, not an empty chain.
+        assert_eq!(target, Multiplicative.bucket(&live_key(0), 19));
+    }
+
+    #[test]
+    fn live_traffic_hits_and_attack_misses_everywhere() {
+        let cfg = small();
+        let mut suite = standard_suite();
+        let reports = run(cfg, 31, &mut suite);
+        for report in &reports {
+            assert_eq!(report.live_stats.not_found, 0, "{}", report.name);
+            assert_eq!(
+                report.attack_stats.lookups,
+                u64::from(cfg.attack_packets),
+                "{}",
+                report.name
+            );
+            assert_eq!(
+                report.attack_stats.not_found, report.attack_stats.lookups,
+                "{}",
+                report.name
+            );
+            assert_eq!(
+                report.stats.lookups,
+                report.live_stats.lookups + report.attack_stats.lookups,
+                "{}",
+                report.name
+            );
+        }
+    }
+
+    #[test]
+    fn front_filter_rejects_the_flood() {
+        let cfg = small();
+        let mut suite = standard_suite();
+        let reports = run(cfg, 7, &mut suite);
+        for name in ["front+sequent(19)", "front+cuckoo"] {
+            let report = reports.iter().find(|r| r.name == name).unwrap();
+            let rejects = report.snapshot.counter(CounterId::FrontRejects);
+            let fps = report.snapshot.counter(CounterId::FrontFalsePositives);
+            // Every miss is either rejected by the filter or a
+            // fingerprint collision that fell through.
+            assert_eq!(rejects + fps, report.attack_stats.not_found, "{name}");
+            // Collisions are rare: 8 candidate 16-bit lanes per probe.
+            assert!(
+                fps <= 16,
+                "{name}: {fps} false positives in {} attack packets",
+                cfg.attack_packets
+            );
+            // Filter inserts sampled occupancy as the table churned.
+            let occupancy = report.snapshot.histogram(HistogramId::FrontOccupancy);
+            assert!(occupancy.count() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn front_filter_neutralizes_the_collision_attack() {
+        let cfg = small();
+        let mut suite = standard_suite();
+        let reports = run(cfg, 42, &mut suite);
+        let attack_mean = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .attack_stats
+                .mean_examined()
+        };
+        // Bare chaining walks the whole crafted chain per attack packet;
+        // the front filter answers from one or two filter words.
+        let bare = attack_mean("sequent(19)");
+        let front = attack_mean("front+sequent(19)");
+        assert!(
+            front < bare / 8.0,
+            "front filter should neutralize the flood: bare={bare:.2}, front={front:.2}"
+        );
+        // The crafted chain is far longer than the balanced average.
+        assert!(
+            bare > 4.0,
+            "collision attack failed to pile up a chain: {bare:.2}"
+        );
+        // Hit-path cost is unharmed: live traffic through the filtered
+        // tier costs no more than through the bare tier (plus the
+        // filter's own probe, which examines no PCBs).
+        let live_mean = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .live_stats
+                .mean_examined()
+        };
+        assert!(live_mean("front+sequent(19)") <= live_mean("sequent(19)") + 1e-9);
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = small();
+        let a = run(cfg, 9, &mut standard_suite());
+        let b = run(cfg, 9, &mut standard_suite());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.stats, y.stats, "{}", x.name);
+            assert_eq!(x.live_stats, y.live_stats, "{}", x.name);
+            assert_eq!(x.attack_stats, y.attack_stats, "{}", x.name);
+        }
+    }
+}

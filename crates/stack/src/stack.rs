@@ -470,6 +470,19 @@ impl StackConfig {
         self
     }
 
+    /// Wrap whatever demultiplexer the current factory builds in a
+    /// [`FrontDemux`] fingerprint front filter, so table misses are
+    /// rejected from a cache-resident structure before any PCB chain is
+    /// walked. Composes with [`StackConfig::with_demux`] in either
+    /// order relative to other settings; call it last if both are used.
+    ///
+    /// [`FrontDemux`]: tcpdemux_core::FrontDemux
+    pub fn with_front_filter(mut self) -> Self {
+        let inner = Arc::clone(&self.demux);
+        self.demux = Arc::new(move || Box::new(tcpdemux_core::FrontDemux::new(inner())));
+        self
+    }
+
     /// Send telemetry to `recorder` (e.g. one shared with a bench harness
     /// or suite entry) instead of a private one.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
@@ -2911,6 +2924,33 @@ mod tests {
         let n = stack.poll_transmit(&mut scratch);
         assert_eq!(n, 1, "one small payload polls as one frame");
         scratch.frames.pop().unwrap()
+    }
+
+    #[test]
+    fn front_filter_config_wraps_the_demux_and_zeroes_miss_cost() {
+        const OTHER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+        let mut server = Stack::with_config(StackConfig::new(SERVER).with_front_filter());
+        let mut client = Stack::with_config(StackConfig::new(CLIENT));
+        let (cp, sp) = handshake(&mut server, &mut client, 1521);
+        let frame = send_now(&mut client, cp, b"front");
+        let r = server.receive(&frame).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::Delivered { pcb, bytes: 5 } if pcb == sp));
+        assert!(
+            r.pcbs_examined >= 1,
+            "hits flow through to the backing tier"
+        );
+
+        // A data frame for a four-tuple this server never established:
+        // the filter rejects it before any PCB chain is walked, so the
+        // per-frame examined count is zero (the unfiltered default
+        // would walk a Sequent chain to conclude the same miss).
+        let mut shadow_server = Stack::with_config(StackConfig::new(SERVER));
+        let mut other_client = Stack::with_config(StackConfig::new(OTHER));
+        let (op, _) = handshake(&mut shadow_server, &mut other_client, 1521);
+        let stray = send_now(&mut other_client, op, b"stray");
+        let r = server.receive(&stray).unwrap();
+        assert!(matches!(r.outcome, RxOutcome::ResetSent));
+        assert_eq!(r.pcbs_examined, 0, "miss rejected by the front filter");
     }
 
     #[test]

@@ -70,11 +70,17 @@ pub enum CounterId {
     /// Transmit polls that found queued data but a closed peer window
     /// (rwnd exhausted before cwnd).
     RwndStalls,
+    /// Lookups rejected by the fingerprint front filter without touching
+    /// the backing demultiplexer (guaranteed misses).
+    FrontRejects,
+    /// Front-filter passes whose backing lookup then missed — the
+    /// filter's false positives (fingerprint collisions).
+    FrontFalsePositives,
 }
 
 impl CounterId {
     /// Every counter, in export order.
-    pub const ALL: [CounterId; 22] = [
+    pub const ALL: [CounterId; 24] = [
         CounterId::Lookups,
         CounterId::CacheHits,
         CounterId::DemuxHits,
@@ -97,6 +103,8 @@ impl CounterId {
         CounterId::DelayedAcks,
         CounterId::ZeroWindowProbes,
         CounterId::RwndStalls,
+        CounterId::FrontRejects,
+        CounterId::FrontFalsePositives,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -124,6 +132,8 @@ impl CounterId {
             CounterId::DelayedAcks => "delayed_acks",
             CounterId::ZeroWindowProbes => "zero_window_probes",
             CounterId::RwndStalls => "rwnd_stalls",
+            CounterId::FrontRejects => "front_rejects",
+            CounterId::FrontFalsePositives => "front_false_positives",
         }
     }
 }

@@ -31,17 +31,21 @@ pub enum HistogramId {
     /// Congestion-window size in bytes, sampled whenever the congestion
     /// controller moves it — the distribution behind the AIMD sawtooth.
     CwndBytes,
+    /// Front-filter slot occupancy in percent of capacity, sampled after
+    /// each filter insert — the load level the false-positive rate rides.
+    FrontOccupancy,
 }
 
 impl HistogramId {
     /// Every histogram, in export order.
-    pub const ALL: [HistogramId; 6] = [
+    pub const ALL: [HistogramId; 7] = [
         HistogramId::Examined,
         HistogramId::RxBatchSize,
         HistogramId::RtoTicks,
         HistogramId::EpochDeferred,
         HistogramId::CuckooInsertKicks,
         HistogramId::CwndBytes,
+        HistogramId::FrontOccupancy,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -53,6 +57,7 @@ impl HistogramId {
             HistogramId::EpochDeferred => "epoch_deferred",
             HistogramId::CuckooInsertKicks => "cuckoo_insert_kicks",
             HistogramId::CwndBytes => "cwnd_bytes",
+            HistogramId::FrontOccupancy => "front_occupancy",
         }
     }
 }

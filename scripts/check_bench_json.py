@@ -49,6 +49,17 @@ REQUIRED_LABELS = {
     }
     | {f"demux_scale/batch/n={n}/cuckoo" for n in (10_000, 100_000, 1_000_000, 10_000_000)},
     "BENCH_bulk_transfer.json": {f"bulk_transfer/drop={p}%" for p in (0, 5, 10, 25, 40)},
+    "BENCH_miss_flood.json": {
+        f"miss_flood/lookup/n={n}/hit={h}/{tier}"
+        for n in (10_000, 100_000, 1_000_000, 10_000_000)
+        for h in (0, 25, 50, 75, 100)
+        for tier in ("sequent(19)", "front+sequent(19)", "cuckoo", "front+cuckoo")
+    },
+    "BENCH_train_windowed.json": {
+        f"train_windowed/lookup/cwnd={l}seg/{tier}"
+        for l in (2, 4, 16, 64)
+        for tier in ("bsd", "sequent(19)", "front+sequent(19)", "cuckoo")
+    },
 }
 
 
